@@ -1,0 +1,40 @@
+//! Fig. 2 bench: STREAM triad bandwidth under the three memory
+//! configurations. Each Criterion target prices one figure point; the
+//! printed throughput (model-GB/s) regenerates the figure's series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knl::{Machine, MemSetup};
+use simfabric::ByteSize;
+use workloads::stream::StreamBench;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_stream_triad");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for setup in MemSetup::PAPER_SETUPS {
+        for gb in [4.0, 8.0, 11.4, 22.8, 44.0] {
+            let bench = StreamBench::new(ByteSize::gib_f(gb));
+            group.bench_with_input(
+                BenchmarkId::new(setup.label(), format!("{gb}GB")),
+                &gb,
+                |b, _| {
+                    b.iter(|| {
+                        let mut m = Machine::knl7210(setup, 64).unwrap();
+                        let bw = bench.triad_bandwidth(&mut m).ok();
+                        criterion::black_box(bw)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Print the figure series alongside the wall-clock results so the
+    // bench run leaves the reproduced data in its log.
+    let fig = hybridmem::figures::fig2();
+    println!("{}", hybridmem::report::render_figure(&fig));
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 3 bench: dual random read latency model over the block-size
+//! sweep, plus the native pointer-chase kernel at cache-resident
+//! scale as a sanity anchor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::tinymembench::{fig3_block_sizes, ChaseBuffer};
+
+fn bench_fig3_model(c: &mut Criterion) {
+    let tlb = cachesim::tlb::TlbConfig::knl_4k();
+    let ddr = memdev::ddr4_knl();
+    let hbm = memdev::mcdram_knl();
+    let mut group = c.benchmark_group("fig3_latency_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for block in fig3_block_sizes() {
+        group.bench_with_input(
+            BenchmarkId::new("dual_read_model", block.to_string()),
+            &block,
+            |b, &blk| {
+                b.iter(|| {
+                    let d = knl::dual_random_read_latency(&ddr, blk, &tlb);
+                    let h = knl::dual_random_read_latency(&hbm, blk, &tlb);
+                    criterion::black_box((d, h))
+                })
+            },
+        );
+    }
+    group.finish();
+    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::fig3()));
+}
+
+fn bench_native_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_native_chase");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for slots in [4_096usize, 65_536] {
+        let buf = ChaseBuffer::new(slots, 42);
+        group.bench_with_input(
+            BenchmarkId::new("dual_chase", slots),
+            &slots,
+            |b, _| b.iter(|| criterion::black_box(buf.dual_chase(0, 1, 10_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_model, bench_native_chase);
+criterion_main!(benches);

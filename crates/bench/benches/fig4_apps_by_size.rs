@@ -1,0 +1,40 @@
+//! Fig. 4 bench: all five applications swept over problem size in the
+//! three memory configurations (panels a–e).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybridmem::{AppSpec, SizeSweep};
+
+fn bench_fig4(c: &mut Criterion) {
+    let panels: [(&str, AppSpec, &[f64]); 5] = [
+        ("fig4a_dgemm", AppSpec::Dgemm, &[0.1, 6.0, 24.0]),
+        ("fig4b_minife", AppSpec::MiniFe, &[0.9, 7.2, 28.8]),
+        ("fig4c_gups", AppSpec::Gups, &[1.0, 8.0, 32.0]),
+        ("fig4d_graph500", AppSpec::Graph500, &[1.1, 8.8, 35.0]),
+        ("fig4e_xsbench", AppSpec::XsBench, &[5.6, 22.5, 90.0]),
+    ];
+    for (name, app, sizes) in panels {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+        group.bench_with_input(BenchmarkId::new("sweep", "paper_sizes"), &app, |b, &app| {
+            b.iter(|| {
+                let sweep = SizeSweep::paper(app, sizes.to_vec());
+                criterion::black_box(sweep.run())
+            })
+        });
+        group.finish();
+    }
+    for fig in [
+        hybridmem::figures::fig4a(),
+        hybridmem::figures::fig4b(),
+        hybridmem::figures::fig4c(),
+        hybridmem::figures::fig4d(),
+        hybridmem::figures::fig4e(),
+    ] {
+        println!("{}", hybridmem::report::render_figure(&fig));
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

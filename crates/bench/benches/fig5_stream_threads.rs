@@ -1,0 +1,34 @@
+//! Fig. 5 bench: STREAM bandwidth under 1–4 hardware threads per core
+//! on DRAM and HBM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knl::{Machine, MemSetup};
+use simfabric::ByteSize;
+use workloads::stream::StreamBench;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_stream_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let bench = StreamBench::new(ByteSize::gib(6));
+    for setup in [MemSetup::DramOnly, MemSetup::HbmOnly] {
+        for ht in 1..=4u32 {
+            group.bench_with_input(
+                BenchmarkId::new(setup.label(), format!("ht{ht}")),
+                &ht,
+                |b, &ht| {
+                    b.iter(|| {
+                        let mut m = Machine::knl7210(setup, 64 * ht).unwrap();
+                        criterion::black_box(bench.triad_bandwidth(&mut m).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::fig5()));
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 6 bench: thread-count sweeps for DGEMM, MiniFE, Graph500 and
+//! XSBench (panels a–d).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybridmem::{AppSpec, ThreadSweep};
+
+fn bench_fig6(c: &mut Criterion) {
+    let panels: [(&str, AppSpec, f64); 4] = [
+        ("fig6a_dgemm", AppSpec::Dgemm, 6.0),
+        ("fig6b_minife", AppSpec::MiniFe, 7.2),
+        ("fig6c_graph500", AppSpec::Graph500, 8.8),
+        ("fig6d_xsbench", AppSpec::XsBench, 5.6),
+    ];
+    for (name, app, size) in panels {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+        group.bench_with_input(BenchmarkId::new("sweep", "64-256"), &app, |b, &app| {
+            b.iter(|| {
+                let sweep = ThreadSweep::paper(app, size);
+                criterion::black_box(sweep.run())
+            })
+        });
+        group.finish();
+    }
+    for fig in [
+        hybridmem::figures::fig6a(),
+        hybridmem::figures::fig6b(),
+        hybridmem::figures::fig6c(),
+        hybridmem::figures::fig6d(),
+    ] {
+        println!("{}", hybridmem::report::render_figure(&fig));
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

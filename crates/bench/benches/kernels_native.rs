@@ -1,0 +1,112 @@
+//! Native-kernel benches: the real Rust implementations of the
+//! paper's workloads at laptop scale (wall-clock, not simulated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::dgemm::matmul_blocked;
+use workloads::graph500::{Graph, Kronecker};
+use workloads::gups::GupsTable;
+use workloads::minife::{assemble_27pt, cg_solve};
+use workloads::stream::StreamArrays;
+use workloads::xsbench::XsData;
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_stream");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let n = 1 << 20; // 24 MB across the three arrays
+    let mut arrays = StreamArrays::new(n);
+    group.throughput(Throughput::Bytes(3 * 8 * n as u64));
+    group.bench_function("triad_1M", |b| b.iter(|| arrays.triad(3.0)));
+    group.finish();
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_dgemm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [128usize, 256] {
+        let a = vec![1.5; n * n];
+        let bm = vec![0.5; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cm = vec![0.0; n * n];
+                matmul_blocked(&a, &bm, &mut cm, n);
+                criterion::black_box(cm[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minife(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_minife");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let a = assemble_27pt(16);
+    let n = a.rows();
+    let b_rhs = vec![1.0; n];
+    group.bench_function("cg_16cubed", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; n];
+            criterion::black_box(cg_solve(&a, &b_rhs, &mut x, 1e-6, 50))
+        })
+    });
+    group.finish();
+}
+
+fn bench_gups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_gups");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let mut t = GupsTable::new(1 << 16);
+    group.throughput(Throughput::Elements(1 << 18));
+    group.bench_function("updates_256k", |b| {
+        b.iter(|| criterion::black_box(t.run_updates(1 << 18, 42)))
+    });
+    group.finish();
+}
+
+fn bench_graph500(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_graph500");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let gen = Kronecker::new(12, 42);
+    let g = Graph::from_edges(gen.vertices() as usize, &gen.generate());
+    let root = (0..g.num_vertices() as u32)
+        .find(|&v| !g.neighbors_of(v).is_empty())
+        .unwrap();
+    group.bench_function("bfs_scale12", |b| {
+        b.iter(|| criterion::black_box(g.bfs(root)))
+    });
+    group.finish();
+}
+
+fn bench_xsbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_xsbench");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let data = XsData::build(32, 500, 7);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("lookups_10k", |b| {
+        b.iter(|| criterion::black_box(data.run_lookups(10_000, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream,
+    bench_dgemm,
+    bench_minife,
+    bench_gups,
+    bench_graph500,
+    bench_xsbench
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table I and Table II regeneration, plus the §IV-A latency point
+//! values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numamem::numactl::{hardware_report, table2_panel};
+use numamem::NumaTopology;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("table1_render", |b| {
+        b.iter(|| criterion::black_box(workloads::catalog::render_table1()))
+    });
+    group.bench_function("table2_render", |b| {
+        b.iter(|| {
+            let flat = table2_panel(&NumaTopology::knl_flat());
+            let cache = table2_panel(&NumaTopology::knl_cache());
+            criterion::black_box((flat, cache))
+        })
+    });
+    group.bench_function("numactl_hardware", |b| {
+        b.iter(|| criterion::black_box(hardware_report(&NumaTopology::knl_flat())))
+    });
+    group.finish();
+
+    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::table1()));
+    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::table2()));
+    let ddr = memdev::ddr4_knl();
+    let hbm = memdev::mcdram_knl();
+    println!(
+        "latency: DRAM {:.1} ns, HBM {:.1} ns (paper: 130.4 / 154.0)",
+        ddr.idle_latency.as_ns(),
+        hbm.idle_latency.as_ns()
+    );
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all              # every table and figure, as text
+//! repro fig2 [--csv]     # one figure (fig2, fig3, fig4a..e, fig5, fig6a..d)
+//! repro table1|table2    # the tables
+//! repro latency          # the §IV-A idle-latency point values
+//! repro validate         # run every shape check against the paper
+//! ```
+
+use hybridmem::figures;
+use hybridmem::report::{render_figure, series_csv};
+use hybridmem::validate::{render_checks, validate_all};
+
+fn figure_by_id(id: &str) -> Option<hybridmem::FigureData> {
+    Some(match id {
+        "table1" => figures::table1(),
+        "table2" => figures::table2(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "fig4a" => figures::fig4a(),
+        "fig4b" => figures::fig4b(),
+        "fig4c" => figures::fig4c(),
+        "fig4d" => figures::fig4d(),
+        "fig4e" => figures::fig4e(),
+        "fig5" => figures::fig5(),
+        "fig6a" => figures::fig6a(),
+        "fig6b" => figures::fig6b(),
+        "fig6c" => figures::fig6c(),
+        "fig6d" => figures::fig6d(),
+        "ext-hybrid" => hybridmem::extensions::ext_hybrid_stream(),
+        "ext-interleave" => hybridmem::extensions::ext_interleaved_stream(),
+        "ext-energy" => hybridmem::extensions::ext_energy_stream(),
+        _ => return None,
+    })
+}
+
+fn latency_report() -> String {
+    let ddr = memdev::ddr4_knl();
+    let hbm = memdev::mcdram_knl();
+    format!(
+        "Idle pointer-chase latency (paper §IV-A):\n  DRAM: {:.1} ns (paper: 130.4 ns)\n  HBM : {:.1} ns (paper: 154.0 ns)\n  HBM penalty: {:.1}% (paper: ~18%)\n",
+        ddr.idle_latency.as_ns(),
+        hbm.idle_latency.as_ns(),
+        (hbm.idle_latency.as_ns() / ddr.idle_latency.as_ns() - 1.0) * 100.0
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let csv = args.iter().any(|a| a == "--csv");
+    match cmd {
+        "all" => {
+            for fig in figures::all_figures() {
+                println!("{}", render_figure(&fig));
+            }
+            println!("{}", latency_report());
+        }
+        "validate" => {
+            let checks = validate_all();
+            print!("{}", render_checks(&checks));
+            if checks.iter().any(|c| !c.pass) {
+                std::process::exit(1);
+            }
+        }
+        "latency" => print!("{}", latency_report()),
+        "compare" => {
+            let cmp = hybridmem::compare_with_model();
+            print!("{}", hybridmem::paper::render_comparison(&cmp));
+        }
+        "sensitivity" => {
+            print!("{}", hybridmem::sensitivity::render_scans(&hybridmem::all_scans()));
+        }
+        "export" => {
+            // repro export <path.json>
+            let path = args.get(1).map(String::as_str).unwrap_or("results.json");
+            let archive = hybridmem::Archive::capture(
+                "knl-hybrid-memory reproduction (Xeon Phi 7210 model)",
+                figures::all_figures(),
+            );
+            std::fs::write(path, archive.to_json()).expect("write archive");
+            println!("wrote {path}");
+        }
+        "diff" => {
+            // repro diff <baseline.json> <candidate.json> [tolerance]
+            let base = args.get(1).expect("baseline path");
+            let cand = args.get(2).expect("candidate path");
+            let tol: f64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0.02);
+            let base = hybridmem::Archive::from_json(
+                &std::fs::read_to_string(base).expect("read baseline"),
+            )
+            .expect("parse baseline");
+            let cand = hybridmem::Archive::from_json(
+                &std::fs::read_to_string(cand).expect("read candidate"),
+            )
+            .expect("parse candidate");
+            let divs = hybridmem::diff(&base, &cand, tol);
+            print!("{}", hybridmem::archive::render_diff(&divs));
+            if !divs.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "decompose" => {
+            // repro decompose <GB> [sequential|random] [max_nodes]
+            let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
+            let pattern = match args.get(2).map(String::as_str) {
+                Some("random") => workloads::AccessClass::Random,
+                _ => workloads::AccessClass::Sequential,
+            };
+            let max_nodes: u32 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
+            let plan = hybridmem::decompose(
+                simfabric::ByteSize::gib_f(gb),
+                pattern,
+                max_nodes,
+            );
+            println!(
+                "{} problem, {:?} access:\n  {} node(s) x {} each, {} per node\n  predicted per-node speedup vs single node: {:.2}x\n  {}",
+                plan.total, pattern, plan.nodes, plan.per_node, plan.setup.label(),
+                plan.speedup_vs_single_node, plan.rationale
+            );
+        }
+        id => match figure_by_id(id) {
+            Some(fig) => {
+                if csv {
+                    print!("{}", series_csv(&fig.series));
+                } else {
+                    println!("{}", render_figure(&fig));
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown target {id:?}; try: all, validate, latency, compare, sensitivity, export, diff, decompose, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

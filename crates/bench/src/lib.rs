@@ -1,0 +1,4 @@
+//! Benchmark harness crate: see `benches/` for the Criterion benches
+//! (one per paper table/figure plus native-kernel and ablation
+//! benches) and `src/bin/repro.rs` for the binary that regenerates
+//! every table and figure as text/CSV.

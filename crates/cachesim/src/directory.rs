@@ -1,0 +1,323 @@
+//! Distributed MESIF tag directory.
+//!
+//! KNL keeps tile L2s coherent with a distributed tag directory (§II):
+//! line addresses hash to a home directory slice (a CHA on some tile);
+//! the directory tracks which tiles hold the line and in which state,
+//! and enables cache-to-cache forwarding (the F state) instead of a
+//! memory fetch when a sharer exists.
+//!
+//! The model tracks per-line sharer sets and the MESIF state machine;
+//! it does not model the protocol message timing itself (the mesh crate
+//! charges hop latencies for the traversal).
+
+use serde::{Deserialize, Serialize};
+use simfabric::stats::Counter;
+use std::collections::HashMap;
+
+/// MESIF coherence states tracked by the directory for each line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceState {
+    /// Modified: exactly one owner, line dirty.
+    Modified,
+    /// Exclusive: exactly one owner, line clean.
+    Exclusive,
+    /// Shared: one or more sharers, none may forward.
+    Shared,
+    /// Forward: shared, with a designated forwarder.
+    Forward,
+    /// Invalid / not tracked.
+    Invalid,
+}
+
+/// What the requesting tile must do to complete its access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryOutcome {
+    /// No cached copy anywhere: fetch from memory.
+    FetchFromMemory,
+    /// A peer tile forwards the line cache-to-cache.
+    ForwardFromTile(u32),
+    /// The requester already holds the line in a sufficient state.
+    AlreadyHeld,
+}
+
+#[derive(Debug, Clone)]
+struct LineEntry {
+    state: CoherenceState,
+    /// Sharer tile IDs; owner first for M/E/F.
+    sharers: Vec<u32>,
+}
+
+/// Directory statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    /// Requests served by cache-to-cache forwarding.
+    pub forwards: Counter,
+    /// Requests that had to go to memory.
+    pub memory_fetches: Counter,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: Counter,
+    /// Dirty lines written back due to ownership transfer.
+    pub dirty_writebacks: Counter,
+}
+
+/// A (logically centralized, physically distributed) MESIF directory.
+///
+/// `home_slices` only affects [`Directory::home_of`], which the mesh
+/// model uses to charge traversal latency; the sharer bookkeeping is a
+/// single map.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    lines: HashMap<u64, LineEntry>,
+    home_slices: u32,
+    line_bytes: u32,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Create a directory distributed over `home_slices` slices for
+    /// lines of `line_bytes`.
+    pub fn new(home_slices: u32, line_bytes: u32) -> Self {
+        assert!(home_slices > 0);
+        assert!(line_bytes.is_power_of_two());
+        Directory {
+            lines: HashMap::new(),
+            home_slices,
+            line_bytes,
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// The directory slice (tile index) that homes `addr`. KNL hashes
+    /// physical addresses across CHAs; we use a multiplicative hash so
+    /// neighbouring lines land on different slices, as on hardware.
+    pub fn home_of(&self, addr: u64) -> u32 {
+        let line = addr / self.line_bytes as u64;
+        ((line.wrapping_mul(0x9E3779B97F4A7C15) >> 33) % self.home_slices as u64) as u32
+    }
+
+    /// Current state of the line containing `addr`.
+    pub fn state_of(&self, addr: u64) -> CoherenceState {
+        let line = addr & !(self.line_bytes as u64 - 1);
+        self.lines
+            .get(&line)
+            .map(|e| e.state)
+            .unwrap_or(CoherenceState::Invalid)
+    }
+
+    /// Tiles currently holding the line containing `addr`.
+    pub fn sharers_of(&self, addr: u64) -> &[u32] {
+        let line = addr & !(self.line_bytes as u64 - 1);
+        self.lines
+            .get(&line)
+            .map(|e| e.sharers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// A read request from `tile` for the line containing `addr`.
+    pub fn read(&mut self, tile: u32, addr: u64) -> DirectoryOutcome {
+        let line = addr & !(self.line_bytes as u64 - 1);
+        match self.lines.get_mut(&line) {
+            None => {
+                self.lines.insert(
+                    line,
+                    LineEntry {
+                        state: CoherenceState::Exclusive,
+                        sharers: vec![tile],
+                    },
+                );
+                self.stats.memory_fetches.incr();
+                DirectoryOutcome::FetchFromMemory
+            }
+            Some(entry) => {
+                if entry.sharers.contains(&tile) {
+                    return DirectoryOutcome::AlreadyHeld;
+                }
+                let forwarder = entry.sharers[0];
+                match entry.state {
+                    CoherenceState::Modified => {
+                        // Owner writes back and forwards; line becomes
+                        // shared with the new reader as forwarder.
+                        self.stats.dirty_writebacks.incr();
+                        self.stats.forwards.incr();
+                        entry.state = CoherenceState::Forward;
+                        entry.sharers.insert(0, tile);
+                        DirectoryOutcome::ForwardFromTile(forwarder)
+                    }
+                    CoherenceState::Exclusive | CoherenceState::Forward => {
+                        self.stats.forwards.incr();
+                        entry.state = CoherenceState::Forward;
+                        entry.sharers.insert(0, tile);
+                        DirectoryOutcome::ForwardFromTile(forwarder)
+                    }
+                    CoherenceState::Shared => {
+                        // No designated forwarder: MESIF promotes the
+                        // new reader to F after a memory fetch.
+                        self.stats.memory_fetches.incr();
+                        entry.state = CoherenceState::Forward;
+                        entry.sharers.insert(0, tile);
+                        DirectoryOutcome::FetchFromMemory
+                    }
+                    CoherenceState::Invalid => unreachable!("tracked line in Invalid"),
+                }
+            }
+        }
+    }
+
+    /// A write (read-for-ownership) request from `tile` for the line
+    /// containing `addr`. Invalidates all other sharers.
+    pub fn write(&mut self, tile: u32, addr: u64) -> DirectoryOutcome {
+        let line = addr & !(self.line_bytes as u64 - 1);
+        match self.lines.get_mut(&line) {
+            None => {
+                self.lines.insert(
+                    line,
+                    LineEntry {
+                        state: CoherenceState::Modified,
+                        sharers: vec![tile],
+                    },
+                );
+                self.stats.memory_fetches.incr();
+                DirectoryOutcome::FetchFromMemory
+            }
+            Some(entry) => {
+                let held = entry.sharers.contains(&tile);
+                let others: Vec<u32> =
+                    entry.sharers.iter().copied().filter(|&t| t != tile).collect();
+                self.stats.invalidations.add(others.len() as u64);
+                if entry.state == CoherenceState::Modified && !held {
+                    self.stats.dirty_writebacks.incr();
+                }
+                let outcome = if held {
+                    DirectoryOutcome::AlreadyHeld
+                } else if let Some(&first) = others.first() {
+                    self.stats.forwards.incr();
+                    DirectoryOutcome::ForwardFromTile(first)
+                } else {
+                    self.stats.memory_fetches.incr();
+                    DirectoryOutcome::FetchFromMemory
+                };
+                entry.state = CoherenceState::Modified;
+                entry.sharers = vec![tile];
+                outcome
+            }
+        }
+    }
+
+    /// Tile `tile` evicted its copy of the line containing `addr`.
+    pub fn evict(&mut self, tile: u32, addr: u64) {
+        let line = addr & !(self.line_bytes as u64 - 1);
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.sharers.retain(|&t| t != tile);
+            if entry.sharers.is_empty() {
+                self.lines.remove(&line);
+            } else if entry.sharers.len() == 1
+                && matches!(entry.state, CoherenceState::Shared | CoherenceState::Forward)
+            {
+                // Last sharer standing holds it Forward (clean).
+                entry.state = CoherenceState::Forward;
+            }
+        }
+    }
+
+    /// Number of lines currently tracked.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_fetches_from_memory_and_is_exclusive() {
+        let mut d = Directory::new(36, 64);
+        assert_eq!(d.read(3, 0x1000), DirectoryOutcome::FetchFromMemory);
+        assert_eq!(d.state_of(0x1000), CoherenceState::Exclusive);
+        assert_eq!(d.sharers_of(0x1000), &[3]);
+    }
+
+    #[test]
+    fn second_read_forwards_cache_to_cache() {
+        let mut d = Directory::new(36, 64);
+        d.read(3, 0x1000);
+        assert_eq!(d.read(5, 0x1000), DirectoryOutcome::ForwardFromTile(3));
+        assert_eq!(d.state_of(0x1000), CoherenceState::Forward);
+        assert_eq!(d.sharers_of(0x1000), &[5, 3]);
+        assert_eq!(d.stats().forwards.get(), 1);
+    }
+
+    #[test]
+    fn repeat_read_by_holder_is_already_held() {
+        let mut d = Directory::new(36, 64);
+        d.read(3, 0x1000);
+        assert_eq!(d.read(3, 0x1040 - 0x40), DirectoryOutcome::AlreadyHeld);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new(36, 64);
+        d.read(1, 0x2000);
+        d.read(2, 0x2000);
+        d.read(4, 0x2000);
+        let out = d.write(7, 0x2000);
+        assert!(matches!(out, DirectoryOutcome::ForwardFromTile(_)));
+        assert_eq!(d.state_of(0x2000), CoherenceState::Modified);
+        assert_eq!(d.sharers_of(0x2000), &[7]);
+        assert_eq!(d.stats().invalidations.get(), 3);
+    }
+
+    #[test]
+    fn read_of_modified_line_writes_back_and_forwards() {
+        let mut d = Directory::new(36, 64);
+        d.write(2, 0x3000);
+        assert_eq!(d.state_of(0x3000), CoherenceState::Modified);
+        assert_eq!(d.read(6, 0x3000), DirectoryOutcome::ForwardFromTile(2));
+        assert_eq!(d.state_of(0x3000), CoherenceState::Forward);
+        assert_eq!(d.stats().dirty_writebacks.get(), 1);
+    }
+
+    #[test]
+    fn write_upgrade_by_holder() {
+        let mut d = Directory::new(36, 64);
+        d.read(1, 0x4000);
+        d.read(2, 0x4000);
+        // Tile 1 upgrades: invalidates tile 2 but holds the data.
+        assert_eq!(d.write(1, 0x4000), DirectoryOutcome::AlreadyHeld);
+        assert_eq!(d.sharers_of(0x4000), &[1]);
+        assert_eq!(d.stats().invalidations.get(), 1);
+    }
+
+    #[test]
+    fn eviction_untracks_and_promotes() {
+        let mut d = Directory::new(36, 64);
+        d.read(1, 0x5000);
+        d.read(2, 0x5000);
+        d.evict(2, 0x5000);
+        assert_eq!(d.sharers_of(0x5000), &[1]);
+        assert_eq!(d.state_of(0x5000), CoherenceState::Forward);
+        d.evict(1, 0x5000);
+        assert_eq!(d.state_of(0x5000), CoherenceState::Invalid);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn home_slices_spread_addresses() {
+        let d = Directory::new(36, 64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(d.home_of(i * 64));
+        }
+        assert_eq!(seen.len(), 36, "all slices should be used");
+        // Adjacent lines rarely share a home.
+        let same: usize = (0..1000)
+            .filter(|&i| d.home_of(i * 64) == d.home_of((i + 1) * 64))
+            .count();
+        assert!(same < 100, "adjacent lines collide too often: {same}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! MSHRs bound how many distinct line misses a core can have in flight;
+//! secondary misses to a line already being fetched merge into the
+//! existing entry. The MSHR count is the per-core half of the
+//! "maximum concurrent requests supported by the hardware" that §IV-B
+//! of the paper identifies as the bandwidth bottleneck for regular
+//! access, and it is what additional hardware threads multiply.
+
+use simfabric::stats::Counter;
+use simfabric::SimTime;
+use std::collections::BTreeMap;
+
+/// Result of registering a miss with the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the fetch should be issued.
+    Allocated,
+    /// The line is already being fetched; this miss merged into the
+    /// existing entry and completes when the primary does.
+    Merged {
+        /// Completion time of the in-flight fetch.
+        ready_at: SimTime,
+    },
+    /// All MSHRs are busy; the request must stall until one frees.
+    Stall {
+        /// Earliest time an entry frees up.
+        free_at: SimTime,
+    },
+}
+
+/// A fixed-size MSHR file tracking in-flight line fetches.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    // line address → completion time of the outstanding fetch.
+    inflight: BTreeMap<u64, SimTime>,
+    /// Primary misses that allocated an entry.
+    pub allocations: Counter,
+    /// Secondary misses merged into an existing entry.
+    pub merges: Counter,
+    /// Requests that found the file full.
+    pub stalls: Counter,
+}
+
+impl Mshr {
+    /// Create an MSHR file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Mshr {
+            capacity,
+            inflight: BTreeMap::new(),
+            allocations: Counter::new(),
+            merges: Counter::new(),
+            stalls: Counter::new(),
+        }
+    }
+
+    /// Entries currently in flight (after retiring everything complete
+    /// at `now`).
+    pub fn occupancy(&mut self, now: SimTime) -> usize {
+        self.retire(now);
+        self.inflight.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop entries whose fetches completed at or before `now`.
+    pub fn retire(&mut self, now: SimTime) {
+        self.inflight.retain(|_, &mut done| done > now);
+    }
+
+    /// Register a miss for `line_addr` at time `now`. If an entry is
+    /// allocated, the caller must then call [`Mshr::complete_at`] with
+    /// the fetch completion time.
+    pub fn register(&mut self, line_addr: u64, now: SimTime) -> MshrOutcome {
+        self.retire(now);
+        if let Some(&ready_at) = self.inflight.get(&line_addr) {
+            self.merges.incr();
+            return MshrOutcome::Merged { ready_at };
+        }
+        if self.inflight.len() >= self.capacity {
+            self.stalls.incr();
+            let free_at = self
+                .inflight
+                .values()
+                .copied()
+                .min()
+                .expect("full MSHR file has entries");
+            return MshrOutcome::Stall { free_at };
+        }
+        self.allocations.incr();
+        // Placeholder completion; the caller sets the real one.
+        self.inflight.insert(line_addr, SimTime::from_ps(u64::MAX));
+        MshrOutcome::Allocated
+    }
+
+    /// Record the completion time of the fetch for `line_addr`
+    /// (must follow an `Allocated` outcome).
+    pub fn complete_at(&mut self, line_addr: u64, done: SimTime) {
+        let entry = self
+            .inflight
+            .get_mut(&line_addr)
+            .expect("complete_at without allocation");
+        *entry = done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfabric::Duration;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = Mshr::new(4);
+        let t0 = SimTime::ZERO;
+        assert_eq!(m.register(0x40, t0), MshrOutcome::Allocated);
+        let done = t0 + Duration::from_ns(100.0);
+        m.complete_at(0x40, done);
+        match m.register(0x40, t0) {
+            MshrOutcome::Merged { ready_at } => assert_eq!(ready_at, done),
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert_eq!(m.allocations.get(), 1);
+        assert_eq!(m.merges.get(), 1);
+    }
+
+    #[test]
+    fn full_file_stalls_until_earliest_completion() {
+        let mut m = Mshr::new(2);
+        let t0 = SimTime::ZERO;
+        m.register(0x40, t0);
+        m.complete_at(0x40, t0 + Duration::from_ns(50.0));
+        m.register(0x80, t0);
+        m.complete_at(0x80, t0 + Duration::from_ns(150.0));
+        match m.register(0xC0, t0) {
+            MshrOutcome::Stall { free_at } => {
+                assert_eq!(free_at.as_ns(), 50.0);
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+        assert_eq!(m.stalls.get(), 1);
+    }
+
+    #[test]
+    fn retire_frees_entries() {
+        let mut m = Mshr::new(1);
+        let t0 = SimTime::ZERO;
+        m.register(0x40, t0);
+        m.complete_at(0x40, t0 + Duration::from_ns(10.0));
+        // After the fetch completes, the entry is reusable.
+        let later = t0 + Duration::from_ns(11.0);
+        assert_eq!(m.register(0x80, later), MshrOutcome::Allocated);
+        assert_eq!(m.occupancy(later), 1);
+    }
+
+    #[test]
+    fn distinct_lines_use_distinct_entries() {
+        let mut m = Mshr::new(8);
+        let t0 = SimTime::ZERO;
+        for i in 0..8u64 {
+            assert_eq!(m.register(i * 64, t0), MshrOutcome::Allocated);
+            m.complete_at(i * 64, t0 + Duration::from_ns(100.0));
+        }
+        assert_eq!(m.occupancy(t0), 8);
+        assert!(matches!(m.register(9 * 64, t0), MshrOutcome::Stall { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the MESIF directory: protocol invariants under
+//! arbitrary interleavings of reads, writes and evictions.
+
+use cachesim::directory::{CoherenceState, Directory};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { tile: u32, line: u64 },
+    Write { tile: u32, line: u64 },
+    Evict { tile: u32, line: u64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u32..8, 0u64..16, 0u8..3).prop_map(|(tile, line, kind)| {
+        let addr = line * 64;
+        match kind {
+            0 => Op::Read { tile, line: addr },
+            1 => Op::Write { tile, line: addr },
+            _ => Op::Evict { tile, line: addr },
+        }
+    })
+}
+
+fn check_invariants(d: &Directory, lines: &[u64]) -> Result<(), TestCaseError> {
+    for &addr in lines {
+        let state = d.state_of(addr);
+        let sharers = d.sharers_of(addr);
+        match state {
+            CoherenceState::Invalid => {
+                prop_assert!(sharers.is_empty(), "invalid line with sharers");
+            }
+            CoherenceState::Modified | CoherenceState::Exclusive => {
+                prop_assert_eq!(
+                    sharers.len(),
+                    1,
+                    "M/E line must have exactly one owner, got {:?}",
+                    sharers
+                );
+            }
+            CoherenceState::Shared | CoherenceState::Forward => {
+                prop_assert!(!sharers.is_empty(), "S/F line with no sharers");
+            }
+        }
+        // No duplicate sharers ever.
+        let mut sorted = sharers.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sharers.len(), "duplicate sharer");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MESIF invariants hold after every operation, for any request
+    /// interleaving.
+    #[test]
+    fn directory_invariants_hold(ops in proptest::collection::vec(op(), 1..300)) {
+        let mut d = Directory::new(36, 64);
+        let lines: Vec<u64> = (0..16u64).map(|l| l * 64).collect();
+        for o in &ops {
+            match *o {
+                Op::Read { tile, line } => {
+                    d.read(tile, line);
+                    // After a read the reader is a sharer.
+                    prop_assert!(d.sharers_of(line).contains(&tile));
+                }
+                Op::Write { tile, line } => {
+                    d.write(tile, line);
+                    // After a write the writer is the sole owner in M.
+                    prop_assert_eq!(d.state_of(line), CoherenceState::Modified);
+                    prop_assert_eq!(d.sharers_of(line), &[tile][..]);
+                }
+                Op::Evict { tile, line } => {
+                    d.evict(tile, line);
+                    prop_assert!(!d.sharers_of(line).contains(&tile));
+                }
+            }
+            check_invariants(&d, &lines)?;
+        }
+    }
+
+    /// A full evict of every tile always untracks the line.
+    #[test]
+    fn full_eviction_untracks(ops in proptest::collection::vec(op(), 1..100)) {
+        let mut d = Directory::new(36, 64);
+        for o in &ops {
+            match *o {
+                Op::Read { tile, line } => {
+                    d.read(tile, line);
+                }
+                Op::Write { tile, line } => {
+                    d.write(tile, line);
+                }
+                Op::Evict { tile, line } => d.evict(tile, line),
+            }
+        }
+        for l in 0..16u64 {
+            let addr = l * 64;
+            for t in 0..8 {
+                d.evict(t, addr);
+            }
+            prop_assert_eq!(d.state_of(addr), CoherenceState::Invalid);
+        }
+        prop_assert_eq!(d.tracked_lines(), 0);
+    }
+
+    /// Directory homes are stable and within range.
+    #[test]
+    fn homes_are_stable(addr in any::<u64>()) {
+        let d = Directory::new(36, 64);
+        let h1 = d.home_of(addr);
+        let h2 = d.home_of(addr);
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1 < 36);
+        // All addresses in a line share a home.
+        prop_assert_eq!(d.home_of(addr & !63), h1);
+    }
+}

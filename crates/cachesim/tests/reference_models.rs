@@ -1,0 +1,130 @@
+//! Property tests validating the fast cache structures against naive
+//! reference implementations.
+
+use cachesim::cache::{AccessKind, Cache, CacheConfig};
+use cachesim::mcdram_cache::MemorySideCache;
+use cachesim::replacement::ReplacementPolicy;
+use cachesim::tlb::{Tlb, TlbConfig};
+use proptest::prelude::*;
+use simfabric::ByteSize;
+
+/// Naive LRU cache: vectors of (set, recency list).
+struct RefLru {
+    sets: Vec<Vec<u64>>, // MRU at the front
+    ways: usize,
+    line: u64,
+    num_sets: u64,
+}
+
+impl RefLru {
+    fn new(num_sets: u64, ways: usize, line: u64) -> Self {
+        RefLru {
+            sets: vec![Vec::new(); num_sets as usize],
+            ways,
+            line,
+            num_sets,
+        }
+    }
+
+    /// Returns hit?
+    fn access(&mut self, addr: u64) -> bool {
+        let lineno = addr / self.line;
+        let set = (lineno % self.num_sets) as usize;
+        let tag = lineno / self.num_sets;
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            list.insert(0, tag);
+            true
+        } else {
+            if list.len() == self.ways {
+                list.pop();
+            }
+            list.insert(0, tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production LRU cache produces the exact hit/miss sequence of
+    /// the naive reference on arbitrary traces.
+    #[test]
+    fn lru_cache_matches_reference(addrs in proptest::collection::vec(0u64..(1 << 16), 1..500)) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity: ByteSize::bytes(4096), // 16 sets x 4 ways x 64 B
+            line_bytes: 64,
+            ways: 4,
+            replacement: ReplacementPolicy::Lru,
+            write_allocate: true,
+        });
+        let mut reference = RefLru::new(16, 4, 64);
+        for &a in &addrs {
+            let got = cache.access(a, AccessKind::Read).is_hit();
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "divergence at address {:#x}", a);
+        }
+    }
+
+    /// The direct-mapped memory-side cache matches a trivial tag-array
+    /// reference.
+    #[test]
+    fn msc_matches_reference(addrs in proptest::collection::vec(0u64..(1 << 20), 1..500)) {
+        let slots = 64u64;
+        let mut msc = MemorySideCache::new(ByteSize::bytes(slots * 64), 64);
+        let mut tags = vec![u64::MAX; slots as usize];
+        for &a in &addrs {
+            let line = a / 64;
+            let slot = (line % slots) as usize;
+            let tag = line / slots;
+            let want = tags[slot] == tag;
+            tags[slot] = tag;
+            let got = msc.access(a, false).is_hit();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// TLB conservation: every translation is exactly one of L1 hit,
+    /// L2 hit, or walk; and a repeat translation immediately after is
+    /// always an L1 hit.
+    #[test]
+    fn tlb_accounting_and_mru(addrs in proptest::collection::vec(0u64..(1u64 << 32), 1..300)) {
+        let mut tlb = Tlb::new(TlbConfig::knl_4k());
+        for &a in &addrs {
+            tlb.translate(a);
+            let again = tlb.translate(a);
+            prop_assert_eq!(again, cachesim::tlb::TlbOutcome::L1Hit);
+        }
+        prop_assert_eq!(
+            tlb.translations(),
+            tlb.l1_hits.get() + tlb.l2_hits.get() + tlb.walks.get()
+        );
+        prop_assert_eq!(tlb.translations(), 2 * addrs.len() as u64);
+    }
+
+    /// Cache occupancy is monotone under fresh lines and capped by
+    /// capacity, regardless of policy.
+    #[test]
+    fn occupancy_caps(policy_idx in 0usize..4, n in 1u64..300) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::PseudoLru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ][policy_idx];
+        let mut cache = Cache::new(CacheConfig {
+            capacity: ByteSize::bytes(8192),
+            line_bytes: 64,
+            ways: 8,
+            replacement: policy,
+            write_allocate: true,
+        });
+        for i in 0..n {
+            cache.access(i * 64, AccessKind::Read);
+            prop_assert!(cache.occupancy() <= 128);
+            prop_assert_eq!(cache.occupancy(), n.min(i + 1).min(128));
+        }
+    }
+}

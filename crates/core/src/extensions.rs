@@ -1,0 +1,330 @@
+//! Extensions beyond the paper's measurements, built on the same
+//! machinery:
+//!
+//! * **Hybrid mode** (§II, described but not evaluated — changing the
+//!   partition needs a BIOS reboot): [`ext_hybrid_stream`] sweeps the
+//!   MCDRAM partition ratio.
+//! * **Interleaved flat mode** (§IV-C mentions interleaving as the way
+//!   to run problems larger than either memory):
+//!   [`ext_interleaved_stream`].
+//! * **Multi-node decomposition** (§IV-C: "the optimal setup is to
+//!   decompose the problem so that each compute node is assigned a
+//!   sub-problem with a size close to the HBM capacity"):
+//!   [`decompose`] turns that sentence into a model-backed plan.
+
+use crate::experiment::{Measurement, Series};
+use crate::figures::FigureData;
+use knl::access::Reuse;
+use knl::{Machine, MachineConfig, MemSetup, StreamOp};
+use serde::{Deserialize, Serialize};
+use simfabric::ByteSize;
+use workloads::AccessClass;
+
+fn stream_bw(mut machine: Machine, size: ByteSize) -> Option<f64> {
+    let r = machine.alloc("s", size).ok()?;
+    let d = machine.price_stream(&[StreamOp {
+        region: r.clone(),
+        read_bytes: size.as_u64() * 2 / 3,
+        write_bytes: size.as_u64() / 3,
+        reuse: Reuse::Streaming,
+    }]);
+    Some(size.as_u64() as f64 / 1e9 / d.as_secs())
+}
+
+/// STREAM bandwidth vs size with hybrid-mode partitions next to the
+/// paper's configurations — the figure the paper could not produce.
+pub fn ext_hybrid_stream() -> FigureData {
+    let sizes = [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 30.0, 36.0, 44.0];
+    let mut series = Vec::new();
+    // Baselines.
+    for setup in [MemSetup::DramOnly, MemSetup::CacheMode] {
+        series.push(Series {
+            label: setup.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&gb| Measurement {
+                    x: gb,
+                    value: stream_bw(
+                        Machine::knl7210(setup, 64).unwrap(),
+                        ByteSize::gib_f(gb),
+                    ),
+                })
+                .collect(),
+        });
+    }
+    // Hybrid partitions (cache fraction 25/50/75 %).
+    for pct in [25u32, 50, 75] {
+        series.push(Series {
+            label: format!("Hybrid ({pct}% cache)"),
+            points: sizes
+                .iter()
+                .map(|&gb| Measurement {
+                    x: gb,
+                    value: stream_bw(
+                        Machine::new(MachineConfig::knl7210_hybrid(pct as f64 / 100.0, 64))
+                            .unwrap(),
+                        ByteSize::gib_f(gb),
+                    ),
+                })
+                .collect(),
+        });
+    }
+    FigureData {
+        id: "ext-hybrid".into(),
+        title: "Extension: STREAM under hybrid MCDRAM partitions".into(),
+        x_label: "Size (GB)".into(),
+        y_label: "Bandwidth (GB/s)".into(),
+        series,
+        text: String::new(),
+    }
+}
+
+/// STREAM bandwidth vs size with page-interleaved flat mode next to
+/// the paper's configurations.
+pub fn ext_interleaved_stream() -> FigureData {
+    let sizes = [4.0, 8.0, 16.0, 24.0, 32.0, 44.0];
+    let mut series = Vec::new();
+    for setup in [
+        MemSetup::DramOnly,
+        MemSetup::CacheMode,
+        MemSetup::Interleaved,
+    ] {
+        series.push(Series {
+            label: setup.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&gb| Measurement {
+                    x: gb,
+                    value: stream_bw(
+                        Machine::knl7210(setup, 64).unwrap(),
+                        ByteSize::gib_f(gb),
+                    ),
+                })
+                .collect(),
+        });
+    }
+    FigureData {
+        id: "ext-interleave".into(),
+        title: "Extension: STREAM with page-interleaved flat mode".into(),
+        x_label: "Size (GB)".into(),
+        y_label: "Bandwidth (GB/s)".into(),
+        series,
+        text: String::new(),
+    }
+}
+
+/// Memory energy per streamed gigabyte under each configuration — the
+/// data-movement-energy extension (the paper motivates HBM partly via
+/// the energy cost of data movement, citing Kestor et al. \[3\]).
+pub fn ext_energy_stream() -> FigureData {
+    let sizes = [4.0, 8.0, 16.0, 24.0, 32.0, 44.0];
+    let model = knl::EnergyModel::knl();
+    let mut series = Vec::new();
+    for setup in [MemSetup::DramOnly, MemSetup::HbmOnly, MemSetup::CacheMode] {
+        series.push(Series {
+            label: setup.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&gb| {
+                    let size = ByteSize::gib_f(gb);
+                    let value = Machine::knl7210(setup, 64).ok().and_then(|mut m| {
+                        let r = m.alloc("s", size).ok()?;
+                        m.stream(&[StreamOp {
+                            region: r.clone(),
+                            read_bytes: size.as_u64(),
+                            write_bytes: 0,
+                            reuse: Reuse::Streaming,
+                        }]);
+                        Some(m.energy(&model).total_joules() / size.as_gib())
+                    });
+                    Measurement { x: gb, value }
+                })
+                .collect(),
+        });
+    }
+    FigureData {
+        id: "ext-energy".into(),
+        title: "Extension: memory energy per streamed GiB".into(),
+        x_label: "Size (GB)".into(),
+        y_label: "Joules / GiB".into(),
+        series,
+        text: String::new(),
+    }
+}
+
+/// A multi-node decomposition plan (§IV-C turned into code).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionPlan {
+    /// Total problem size.
+    pub total: ByteSize,
+    /// Recommended number of nodes.
+    pub nodes: u32,
+    /// Per-node sub-problem size.
+    pub per_node: ByteSize,
+    /// Recommended per-node memory setup.
+    pub setup: MemSetup,
+    /// Model-predicted per-node speedup vs running the whole problem
+    /// on one node in the best single-node configuration.
+    pub speedup_vs_single_node: f64,
+    /// Explanation.
+    pub rationale: String,
+}
+
+/// Plan a multi-node decomposition of a `total`-sized problem with the
+/// given access pattern, assuming good parallel efficiency across
+/// nodes (the paper's premise).
+///
+/// For bandwidth-bound applications the plan sizes each sub-problem to
+/// (90 % of) the HBM capacity so every node runs HBM-resident; for
+/// latency-bound applications extra nodes buy nothing memory-wise, so
+/// one node (DRAM) is recommended per memory-capacity constraint only.
+pub fn decompose(total: ByteSize, pattern: AccessClass, max_nodes: u32) -> DecompositionPlan {
+    let hbm = ByteSize::gib(16);
+    let ddr = ByteSize::gib(96);
+    let target = ByteSize::bytes(hbm.as_u64() * 9 / 10);
+    match pattern {
+        AccessClass::Sequential => {
+            let nodes = (total.as_u64().div_ceil(target.as_u64()) as u32)
+                .clamp(1, max_nodes.max(1));
+            let per_node = ByteSize::bytes(total.as_u64() / nodes as u64);
+            let fits_hbm = per_node <= hbm;
+            let setup = if fits_hbm { MemSetup::HbmOnly } else { MemSetup::CacheMode };
+            // Per-node rate with the decomposition vs the whole problem
+            // on one node (best feasible single-node config).
+            let rate_decomposed =
+                stream_bw(Machine::knl7210(setup, 128).unwrap(), per_node).unwrap_or(0.0);
+            let single_setup = if total <= hbm {
+                MemSetup::HbmOnly
+            } else {
+                MemSetup::CacheMode
+            };
+            let rate_single = stream_bw(
+                Machine::knl7210(single_setup, 128).unwrap(),
+                ByteSize::bytes(total.as_u64().min(ddr.as_u64())),
+            )
+            .unwrap_or(1.0);
+            DecompositionPlan {
+                total,
+                nodes,
+                per_node,
+                setup,
+                speedup_vs_single_node: rate_decomposed / rate_single,
+                rationale: format!(
+                    "bandwidth-bound: {nodes} node(s) put each {per_node} sub-problem \
+                     {} MCDRAM (§IV-C: size sub-problems close to the HBM capacity)",
+                    if fits_hbm { "inside" } else { "near" }
+                ),
+            }
+        }
+        AccessClass::Random => {
+            // Latency-bound work gains nothing from MCDRAM; nodes are
+            // only needed for capacity.
+            let nodes =
+                (total.as_u64().div_ceil(ddr.as_u64()) as u32).clamp(1, max_nodes.max(1));
+            let per_node = ByteSize::bytes(total.as_u64() / nodes as u64);
+            DecompositionPlan {
+                total,
+                nodes,
+                per_node,
+                setup: MemSetup::DramOnly,
+                speedup_vs_single_node: 1.0,
+                rationale: "latency-bound: MCDRAM does not help (§IV-B); use the fewest \
+                            nodes whose DDR holds the problem and bind to DRAM"
+                    .into(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_figure_orders_as_expected_at_30gb() {
+        let f = ext_hybrid_stream();
+        let at = |label: &str, x: f64| {
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .value_at(x)
+                .unwrap()
+        };
+        // At 30 GB the low-cache partitions (big flat slice) beat both
+        // pure cache mode and pure DRAM; even the 75%-cache partition
+        // still beats pure cache mode.
+        let dram = at("DRAM", 30.0);
+        let cache = at("Cache Mode", 30.0);
+        for pct in [25, 50] {
+            let h = at(&format!("Hybrid ({pct}% cache)"), 30.0);
+            assert!(h > dram && h > cache, "{pct}%: {h} vs dram {dram} cache {cache}");
+        }
+        let h75 = at("Hybrid (75% cache)", 30.0);
+        assert!(h75 > cache, "75%: {h75} vs cache {cache}");
+        // At 8 GB, pure cache mode (full 16-GB cache) beats a 25%-cache
+        // hybrid whose flat partition cannot hold the problem... the
+        // flat partition *can* hold 12 GB at 25% cache: hybrid wins.
+        let h25 = at("Hybrid (25% cache)", 8.0);
+        assert!(h25 > cache * 0.9);
+    }
+
+    #[test]
+    fn interleave_sits_between_dram_and_hbm_and_covers_large_sizes() {
+        let f = ext_interleaved_stream();
+        let il = f.series.iter().find(|s| s.label == "Interleaved").unwrap();
+        let dram = f.series.iter().find(|s| s.label == "DRAM").unwrap();
+        // Interleave at 44 GB still works (either memory alone could
+        // not hold it in a bind) and beats DRAM-only.
+        let v = il.value_at(44.0).unwrap();
+        assert!(v > dram.value_at(44.0).unwrap());
+    }
+
+    #[test]
+    fn energy_figure_orders_devices() {
+        let f = ext_energy_stream();
+        let at = |label: &str, x: f64| {
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .value_at(x)
+        };
+        // HBM streams cost ~2.75x less energy per byte.
+        let d = at("DRAM", 8.0).unwrap();
+        let h = at("HBM", 8.0).unwrap();
+        assert!(d / h > 2.0, "dram {d} vs hbm {h}");
+        // Cache-mode overflow pays both devices: most expensive.
+        let c = at("Cache Mode", 44.0).unwrap();
+        assert!(c > at("DRAM", 44.0).unwrap(), "cache {c}");
+        // HBM series stops at capacity.
+        assert!(at("HBM", 24.0).is_none());
+    }
+
+    #[test]
+    fn decompose_streams_to_hbm_sized_chunks() {
+        let plan = decompose(ByteSize::gib(140), AccessClass::Sequential, 64);
+        assert!(plan.nodes >= 9 && plan.nodes <= 11, "nodes {}", plan.nodes);
+        assert!(plan.per_node <= ByteSize::gib(16));
+        assert_eq!(plan.setup, MemSetup::HbmOnly);
+        assert!(plan.speedup_vs_single_node > 2.0, "{}", plan.speedup_vs_single_node);
+    }
+
+    #[test]
+    fn decompose_respects_node_budget() {
+        let plan = decompose(ByteSize::gib(140), AccessClass::Sequential, 4);
+        assert_eq!(plan.nodes, 4);
+        assert!(plan.per_node > ByteSize::gib(16));
+        assert_eq!(plan.setup, MemSetup::CacheMode);
+    }
+
+    #[test]
+    fn decompose_random_minimizes_nodes() {
+        let plan = decompose(ByteSize::gib(90), AccessClass::Random, 64);
+        assert_eq!(plan.nodes, 1);
+        assert_eq!(plan.setup, MemSetup::DramOnly);
+        let plan = decompose(ByteSize::gib(200), AccessClass::Random, 64);
+        assert_eq!(plan.nodes, 3);
+        assert_eq!(plan.setup, MemSetup::DramOnly);
+    }
+}

@@ -1,0 +1,330 @@
+//! The figure/table registry: one constructor per table and figure in
+//! the paper's evaluation section, each returning the data the paper
+//! plots. DESIGN.md's per-experiment index maps each entry here.
+
+use crate::experiment::{AppSpec, Measurement, Series, SizeSweep, ThreadSweep};
+use knl::{calib, MemSetup};
+use memdev::{ddr4_knl, mcdram_knl};
+use numamem::numactl::table2_panel;
+use numamem::NumaTopology;
+use serde::{Deserialize, Serialize};
+use workloads::catalog::render_table1;
+
+/// One reproduced figure (or numeric table panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier matching the paper ("fig2", "fig4a", "table2", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Pre-rendered text for table-style entries (empty otherwise).
+    pub text: String,
+}
+
+impl FigureData {
+    fn plot(id: &str, title: &str, x: &str, y: &str, series: Vec<Series>) -> Self {
+        FigureData {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x.to_string(),
+            y_label: y.to_string(),
+            series,
+            text: String::new(),
+        }
+    }
+}
+
+/// Table I: the evaluated applications.
+pub fn table1() -> FigureData {
+    FigureData {
+        id: "table1".into(),
+        title: "List of Evaluated Applications".into(),
+        x_label: String::new(),
+        y_label: String::new(),
+        series: vec![],
+        text: render_table1(),
+    }
+}
+
+/// Table II: NUMA distances in flat and cache mode.
+pub fn table2() -> FigureData {
+    let text = format!(
+        "[flat mode]\n{}\n[cache mode]\n{}",
+        table2_panel(&NumaTopology::knl_flat()),
+        table2_panel(&NumaTopology::knl_cache())
+    );
+    FigureData {
+        id: "table2".into(),
+        title: "NUMA distances reported by numactl --hardware".into(),
+        x_label: String::new(),
+        y_label: String::new(),
+        series: vec![],
+        text,
+    }
+}
+
+/// Fig. 2: STREAM triad bandwidth vs data size under the three memory
+/// configurations.
+pub fn fig2() -> FigureData {
+    let sizes = vec![
+        2.0, 4.0, 6.0, 8.0, 10.0, 11.4, 12.0, 14.0, 16.0, 18.0, 20.0, 22.8, 24.0, 28.0, 32.0,
+        36.0, 40.0, 44.0,
+    ];
+    let series = SizeSweep::paper(AppSpec::Stream, sizes).run();
+    FigureData::plot(
+        "fig2",
+        "Peak bandwidth measured by STREAM (triad)",
+        "Size (GB)",
+        "Bandwidth (GB/s)",
+        series,
+    )
+}
+
+/// Fig. 3: dual random read latency vs block size (DRAM and HBM) plus
+/// the performance-gap series.
+pub fn fig3() -> FigureData {
+    let tlb = cachesim::tlb::TlbConfig::knl_4k();
+    let ddr = ddr4_knl();
+    let hbm = mcdram_knl();
+    let blocks = workloads::tinymembench::fig3_block_sizes();
+    let mk = |spec: &memdev::MemDeviceSpec| -> Vec<Measurement> {
+        blocks
+            .iter()
+            .map(|&b| Measurement {
+                x: b.as_mib(),
+                value: Some(knl::dual_random_read_latency(spec, b, &tlb).as_ns()),
+            })
+            .collect()
+    };
+    let gap: Vec<Measurement> = blocks
+        .iter()
+        .map(|&b| Measurement {
+            x: b.as_mib(),
+            value: Some(knl::latency::latency_gap_percent(&ddr, &hbm, b, &tlb)),
+        })
+        .collect();
+    FigureData::plot(
+        "fig3",
+        "Dual random read latency (TinyMemBench)",
+        "Block Size (MiB)",
+        "Latency (ns) / Gap (%)",
+        vec![
+            Series { label: "DRAM".into(), points: mk(&ddr) },
+            Series { label: "HBM".into(), points: mk(&hbm) },
+            Series { label: "Performance Gap (%)".into(), points: gap },
+        ],
+    )
+}
+
+/// Fig. 4a: DGEMM GFLOPS vs array size.
+pub fn fig4a() -> FigureData {
+    let series = SizeSweep::paper(AppSpec::Dgemm, vec![0.1, 0.4, 1.5, 6.0, 24.0]).run();
+    FigureData::plot("fig4a", "DGEMM", "Array Size (GB)", "GFLOPS", series)
+}
+
+/// Fig. 4b: MiniFE CG MFLOPS vs matrix size, with the speedup lines.
+pub fn fig4b() -> FigureData {
+    let sizes = vec![0.1, 0.9, 1.8, 3.6, 7.2, 14.4, 28.8];
+    let series = SizeSweep::paper(AppSpec::MiniFe, sizes.clone()).run();
+    let mut out = series;
+    // Derived improvement lines, as on the figure's right axis.
+    let dram: Vec<Option<f64>> = sizes
+        .iter()
+        .map(|&s| out.iter().find(|x| x.label == "DRAM").unwrap().value_at(s))
+        .collect();
+    for (label, src) in [("Speedup by HBM w.r.t. DRAM", "HBM"), ("Speedup by Cache w.r.t. DRAM", "Cache Mode")] {
+        let pts = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Measurement {
+                x: s,
+                value: out
+                    .iter()
+                    .find(|x| x.label == src)
+                    .unwrap()
+                    .value_at(s)
+                    .zip(dram[i])
+                    .map(|(v, d)| v / d),
+            })
+            .collect();
+        out.push(Series { label: label.into(), points: pts });
+    }
+    FigureData::plot("fig4b", "MiniFE", "Matrix Size (GB)", "CG MFLOPS", out)
+}
+
+/// Fig. 4c: GUPS vs table size.
+pub fn fig4c() -> FigureData {
+    let series = SizeSweep::paper(AppSpec::Gups, vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0]).run();
+    FigureData::plot("fig4c", "GUPS", "Table Size (GB)", "GUPS", series)
+}
+
+/// Fig. 4d: Graph500 TEPS vs graph size.
+pub fn fig4d() -> FigureData {
+    let series =
+        SizeSweep::paper(AppSpec::Graph500, vec![1.1, 2.2, 4.4, 8.8, 17.5, 35.0]).run();
+    FigureData::plot("fig4d", "Graph500", "Graph Size (GB)", "TEPS", series)
+}
+
+/// Fig. 4e: XSBench lookups/s vs problem size.
+pub fn fig4e() -> FigureData {
+    let series =
+        SizeSweep::paper(AppSpec::XsBench, vec![5.6, 11.3, 22.5, 45.0, 90.0]).run();
+    FigureData::plot("fig4e", "XSBench", "Problem Size (GB)", "Lookups/s", series)
+}
+
+/// Fig. 5: STREAM bandwidth vs data size for 1–4 hardware threads per
+/// core, DRAM and HBM.
+pub fn fig5() -> FigureData {
+    let sizes = [2.0, 4.0, 6.0, 8.0, 10.0];
+    let mut series = Vec::new();
+    for setup in [MemSetup::DramOnly, MemSetup::HbmOnly] {
+        for ht in 1..=calib::MAX_HT {
+            let threads = 64 * ht;
+            let sweep = SizeSweep {
+                app: AppSpec::Stream,
+                sizes_gb: sizes.to_vec(),
+                threads,
+                setups: vec![setup],
+            };
+            let mut got = sweep.run();
+            let mut s = got.remove(0);
+            s.label = format!("{} (ht = {ht})", setup.label());
+            series.push(s);
+        }
+    }
+    FigureData::plot(
+        "fig5",
+        "Impact of hardware threads on STREAM bandwidth",
+        "Size (GB)",
+        "Bandwidth (GB/s)",
+        series,
+    )
+}
+
+fn fig6(app: AppSpec, size_gb: f64, id: &str, y: &str) -> FigureData {
+    let series = ThreadSweep::paper(app, size_gb).run();
+    FigureData::plot(
+        id,
+        app.name(),
+        "No. of Threads",
+        y,
+        series,
+    )
+}
+
+/// Fig. 6a: DGEMM vs thread count (256-thread runs fail, as in the
+/// paper).
+pub fn fig6a() -> FigureData {
+    fig6(AppSpec::Dgemm, 6.0, "fig6a", "GFLOPS")
+}
+
+/// Fig. 6b: MiniFE vs thread count.
+pub fn fig6b() -> FigureData {
+    fig6(AppSpec::MiniFe, 7.2, "fig6b", "CG MFLOPS")
+}
+
+/// Fig. 6c: Graph500 vs thread count.
+pub fn fig6c() -> FigureData {
+    fig6(AppSpec::Graph500, 8.8, "fig6c", "TEPS")
+}
+
+/// Fig. 6d: XSBench vs thread count.
+pub fn fig6d() -> FigureData {
+    fig6(AppSpec::XsBench, 5.6, "fig6d", "Lookups/s")
+}
+
+/// Every reproduced table and figure, in paper order.
+pub fn all_figures() -> Vec<FigureData> {
+    vec![
+        table1(),
+        table2(),
+        fig2(),
+        fig3(),
+        fig4a(),
+        fig4b(),
+        fig4c(),
+        fig4d(),
+        fig4e(),
+        fig5(),
+        fig6a(),
+        fig6b(),
+        fig6c(),
+        fig6d(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_text_matches_paper_layout() {
+        let t = table2();
+        assert!(t.text.contains("Distances: 0 (96 GB) 1 (16 GB)"));
+        assert!(t.text.contains("0 10 31"));
+        assert!(t.text.contains("[cache mode]\nDistances: 0 (96 GB)"));
+    }
+
+    #[test]
+    fn fig2_has_three_configs_and_hbm_cutoff() {
+        let f = fig2();
+        assert_eq!(f.series.len(), 3);
+        let hbm = f.series.iter().find(|s| s.label == "HBM").unwrap();
+        assert!(hbm.value_at(8.0).is_some());
+        assert!(hbm.value_at(18.0).is_none());
+    }
+
+    #[test]
+    fn fig3_gap_series_present() {
+        let f = fig3();
+        assert_eq!(f.series.len(), 3);
+        let gap = &f.series[2];
+        // All gaps beyond the L2 tier between 10 and 22 percent.
+        for p in gap.points.iter().filter(|p| p.x >= 2.0) {
+            let g = p.value.unwrap();
+            assert!((10.0..=22.0).contains(&g), "gap {g} at {} MiB", p.x);
+        }
+    }
+
+    #[test]
+    fn fig4b_includes_speedup_lines() {
+        let f = fig4b();
+        assert!(f.series.iter().any(|s| s.label.contains("Speedup by HBM")));
+        assert!(f.series.iter().any(|s| s.label.contains("Speedup by Cache")));
+        let hbm_speedup = f
+            .series
+            .iter()
+            .find(|s| s.label.contains("Speedup by HBM"))
+            .unwrap();
+        let v = hbm_speedup.value_at(7.2).unwrap();
+        assert!(v > 2.5 && v < 4.0, "HBM speedup at 7.2 GB: {v}");
+    }
+
+    #[test]
+    fn fig5_has_eight_series() {
+        let f = fig5();
+        assert_eq!(f.series.len(), 8);
+        // DRAM lines overlap; HBM ht≥2 exceeds ht=1.
+        let h1 = f.series.iter().find(|s| s.label == "HBM (ht = 1)").unwrap();
+        let h2 = f.series.iter().find(|s| s.label == "HBM (ht = 2)").unwrap();
+        let r = h2.value_at(6.0).unwrap() / h1.value_at(6.0).unwrap();
+        assert!((r - 1.27).abs() < 0.06, "ht2/ht1 {r}");
+    }
+
+    #[test]
+    fn all_figures_ids_are_unique_and_complete() {
+        let figs = all_figures();
+        let ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+        let expected = [
+            "table1", "table2", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e",
+            "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
+        ];
+        assert_eq!(ids, expected);
+    }
+}

@@ -1,0 +1,31 @@
+//! `hybridmem` — the paper's characterization framework.
+//!
+//! This crate ties the simulated KNL node and the workload suite into
+//! the experiment pipeline of the paper: configuration sweeps over
+//! memory setup, problem size and thread count; a registry that
+//! regenerates every table and figure; reporters; shape validators
+//! checking that the reproduction preserves the paper's findings; and
+//! the placement-guidelines advisor the paper's conclusions amount to.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod advisor;
+pub mod archive;
+pub mod experiment;
+pub mod extensions;
+pub mod figures;
+pub mod paper;
+pub mod report;
+pub mod sensitivity;
+pub mod validate;
+
+pub use advisor::{advise, AppProfile, Recommendation};
+pub use archive::{diff, Archive, Divergence};
+pub use extensions::{decompose, DecompositionPlan};
+pub use experiment::{AppSpec, Measurement, Series, SizeSweep, ThreadSweep};
+pub use figures::{all_figures, FigureData};
+pub use paper::{compare_with_model, paper_reference};
+pub use report::{render_figure, series_csv};
+pub use sensitivity::{all_scans, SensitivityScan};
+pub use validate::{validate_all, ShapeCheck};

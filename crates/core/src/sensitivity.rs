@@ -1,0 +1,248 @@
+//! Sensitivity analysis: how far do the paper's conclusions
+//! generalize?
+//!
+//! §VI claims "our conclusions can be generalized to other
+//! heterogeneous memory systems with similar characteristics". This
+//! module makes "similar" quantitative: it re-runs the key findings on
+//! hypothetical devices — scaling the HBM latency penalty, the
+//! bandwidth ratio, and the fast-memory capacity — and reports where
+//! each finding flips.
+
+use crate::experiment::Measurement;
+use knl::{Machine, MachineConfig, MemSetup};
+use memdev::presets;
+use serde::{Deserialize, Serialize};
+use simfabric::{ByteSize, Duration};
+use workloads::gups::Gups;
+use workloads::minife::MiniFe;
+use workloads::stream::StreamBench;
+
+/// One scan over a device parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityScan {
+    /// The varied parameter.
+    pub parameter: String,
+    /// The finding under test.
+    pub finding: String,
+    /// `(parameter value, figure of merit)` samples; the finding holds
+    /// where the merit crosses `threshold`.
+    pub points: Vec<Measurement>,
+    /// The merit value at which the finding flips.
+    pub threshold: f64,
+    /// The parameter value where the flip happens (linear
+    /// interpolation between samples), if it happens in range.
+    pub flip_at: Option<f64>,
+    /// Whether the finding holds at the paper's actual hardware point.
+    pub holds_on_knl: bool,
+}
+
+fn find_flip(points: &[Measurement], threshold: f64) -> Option<f64> {
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if let (Some(va), Some(vb)) = (a.value, b.value) {
+            if (va - threshold).signum() != (vb - threshold).signum() {
+                let t = (threshold - va) / (vb - va);
+                return Some(a.x + t * (b.x - a.x));
+            }
+        }
+    }
+    None
+}
+
+/// Scan the HBM latency penalty (HBM idle latency / DDR idle latency)
+/// and test the finding "latency-bound applications prefer DRAM"
+/// (merit: DRAM GUPS / HBM GUPS; holds while > 1).
+pub fn scan_latency_penalty() -> SensitivityScan {
+    let mut points = Vec::new();
+    for penalty in [0.85, 0.95, 1.0, 1.05, 1.1, 1.18, 1.3, 1.5] {
+        let mut cfg_h = MachineConfig::knl7210(MemSetup::HbmOnly, 64);
+        cfg_h.mcdram.idle_latency =
+            Duration::from_ns(presets::DDR_IDLE_LATENCY_NS * penalty);
+        let gups = Gups::new(ByteSize::gib(8));
+        let h = Machine::new(cfg_h)
+            .ok()
+            .and_then(|mut m| gups.model_gups(&mut m).ok());
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let d = gups.model_gups(&mut dram).ok();
+        points.push(Measurement {
+            x: penalty,
+            value: d.zip(h).map(|(d, h)| d / h),
+        });
+    }
+    let flip_at = find_flip(&points, 1.0);
+    SensitivityScan {
+        parameter: "HBM/DDR idle-latency ratio".into(),
+        finding: "random access (GUPS) prefers DRAM (merit: DRAM/HBM rate > 1)".into(),
+        holds_on_knl: points
+            .iter()
+            .find(|p| (p.x - 1.18).abs() < 1e-9)
+            .and_then(|p| p.value)
+            .map(|v| v > 1.0)
+            .unwrap_or(false),
+        points,
+        threshold: 1.0,
+        flip_at,
+    }
+}
+
+/// Scan the HBM/DDR bandwidth ratio and test "bandwidth-bound
+/// applications gain ≥ 2× from HBM" (merit: MiniFE HBM/DRAM; holds
+/// while > 2).
+pub fn scan_bandwidth_ratio() -> SensitivityScan {
+    let mut points = Vec::new();
+    let minife = MiniFe::with_footprint(ByteSize::gib_f(7.2));
+    let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    let d = minife.model_cg_mflops(&mut dram).unwrap();
+    for ratio in [1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.45, 6.5] {
+        let mut cfg = MachineConfig::knl7210(MemSetup::HbmOnly, 64);
+        cfg.mcdram.sustained_bw_gbs = presets::DDR_SUSTAINED_GBS * ratio;
+        cfg.mcdram.peak_bw_gbs = cfg.mcdram.sustained_bw_gbs * 1.1;
+        let h = Machine::new(cfg)
+            .ok()
+            .and_then(|mut m| minife.model_cg_mflops(&mut m).ok());
+        points.push(Measurement {
+            x: ratio,
+            value: h.map(|h| h / d),
+        });
+    }
+    let flip_at = find_flip(&points, 2.0);
+    SensitivityScan {
+        parameter: "HBM/DDR sustained-bandwidth ratio".into(),
+        finding: "bandwidth-bound apps (MiniFE) gain ≥2x from HBM".into(),
+        // The KNL point: 420/77 = 5.45.
+        holds_on_knl: points
+            .iter()
+            .find(|p| (p.x - 5.45).abs() < 1e-9)
+            .and_then(|p| p.value)
+            .map(|v| v > 2.0)
+            .unwrap_or(false),
+        points,
+        threshold: 2.0,
+        flip_at,
+    }
+}
+
+/// Scan the fast-memory capacity and test "cache mode drops below
+/// plain DRAM for a 28.8-GB stream" (merit: cache/DRAM bandwidth;
+/// holds while < 1).
+pub fn scan_cache_capacity() -> SensitivityScan {
+    let mut points = Vec::new();
+    let bench = StreamBench::new(ByteSize::gib_f(28.8));
+    let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    let d = bench.triad_bandwidth(&mut dram).unwrap();
+    for cap_gib in [4u64, 8, 12, 16, 24, 32, 48, 64] {
+        let mut cfg = MachineConfig::knl7210(MemSetup::CacheMode, 64);
+        cfg.mcdram.capacity = ByteSize::gib(cap_gib);
+        let c = Machine::new(cfg)
+            .ok()
+            .and_then(|mut m| bench.triad_bandwidth(&mut m).ok());
+        points.push(Measurement {
+            x: cap_gib as f64,
+            value: c.map(|c| c / d),
+        });
+    }
+    let flip_at = find_flip(&points, 1.0);
+    SensitivityScan {
+        parameter: "MCDRAM-cache capacity (GiB)".into(),
+        finding: "the direct-mapped cache underperforms DRAM for a 28.8 GB stream".into(),
+        holds_on_knl: points
+            .iter()
+            .find(|p| (p.x - 16.0).abs() < 1e-9)
+            .and_then(|p| p.value)
+            .map(|v| v < 1.0)
+            .unwrap_or(false),
+        points,
+        threshold: 1.0,
+        flip_at,
+    }
+}
+
+/// All scans.
+pub fn all_scans() -> Vec<SensitivityScan> {
+    vec![
+        scan_latency_penalty(),
+        scan_bandwidth_ratio(),
+        scan_cache_capacity(),
+    ]
+}
+
+/// Render scans as a report.
+pub fn render_scans(scans: &[SensitivityScan]) -> String {
+    let mut out = String::new();
+    for s in scans {
+        out.push_str(&format!(
+            "== {} ==\n   finding: {}\n   holds on the KNL point: {}\n",
+            s.parameter,
+            s.finding,
+            if s.holds_on_knl { "YES" } else { "NO" }
+        ));
+        match s.flip_at {
+            Some(x) => out.push_str(&format!("   flips at {} ≈ {x:.2}\n", s.parameter)),
+            None => out.push_str("   no flip in the scanned range\n"),
+        }
+        for p in &s.points {
+            out.push_str(&format!(
+                "   {:>6.2} -> {}\n",
+                p.x,
+                p.value.map_or("-".into(), |v| format!("{v:.3}"))
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_finding_holds_on_knl_and_flips_below_parity() {
+        let s = scan_latency_penalty();
+        assert!(s.holds_on_knl);
+        // With the penalty removed (HBM as fast as DDR), DRAM loses its
+        // edge: the flip must sit at or below a ratio of ~1.05 (mesh
+        // and cap effects keep a small DDR edge even at parity).
+        let flip = s.flip_at.expect("flip expected in range");
+        assert!(flip < 1.1, "flip at {flip}");
+        // Monotone: higher penalty → bigger DRAM edge.
+        let vals: Vec<f64> = s.points.iter().filter_map(|p| p.value).collect();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{vals:?}");
+    }
+
+    #[test]
+    fn bandwidth_finding_needs_enough_ratio() {
+        let s = scan_bandwidth_ratio();
+        assert!(s.holds_on_knl);
+        let flip = s.flip_at.expect("2x gain needs a minimum BW ratio");
+        assert!(
+            flip > 1.5 && flip < 4.0,
+            "MiniFE 2x gain should need a ~2-4x BW ratio; flip at {flip}"
+        );
+        // At parity bandwidth there is (essentially) no gain.
+        let at_parity = s.points[0].value.unwrap();
+        assert!(at_parity < 1.3, "gain at 1x BW: {at_parity}");
+    }
+
+    #[test]
+    fn cache_capacity_rescues_cache_mode() {
+        let s = scan_cache_capacity();
+        assert!(s.holds_on_knl, "{:?}", s.points);
+        let flip = s.flip_at.expect("a big enough cache must win");
+        // A cache comfortably larger than 16 GB but below the 28.8-GB
+        // footprint already wins on hit ratio.
+        assert!(flip > 16.0 && flip < 34.0, "flip at {flip}");
+        // And a 48-GB cache clearly beats DRAM.
+        let big = s.points.iter().find(|p| p.x == 48.0).unwrap().value.unwrap();
+        assert!(big > 1.5, "48 GiB cache ratio {big}");
+    }
+
+    #[test]
+    fn render_mentions_every_scan() {
+        let scans = all_scans();
+        let r = render_scans(&scans);
+        for s in &scans {
+            assert!(r.contains(&s.parameter));
+        }
+        assert!(r.contains("YES"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Shape validators: executable versions of the paper's findings.
+//!
+//! Each check evaluates a reproduced figure and asserts the *shape*
+//! the paper reports — who wins, by roughly what factor, where the
+//! crossovers fall. `validate_all` runs every check and is used by the
+//! integration tests and the `repro validate` command; EXPERIMENTS.md
+//! records its output.
+
+use crate::experiment::Series;
+use crate::figures;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one shape check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// Which figure the check belongs to.
+    pub figure: String,
+    /// What the paper claims.
+    pub claim: String,
+    /// Whether the reproduction preserves it.
+    pub pass: bool,
+    /// Measured detail backing the verdict.
+    pub detail: String,
+}
+
+fn check(figure: &str, claim: &str, pass: bool, detail: String) -> ShapeCheck {
+    ShapeCheck {
+        figure: figure.to_string(),
+        claim: claim.to_string(),
+        pass,
+        detail,
+    }
+}
+
+fn series<'a>(all: &'a [Series], label: &str) -> &'a Series {
+    all.iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing series {label}"))
+}
+
+/// Fig. 2 checks.
+pub fn validate_fig2() -> Vec<ShapeCheck> {
+    let f = figures::fig2();
+    let dram = series(&f.series, "DRAM");
+    let hbm = series(&f.series, "HBM");
+    let cache = series(&f.series, "Cache Mode");
+    let mut out = Vec::new();
+
+    let d = dram.value_at(8.0).unwrap();
+    out.push(check(
+        "fig2",
+        "DRAM sustains ~77 GB/s",
+        (d - 77.0).abs() < 5.0,
+        format!("measured {d:.1} GB/s"),
+    ));
+    let h = hbm.value_at(8.0).unwrap();
+    out.push(check(
+        "fig2",
+        "HBM sustains ~330 GB/s (≈4x DRAM) at 1 thread/core",
+        (h - 330.0).abs() < 20.0 && h / d > 4.0,
+        format!("measured {h:.1} GB/s, ratio {:.2}", h / d),
+    ));
+    let c8 = cache.value_at(8.0).unwrap();
+    out.push(check(
+        "fig2",
+        "cache mode peaks ~260 GB/s near half the HBM capacity",
+        (c8 - 260.0).abs() < 25.0,
+        format!("measured {c8:.1} GB/s at 8 GB"),
+    ));
+    let c114 = cache.value_at(11.4).unwrap();
+    out.push(check(
+        "fig2",
+        "cache mode drops to ~125 GB/s at 11.4 GB",
+        (c114 - 125.0).abs() < 30.0,
+        format!("measured {c114:.1} GB/s"),
+    ));
+    let c18 = cache.value_at(18.0).unwrap();
+    out.push(check(
+        "fig2",
+        "cache mode beats DRAM between 16 and 24 GB",
+        c18 > dram.value_at(18.0).unwrap(),
+        format!("cache {c18:.1} vs DRAM {:.1} at 18 GB", dram.value_at(18.0).unwrap()),
+    ));
+    let c28 = cache.value_at(28.0).unwrap();
+    out.push(check(
+        "fig2",
+        "cache mode falls below DRAM beyond ~24 GB",
+        c28 < dram.value_at(28.0).unwrap(),
+        format!("cache {c28:.1} vs DRAM {:.1} at 28 GB", dram.value_at(28.0).unwrap()),
+    ));
+    out.push(check(
+        "fig2",
+        "HBM measurements stop when data exceeds 16 GB",
+        hbm.value_at(18.0).is_none() && hbm.value_at(14.0).is_some(),
+        "no HBM point past 16 GB".into(),
+    ));
+    out
+}
+
+/// Fig. 3 checks.
+pub fn validate_fig3() -> Vec<ShapeCheck> {
+    let f = figures::fig3();
+    let dram = series(&f.series, "DRAM");
+    let hbm = series(&f.series, "HBM");
+    let gap = series(&f.series, "Performance Gap (%)");
+    let mut out = Vec::new();
+    let small = dram.value_at(0.25).unwrap();
+    out.push(check(
+        "fig3",
+        "blocks within the 1-MB L2 cost ~10 ns",
+        (small - 10.0).abs() < 3.0,
+        format!("measured {small:.1} ns at 256 KiB"),
+    ));
+    let mid = dram.value_at(16.0).unwrap();
+    out.push(check(
+        "fig3",
+        "the 1–64 MB tier sits near 200 ns",
+        (150.0..260.0).contains(&mid),
+        format!("measured {mid:.1} ns at 16 MiB"),
+    ));
+    let big = dram.value_at(1024.0).unwrap();
+    out.push(check(
+        "fig3",
+        "latency keeps climbing beyond 128 MB",
+        big > dram.value_at(128.0).unwrap() + 20.0,
+        format!("1 GiB {big:.1} ns vs 128 MiB {:.1} ns", dram.value_at(128.0).unwrap()),
+    ));
+    let gaps: Vec<f64> = gap
+        .points
+        .iter()
+        .filter(|p| p.x >= 2.0)
+        .filter_map(|p| p.value)
+        .collect();
+    out.push(check(
+        "fig3",
+        "DRAM is 15–20% faster than HBM beyond the L2",
+        gaps.iter().all(|&g| (10.0..22.0).contains(&g)),
+        format!("gaps {:.1?}", gaps),
+    ));
+    let peak = gap.value_at(2.0).unwrap();
+    let tail = gap.value_at(1024.0).unwrap();
+    out.push(check(
+        "fig3",
+        "the gap peaks (~20%) just past the L2 and shrinks toward 15%",
+        peak > 17.0 && tail < peak,
+        format!("peak {peak:.1}% at 2 MiB, {tail:.1}% at 1 GiB"),
+    ));
+    let _ = hbm;
+    out
+}
+
+/// Fig. 4 checks (all five applications).
+pub fn validate_fig4() -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+
+    let a = figures::fig4a();
+    let dgemm_ratio = series(&a.series, "HBM").value_at(6.0).unwrap()
+        / series(&a.series, "DRAM").value_at(6.0).unwrap();
+    out.push(check(
+        "fig4a",
+        "DGEMM gains ~2x from HBM",
+        (1.6..2.4).contains(&dgemm_ratio),
+        format!("HBM/DRAM = {dgemm_ratio:.2} at 6 GB"),
+    ));
+
+    let b = figures::fig4b();
+    let minife_ratio = series(&b.series, "HBM").value_at(7.2).unwrap()
+        / series(&b.series, "DRAM").value_at(7.2).unwrap();
+    out.push(check(
+        "fig4b",
+        "MiniFE gains ~3x from HBM",
+        (2.6..3.8).contains(&minife_ratio),
+        format!("HBM/DRAM = {minife_ratio:.2} at 7.2 GB"),
+    ));
+    let cache_gain = series(&b.series, "Cache Mode").value_at(28.8).unwrap()
+        / series(&b.series, "DRAM").value_at(28.8).unwrap();
+    out.push(check(
+        "fig4b",
+        "MiniFE cache-mode gain decays to ~1.05x at ~2x HBM capacity",
+        (0.95..1.3).contains(&cache_gain),
+        format!("cache/DRAM = {cache_gain:.2} at 28.8 GB"),
+    ));
+
+    for (fig, data, large) in [
+        ("fig4c", figures::fig4c(), 16.0),
+        ("fig4d", figures::fig4d(), 8.8),
+        ("fig4e", figures::fig4e(), 11.3),
+    ] {
+        let dram = series(&data.series, "DRAM");
+        let hbm = series(&data.series, "HBM");
+        // Largest size that still fits HBM.
+        let fit = hbm
+            .points
+            .iter()
+            .filter(|p| p.value.is_some())
+            .map(|p| p.x)
+            .fold(0.0f64, f64::max);
+        let d = dram.value_at(fit).unwrap();
+        let h = hbm.value_at(fit).unwrap();
+        out.push(check(
+            fig,
+            "random-access apps do NOT gain from HBM (DRAM best)",
+            d >= h,
+            format!("DRAM {d:.3e} vs HBM {h:.3e} at {fit} GB"),
+        ));
+        let _ = large;
+    }
+
+    let d500 = figures::fig4d();
+    let ratio = series(&d500.series, "DRAM").value_at(35.0).unwrap()
+        / series(&d500.series, "Cache Mode").value_at(35.0).unwrap();
+    out.push(check(
+        "fig4d",
+        "Graph500 on DRAM is ~1.3x cache mode at the largest graph",
+        (1.15..1.5).contains(&ratio),
+        format!("DRAM/cache = {ratio:.2} at 35 GB"),
+    ));
+    out
+}
+
+/// Fig. 5 checks.
+pub fn validate_fig5() -> Vec<ShapeCheck> {
+    let f = figures::fig5();
+    let h1 = series(&f.series, "HBM (ht = 1)").value_at(6.0).unwrap();
+    let h2 = series(&f.series, "HBM (ht = 2)").value_at(6.0).unwrap();
+    let d1 = series(&f.series, "DRAM (ht = 1)").value_at(6.0).unwrap();
+    let d4 = series(&f.series, "DRAM (ht = 4)").value_at(6.0).unwrap();
+    vec![
+        check(
+            "fig5",
+            "two HW threads/core reach ~1.27x the 1-thread HBM bandwidth",
+            (h2 / h1 - 1.27).abs() < 0.06,
+            format!("ht2/ht1 = {:.3}", h2 / h1),
+        ),
+        check(
+            "fig5",
+            "HBM reaches ~420 GB/s with multiple threads",
+            (h2 - 420.0).abs() < 15.0,
+            format!("measured {h2:.1} GB/s"),
+        ),
+        check(
+            "fig5",
+            "DRAM bandwidth is insensitive to threads (lines overlap)",
+            (d4 / d1 - 1.0).abs() < 0.03,
+            format!("ht4/ht1 = {:.3}", d4 / d1),
+        ),
+    ]
+}
+
+/// Fig. 6 checks.
+pub fn validate_fig6() -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+    let a = figures::fig6a();
+    let hbm = series(&a.series, "HBM");
+    let gain = hbm.value_at(192.0).unwrap() / hbm.value_at(64.0).unwrap();
+    out.push(check(
+        "fig6a",
+        "DGEMM gains ~1.7x from 64 to 192 threads on HBM",
+        (1.5..1.9).contains(&gain),
+        format!("gain {gain:.2}"),
+    ));
+    out.push(check(
+        "fig6a",
+        "DGEMM cannot complete with 256 threads",
+        hbm.value_at(256.0).is_none(),
+        "no 256-thread point".into(),
+    ));
+
+    let b = figures::fig6b();
+    let hbm_b = series(&b.series, "HBM");
+    let gain_b = hbm_b.value_at(192.0).unwrap() / hbm_b.value_at(64.0).unwrap();
+    out.push(check(
+        "fig6b",
+        "MiniFE gains ~1.5-1.7x from 64 to 192 threads on HBM",
+        (1.3..1.9).contains(&gain_b),
+        format!("gain {gain_b:.2}"),
+    ));
+
+    let c = figures::fig6c();
+    for label in ["DRAM", "HBM", "Cache Mode"] {
+        let s = series(&c.series, label);
+        let best = [64.0, 128.0, 192.0, 256.0]
+            .into_iter()
+            .max_by(|&x, &y| {
+                s.value_at(x)
+                    .unwrap()
+                    .partial_cmp(&s.value_at(y).unwrap())
+                    .unwrap()
+            })
+            .unwrap();
+        out.push(check(
+            "fig6c",
+            "Graph500 peaks at 128 threads in every configuration",
+            best == 128.0,
+            format!("{label} best at {best} threads"),
+        ));
+    }
+    let dram_c = series(&c.series, "DRAM");
+    out.push(check(
+        "fig6c",
+        "Graph500: DRAM remains the best configuration",
+        dram_c.value_at(128.0).unwrap() >= series(&c.series, "HBM").value_at(128.0).unwrap()
+            && dram_c.value_at(128.0).unwrap()
+                >= series(&c.series, "Cache Mode").value_at(128.0).unwrap(),
+        "DRAM ≥ HBM, cache at 128 threads".into(),
+    ));
+
+    let d = figures::fig6d();
+    let dram_d = series(&d.series, "DRAM");
+    let hbm_d = series(&d.series, "HBM");
+    let cache_d = series(&d.series, "Cache Mode");
+    let d_gain = dram_d.value_at(256.0).unwrap() / dram_d.value_at(64.0).unwrap();
+    let h_gain = hbm_d.value_at(256.0).unwrap() / hbm_d.value_at(64.0).unwrap();
+    out.push(check(
+        "fig6d",
+        "XSBench: ~2.5x with 256 threads on HBM/cache, ~1.5x on DRAM",
+        (2.0..3.2).contains(&h_gain) && (1.1..1.9).contains(&d_gain),
+        format!("HBM gain {h_gain:.2}, DRAM gain {d_gain:.2}"),
+    ));
+    out.push(check(
+        "fig6d",
+        "XSBench: hyper-threading flips the best configuration to HBM",
+        hbm_d.value_at(256.0).unwrap() > dram_d.value_at(256.0).unwrap()
+            && cache_d.value_at(256.0).unwrap() > dram_d.value_at(256.0).unwrap()
+            && dram_d.value_at(64.0).unwrap() > hbm_d.value_at(64.0).unwrap(),
+        "DRAM best at 64, HBM/cache best at 256".into(),
+    ));
+    out
+}
+
+/// Run every shape check.
+pub fn validate_all() -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+    out.extend(validate_fig2());
+    out.extend(validate_fig3());
+    out.extend(validate_fig4());
+    out.extend(validate_fig5());
+    out.extend(validate_fig6());
+    out
+}
+
+/// Render checks as a pass/fail report.
+pub fn render_checks(checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    let passed = checks.iter().filter(|c| c.pass).count();
+    out.push_str(&format!(
+        "{passed}/{} paper findings preserved\n",
+        checks.len()
+    ));
+    for c in checks {
+        out.push_str(&format!(
+            "[{}] {:6} {} — {}\n",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.figure,
+            c.claim,
+            c.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The per-figure validators are exercised end-to-end by the
+    // workspace integration tests (tests/shape_validation.rs); here we
+    // test the bookkeeping only, on the cheapest figure.
+    #[test]
+    fn fig5_checks_pass_and_render() {
+        let checks = validate_fig5();
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.pass), "{}", render_checks(&checks));
+        let rendered = render_checks(&checks);
+        assert!(rendered.contains("3/3"));
+        assert!(rendered.contains("PASS"));
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let checks = vec![ShapeCheck {
+            figure: "figX".into(),
+            claim: "the moon is cheese".into(),
+            pass: false,
+            detail: "it is rock".into(),
+        }];
+        let r = render_checks(&checks);
+        assert!(r.contains("0/1"));
+        assert!(r.contains("FAIL"));
+        assert!(r.contains("it is rock"));
+    }
+}

@@ -1,0 +1,152 @@
+//! The Fig. 3 micro-benchmark model: dual random read latency versus
+//! block size.
+//!
+//! TinyMemBench chases two independent pointer chains through a buffer
+//! of the given size. The observed latency has three tiers (§IV-A):
+//!
+//! 1. block ≤ 1 MB — the tile's L2 serves everything: ≈10 ns, no
+//!    device dependence;
+//! 2. 1 MB < block ≲ 64 MB — memory latency plus growing TLB
+//!    overhead: ≈200 ns, DRAM 15–20 % faster than HBM;
+//! 3. block ≥ 128 MB — page walks themselves start missing the page
+//!    walk caches and add memory round trips; latency keeps climbing.
+
+use crate::calib;
+use cachesim::tlb::TlbConfig;
+use memdev::MemDeviceSpec;
+use simfabric::{ByteSize, Duration};
+
+/// Fraction of accesses that hit the local L2 for a chase over
+/// `block`: 1 below the 1-MB L2, then the L2 covers a shrinking
+/// fraction.
+fn l2_hit_fraction(block: ByteSize) -> f64 {
+    let l2 = ByteSize::mib(1).as_u64() as f64;
+    let b = block.as_u64() as f64;
+    if b <= l2 {
+        1.0
+    } else {
+        l2 / b
+    }
+}
+
+/// Extra memory round trips per access due to page-walk-cache misses:
+/// 0 below ~128 MB, ramping to ~1.5 at multi-GB footprints (a 4-level
+/// walk with the top levels still cached).
+fn walk_memory_trips(block: ByteSize) -> f64 {
+    let start = ByteSize::mib(128).as_u64() as f64;
+    let b = block.as_u64() as f64;
+    if b <= start {
+        0.0
+    } else {
+        // One extra trip per 8x footprint growth, capped at 1.5.
+        ((b / start).log2() / 3.0).min(1.5)
+    }
+}
+
+/// Dual random read latency for a chase over `block` allocated on the
+/// device described by `spec`, with the given TLB configuration.
+pub fn dual_random_read_latency(
+    spec: &MemDeviceSpec,
+    block: ByteSize,
+    tlb: &TlbConfig,
+) -> Duration {
+    let l2_frac = l2_hit_fraction(block);
+    let l2_ns = calib::L2_CHASE_NS;
+    // Memory component: loaded device latency under the dual-read
+    // pattern + mesh traversal.
+    let load_factor = match spec.kind {
+        memdev::DeviceKind::Mcdram => calib::DUAL_READ_LOAD_FACTOR_HBM,
+        _ => calib::DUAL_READ_LOAD_FACTOR_DDR,
+    };
+    let mem_ns = spec.idle_latency.as_ns() * load_factor + calib::MESH_MEMORY_NS;
+    // TLB overhead (walks through the cache hierarchy).
+    let tlb_ns = tlb.random_access_overhead(block).as_ns();
+    // Page-walk-cache misses cost extra memory trips. Kernel page
+    // tables live in DDR regardless of the application's membind, so
+    // this term is device-independent — which is why the Fig. 3 gap
+    // *shrinks* toward 15 % at GB-scale blocks.
+    let walk_extra_ns =
+        walk_memory_trips(block) * memdev::presets::DDR_IDLE_LATENCY_NS * 0.75;
+    let ns = l2_frac * l2_ns + (1.0 - l2_frac) * (mem_ns + tlb_ns + walk_extra_ns);
+    Duration::from_ns(ns)
+}
+
+/// The DRAM→HBM performance gap (positive = HBM slower), as plotted on
+/// Fig. 3's right axis.
+pub fn latency_gap_percent(
+    ddr: &MemDeviceSpec,
+    hbm: &MemDeviceSpec,
+    block: ByteSize,
+    tlb: &TlbConfig,
+) -> f64 {
+    let d = dual_random_read_latency(ddr, block, tlb).as_ns();
+    let h = dual_random_read_latency(hbm, block, tlb).as_ns();
+    (h - d) / d * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdev::{ddr4_knl, mcdram_knl};
+
+    fn tlb() -> TlbConfig {
+        TlbConfig::knl_4k()
+    }
+
+    #[test]
+    fn tier1_is_l2_fast_and_device_independent() {
+        let d = dual_random_read_latency(&ddr4_knl(), ByteSize::kib(512), &tlb());
+        let h = dual_random_read_latency(&mcdram_knl(), ByteSize::kib(512), &tlb());
+        assert!((d.as_ns() - calib::L2_CHASE_NS).abs() < 1.0);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn tier2_sits_near_200ns() {
+        for mib in [4u64, 16, 64] {
+            let d = dual_random_read_latency(&ddr4_knl(), ByteSize::mib(mib), &tlb());
+            assert!(
+                d.as_ns() > 150.0 && d.as_ns() < 260.0,
+                "DRAM at {mib} MiB: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn tier3_keeps_climbing() {
+        let at = |mib| dual_random_read_latency(&ddr4_knl(), ByteSize::mib(mib), &tlb()).as_ns();
+        assert!(at(256) > at(128) - 1.0);
+        assert!(at(1024) > at(256));
+        assert!(at(1024) > 280.0, "1 GiB latency {}", at(1024));
+    }
+
+    #[test]
+    fn dram_is_15_to_20_percent_faster_beyond_l2() {
+        for mib in [2u64, 8, 32, 128, 512, 1024] {
+            let gap = latency_gap_percent(&ddr4_knl(), &mcdram_knl(), ByteSize::mib(mib), &tlb());
+            assert!(
+                (10.0..=22.0).contains(&gap),
+                "gap at {mib} MiB = {gap:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_peaks_just_past_l2() {
+        let tlb = tlb();
+        let gap_2m = latency_gap_percent(&ddr4_knl(), &mcdram_knl(), ByteSize::mib(2), &tlb);
+        let gap_64m = latency_gap_percent(&ddr4_knl(), &mcdram_knl(), ByteSize::mib(64), &tlb);
+        assert!(gap_2m > gap_64m, "gap 2MiB {gap_2m} vs 64MiB {gap_64m}");
+        assert!(gap_2m > 17.0, "peak gap {gap_2m}");
+    }
+
+    #[test]
+    fn monotone_in_block_size_beyond_l2() {
+        let mut prev = 0.0;
+        for mib in [2u64, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let d = dual_random_read_latency(&ddr4_knl(), ByteSize::mib(mib), &tlb()).as_ns();
+            assert!(d >= prev - 1.0, "latency dipped at {mib} MiB");
+            prev = d;
+        }
+    }
+}

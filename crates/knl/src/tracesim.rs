@@ -1,0 +1,552 @@
+//! Trace-driven simulator.
+//!
+//! Replays line-granularity address traces through the exact substrate
+//! models — per-core L1/L2 + TLB ([`cachesim::Hierarchy`]), the mesh
+//! ([`mesh::MeshModel`]), the direct-mapped MCDRAM cache, and the
+//! bank-level DRAM models ([`memdev::bank::DramModel`]). It exists to
+//! *validate* the analytic machine model at small scales: the
+//! integration tests check that both paths agree on ordering (HBM
+//! beats DDR for streams, DDR beats HBM for chases) and roughly on
+//! magnitude.
+
+use crate::config::{MachineConfig, MemSetup};
+use cachesim::cache::AccessKind;
+use cachesim::hierarchy::{Hierarchy, HierarchyConfig, LevelHit};
+use cachesim::mcdram_cache::MemorySideCache;
+use cachesim::mshr::{Mshr, MshrOutcome};
+use memdev::bank::DramModel;
+use mesh::MeshModel;
+use serde::{Deserialize, Serialize};
+use simfabric::{ByteSize, Duration, SimTime};
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAccess {
+    /// Issuing core (0-based; mapped onto tiles round-robin).
+    pub core: u32,
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub write: bool,
+    /// Whether this access depends on the previous one from the same
+    /// core (pointer chase) or can overlap (streaming).
+    pub dependent: bool,
+}
+
+impl TraceAccess {
+    /// A streaming read.
+    pub fn read(core: u32, addr: u64) -> Self {
+        TraceAccess {
+            core,
+            addr,
+            write: false,
+            dependent: false,
+        }
+    }
+
+    /// A dependent (chased) read.
+    pub fn chase(core: u32, addr: u64) -> Self {
+        TraceAccess {
+            dependent: true,
+            ..Self::read(core, addr)
+        }
+    }
+
+    /// A streaming write.
+    pub fn write(core: u32, addr: u64) -> Self {
+        TraceAccess {
+            write: true,
+            ..Self::read(core, addr)
+        }
+    }
+}
+
+/// Where trace addresses live (the trace path does not use the heap;
+/// placement is supplied explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracePlacement {
+    /// Everything on DDR.
+    AllDdr,
+    /// Everything on MCDRAM (flat).
+    AllHbm,
+    /// Addresses below the boundary on MCDRAM, the rest on DDR.
+    SplitAt(u64),
+}
+
+impl TracePlacement {
+    fn is_hbm(self, addr: u64) -> bool {
+        match self {
+            TracePlacement::AllDdr => false,
+            TracePlacement::AllHbm => true,
+            TracePlacement::SplitAt(b) => addr < b,
+        }
+    }
+}
+
+/// Simulation report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSimReport {
+    /// Completion time of the last access.
+    pub makespan: Duration,
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Accesses that reached a memory device.
+    pub memory_accesses: u64,
+    /// Accesses served by the MCDRAM cache (cache mode only).
+    pub mcdram_cache_hits: u64,
+    /// Average latency per access.
+    pub avg_latency: Duration,
+    /// Achieved bandwidth over the makespan, GB/s (64 B per access).
+    pub bandwidth_gbs: f64,
+}
+
+/// The trace-driven simulator.
+pub struct TraceSim {
+    hierarchies: Vec<Hierarchy>,
+    /// Per-core MSHR files bounding outstanding line misses — the same
+    /// limit [`crate::calib::STREAM_MLP_PER_CORE_1T`] captures
+    /// analytically.
+    mshrs: Vec<Mshr>,
+    core_clock: Vec<SimTime>,
+    mesh: MeshModel,
+    ddr: DramModel,
+    hbm: DramModel,
+    msc: Option<MemorySideCache>,
+    placement: TracePlacement,
+    line_bytes: u64,
+    /// Precomputed average response-path latencies (half a round trip).
+    resp_half_ddr: Duration,
+    resp_half_hbm: Duration,
+    report: TraceSimReport,
+    total_latency: Duration,
+}
+
+impl TraceSim {
+    /// Build a trace simulator for `cores` cores under `cfg`'s memory
+    /// setup. `msc_capacity` scales the MCDRAM cache for tractable
+    /// tests (pass the full 16 GiB for fidelity).
+    pub fn new(
+        cfg: &MachineConfig,
+        cores: u32,
+        placement: TracePlacement,
+        msc_capacity: ByteSize,
+    ) -> Self {
+        let hier_cfg = match cfg.setup {
+            MemSetup::CacheMode => HierarchyConfig::knl_cache_mode(
+                cfg.ddr.idle_latency,
+                cfg.mcdram.idle_latency,
+                msc_capacity,
+            ),
+            _ => HierarchyConfig::knl_flat(cfg.ddr.idle_latency),
+        };
+        // The memory latency charged by the hierarchy is superseded by
+        // the bank model; zero it out and let devices provide timing.
+        let mut hier_cfg = hier_cfg;
+        hier_cfg.memory_latency = Duration::ZERO;
+        hier_cfg.mcdram_cache_latency = Duration::ZERO;
+        let mesh = MeshModel::knl(cfg.cluster);
+        let resp_half_ddr = mesh.avg_memory_latency(false).scale(0.5);
+        let resp_half_hbm = mesh.avg_memory_latency(true).scale(0.5);
+        TraceSim {
+            hierarchies: (0..cores).map(|_| Hierarchy::new(hier_cfg)).collect(),
+            mshrs: (0..cores)
+                .map(|_| Mshr::new(crate::calib::STREAM_MLP_PER_CORE_1T as usize))
+                .collect(),
+            core_clock: vec![SimTime::ZERO; cores as usize],
+            mesh,
+            resp_half_ddr,
+            resp_half_hbm,
+            ddr: DramModel::ddr4_knl(),
+            hbm: DramModel::mcdram_knl(),
+            msc: cfg
+                .setup
+                .has_mcdram_cache()
+                .then(|| MemorySideCache::new(msc_capacity, 64)),
+            placement,
+            line_bytes: 64,
+            report: TraceSimReport::default(),
+            total_latency: Duration::ZERO,
+        }
+    }
+
+    /// DDR bank-model statistics (row hits/misses/conflicts).
+    pub fn ddr_stats(&self) -> memdev::bank::DramStats {
+        self.ddr.stats()
+    }
+
+    /// MCDRAM bank-model statistics.
+    pub fn hbm_stats(&self) -> memdev::bank::DramStats {
+        self.hbm.stats()
+    }
+
+    /// Mesh statistics (messages, hops, contention).
+    pub fn mesh_stats(&self) -> mesh::MeshStats {
+        self.mesh.stats()
+    }
+
+    /// Replay one access; returns its latency.
+    pub fn access(&mut self, t: TraceAccess) -> Duration {
+        let core = t.core as usize % self.hierarchies.len();
+        let tiles = self.mesh.topology().num_tiles();
+        let tile = (core as u32 / 2) % tiles;
+        let mut issue = self.core_clock[core];
+        let kind = if t.write { AccessKind::Write } else { AccessKind::Read };
+        let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
+        let mut done = issue + sram_lat;
+        let mut merged = false;
+        if level == LevelHit::Memory || level == LevelHit::McdramCache {
+            // MSHR discipline: stall the core when its miss file is
+            // full; merge duplicate in-flight lines.
+            let line = t.addr & !(self.line_bytes - 1);
+            loop {
+                match self.mshrs[core].register(line, issue) {
+                    MshrOutcome::Allocated => break,
+                    MshrOutcome::Merged { ready_at } => {
+                        done = ready_at.max(issue + sram_lat);
+                        merged = true;
+                        break;
+                    }
+                    MshrOutcome::Stall { free_at } => issue = free_at,
+                }
+            }
+        }
+        if !merged && (level == LevelHit::Memory || level == LevelHit::McdramCache) {
+            done = issue + sram_lat; // the stall may have moved `issue`
+            self.report.memory_accesses += 1;
+            // Mesh traversal to the serving port.
+            let is_hbm_target = match (&self.msc, level) {
+                (Some(_), LevelHit::McdramCache) => true,
+                (Some(_), _) => false, // DDR behind the cache
+                (None, _) => self.placement.is_hbm(t.addr),
+            };
+            // Mesh traversal charged analytically: per-link flit
+            // reservation is far too pessimistic at memory rates (the
+            // KNL mesh is provisioned well beyond memory bandwidth),
+            // so the request half of the average round trip is added
+            // as latency instead.
+            let _ = tile;
+            let arrive = done
+                + if is_hbm_target {
+                    self.resp_half_hbm
+                } else {
+                    self.resp_half_ddr
+                };
+            // Device service.
+            let served = match (&mut self.msc, level) {
+                (Some(_), LevelHit::McdramCache) => {
+                    self.report.mcdram_cache_hits += 1;
+                    self.hbm.access(t.addr, arrive)
+                }
+                (Some(_), _) => {
+                    // Tag probe in MCDRAM, then the DDR fetch, then the
+                    // fill write into MCDRAM (fill not on critical path).
+                    let tag_done = self.hbm.access(t.addr, arrive);
+                    let data = self.ddr.access(t.addr, tag_done);
+                    let _fill = self.hbm.access(t.addr, data);
+                    data
+                }
+                (None, _) => {
+                    if self.placement.is_hbm(t.addr) {
+                        self.hbm.access(t.addr, arrive)
+                    } else {
+                        self.ddr.access(t.addr, arrive)
+                    }
+                }
+            };
+            // Response traverses the mesh back (charged as latency, no
+            // link reservation: response links mirror request links).
+            done = served
+                + if is_hbm_target {
+                    self.resp_half_hbm
+                } else {
+                    self.resp_half_ddr
+                };
+            self.mshrs[core].complete_at(t.addr & !(self.line_bytes - 1), done);
+        }
+        let latency = done.since(issue);
+        // Dependent accesses serialize on completion; independent ones
+        // only occupy the core for an issue slot.
+        self.core_clock[core] = if t.dependent {
+            done
+        } else {
+            issue + Duration::from_cycles(1, crate::calib::CORE_GHZ)
+        };
+        self.report.accesses += 1;
+        self.total_latency += latency;
+        let makespan_end = done.since(SimTime::ZERO);
+        if makespan_end > self.report.makespan {
+            self.report.makespan = makespan_end;
+        }
+        latency
+    }
+
+    /// Replay a whole trace and return the report.
+    ///
+    /// Per-core program order is preserved, but across cores the
+    /// simulator always advances the core with the earliest clock —
+    /// otherwise cores that drift ahead would reserve mesh links and
+    /// bank slots "in the future" and laggards would queue behind
+    /// phantom traffic.
+    pub fn run(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, VecDeque};
+        let cores = self.hierarchies.len();
+        let mut queues: Vec<VecDeque<TraceAccess>> = vec![VecDeque::new(); cores];
+        for &t in trace {
+            queues[t.core as usize % cores].push_back(t);
+        }
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..cores)
+            .filter(|&c| !queues[c].is_empty())
+            .map(|c| Reverse((self.core_clock[c], c)))
+            .collect();
+        while let Some(Reverse((_, c))) = heap.pop() {
+            if let Some(t) = queues[c].pop_front() {
+                self.access(t);
+                if !queues[c].is_empty() {
+                    heap.push(Reverse((self.core_clock[c], c)));
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// Finalize and return the report.
+    pub fn finish(&mut self) -> TraceSimReport {
+        let mut r = self.report;
+        if let Some(per_access) = self.total_latency.as_ps().checked_div(r.accesses) {
+            r.avg_latency = Duration::from_ps(per_access);
+            let secs = r.makespan.as_secs();
+            if secs > 0.0 {
+                r.bandwidth_gbs = (r.memory_accesses * self.line_bytes) as f64 / 1e9 / secs;
+            }
+        }
+        self.report = r;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(setup: MemSetup) -> MachineConfig {
+        MachineConfig::knl7210(setup, 64)
+    }
+
+    fn stream_trace(cores: u32, lines_per_core: u64) -> Vec<TraceAccess> {
+        // Disjoint ~22-MB-apart streams per core, issued in bursts of
+        // 16 consecutive lines (the natural issue pattern of a
+        // prefetching core draining its MSHR file). The per-core base
+        // deliberately avoids power-of-two strides: physically
+        // scattered pages never alias all cores onto one bank, and
+        // neither should a synthetic trace.
+        const BURST: u64 = 16;
+        let base = |c: u32| (c as u64 * 23_456_789) & !63;
+        let mut t = Vec::new();
+        let mut i = 0;
+        while i < lines_per_core {
+            for c in 0..cores {
+                for j in i..(i + BURST).min(lines_per_core) {
+                    t.push(TraceAccess::read(c, base(c) + j * 64));
+                }
+            }
+            i += BURST;
+        }
+        t
+    }
+
+    fn chase_trace(core: u32, steps: u64, stride: u64) -> Vec<TraceAccess> {
+        (0..steps)
+            .map(|i| TraceAccess::chase(core, (i * stride) % (1 << 30)))
+            .collect()
+    }
+
+    #[test]
+    fn hbm_streams_faster_than_ddr() {
+        // Full 64-core machine: DDR is bus-bound, HBM is concurrency-
+        // bound, reproducing the Fig. 2 ordering at trace level.
+        let trace = stream_trace(64, 1_000);
+        let mut ddr = TraceSim::new(&cfg(MemSetup::DramOnly), 64, TracePlacement::AllDdr, ByteSize::mib(1));
+        let mut hbm = TraceSim::new(&cfg(MemSetup::HbmOnly), 64, TracePlacement::AllHbm, ByteSize::mib(1));
+        let rd = ddr.run(&trace);
+        let rh = hbm.run(&trace);
+        assert!(
+            rh.bandwidth_gbs > rd.bandwidth_gbs * 2.0,
+            "hbm {} vs ddr {}",
+            rh.bandwidth_gbs,
+            rd.bandwidth_gbs
+        );
+        // DDR lands in the neighbourhood of its sustained constant.
+        assert!(
+            rd.bandwidth_gbs > 40.0 && rd.bandwidth_gbs < 130.0,
+            "ddr {}",
+            rd.bandwidth_gbs
+        );
+    }
+
+    #[test]
+    fn ddr_chases_faster_than_hbm() {
+        // Large-stride dependent chase: pure latency.
+        let trace = chase_trace(0, 3_000, 4 * 1024 * 1024 + 64);
+        let mut ddr = TraceSim::new(&cfg(MemSetup::DramOnly), 1, TracePlacement::AllDdr, ByteSize::mib(1));
+        let mut hbm = TraceSim::new(&cfg(MemSetup::HbmOnly), 1, TracePlacement::AllHbm, ByteSize::mib(1));
+        let rd = ddr.run(&trace);
+        let rh = hbm.run(&trace);
+        assert!(
+            rh.avg_latency > rd.avg_latency,
+            "hbm {} vs ddr {}",
+            rh.avg_latency,
+            rd.avg_latency
+        );
+        // Both in the >100 ns regime once the caches stop helping.
+        assert!(rd.avg_latency.as_ns() > 80.0, "ddr {}", rd.avg_latency);
+    }
+
+    #[test]
+    fn cache_mode_hits_when_fitting() {
+        // 4-MB working set (exceeds the 1-MB L2, fits the 8-MB MSC)
+        // streamed twice: the second pass should hit the MSC.
+        let lines = 4 * 1024 * 1024 / 64u64;
+        let mut trace = Vec::new();
+        for _pass in 0..2 {
+            for i in 0..lines {
+                trace.push(TraceAccess::read(0, i * 64));
+            }
+        }
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::CacheMode),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(8),
+        );
+        let r = sim.run(&trace);
+        assert!(
+            r.mcdram_cache_hits > lines / 2,
+            "too few MSC hits: {r:?}"
+        );
+    }
+
+    #[test]
+    fn l2_resident_trace_never_reaches_memory() {
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let mut trace = Vec::new();
+        for _ in 0..4 {
+            for i in 0..1024u64 {
+                trace.push(TraceAccess::read(0, i * 64)); // 64 KiB set
+            }
+        }
+        let r = sim.run(&trace);
+        assert_eq!(r.accesses, 4096);
+        // Only the first pass misses.
+        assert!(r.memory_accesses <= 1024, "memory accesses {}", r.memory_accesses);
+    }
+
+    #[test]
+    fn report_averages_are_consistent() {
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            2,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let r = sim.run(&stream_trace(2, 100));
+        assert_eq!(r.accesses, 200);
+        assert!(r.avg_latency > Duration::ZERO);
+        assert!(r.makespan > Duration::ZERO);
+    }
+}
+
+impl TraceSim {
+    /// Debug introspection for the DDR model.
+    #[doc(hidden)]
+    pub fn debug_ddr(&self) -> (Vec<f64>, f64) {
+        (self.ddr.debug_bus_busy_ns(), self.ddr.debug_max_bank_ready_ns())
+    }
+}
+
+/// Debug breakdown of a single access's timing (picoseconds).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessBreakdown {
+    pub issue_ps: u64,
+    pub post_sram_ps: u64,
+    pub arrive_ps: u64,
+    pub served_ps: u64,
+    pub done_ps: u64,
+    pub stalled: bool,
+}
+
+impl TraceSim {
+    /// Debug: replay one access returning a timing breakdown.
+    #[doc(hidden)]
+    pub fn access_traced(&mut self, t: TraceAccess) -> AccessBreakdown {
+        let core = t.core as usize % self.hierarchies.len();
+        let tiles = self.mesh.topology().num_tiles();
+        let tile = (core as u32 / 2) % tiles;
+        let mut issue = self.core_clock[core];
+        let orig_issue = issue;
+        let kind = if t.write { AccessKind::Write } else { AccessKind::Read };
+        let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
+        let mut bd = AccessBreakdown::default();
+        let mut done = issue + sram_lat;
+        let mut merged = false;
+        if level == LevelHit::Memory || level == LevelHit::McdramCache {
+            let line = t.addr & !(self.line_bytes - 1);
+            loop {
+                match self.mshrs[core].register(line, issue) {
+                    MshrOutcome::Allocated => break,
+                    MshrOutcome::Merged { ready_at } => {
+                        done = ready_at.max(issue + sram_lat);
+                        merged = true;
+                        break;
+                    }
+                    MshrOutcome::Stall { free_at } => issue = free_at,
+                }
+            }
+        }
+        bd.stalled = issue > orig_issue;
+        bd.issue_ps = issue.as_ps();
+        if !merged && (level == LevelHit::Memory || level == LevelHit::McdramCache) {
+            done = issue + sram_lat;
+            bd.post_sram_ps = done.as_ps();
+            let is_hbm_target = match (&self.msc, level) {
+                (Some(_), LevelHit::McdramCache) => true,
+                (Some(_), _) => false,
+                (None, _) => self.placement.is_hbm(t.addr),
+            };
+            // Mesh traversal charged analytically: per-link flit
+            // reservation is far too pessimistic at memory rates (the
+            // KNL mesh is provisioned well beyond memory bandwidth),
+            // so the request half of the average round trip is added
+            // as latency instead.
+            let _ = tile;
+            let arrive = done
+                + if is_hbm_target {
+                    self.resp_half_hbm
+                } else {
+                    self.resp_half_ddr
+                };
+            bd.arrive_ps = arrive.as_ps();
+            let served = if self.placement.is_hbm(t.addr) {
+                self.hbm.access(t.addr, arrive)
+            } else {
+                self.ddr.access(t.addr, arrive)
+            };
+            bd.served_ps = served.as_ps();
+            done = served + if is_hbm_target { self.resp_half_hbm } else { self.resp_half_ddr };
+            self.mshrs[core].complete_at(t.addr & !(self.line_bytes - 1), done);
+        }
+        bd.done_ps = done.as_ps();
+        self.core_clock[core] = if t.dependent {
+            done
+        } else {
+            issue + Duration::from_cycles(1, crate::calib::CORE_GHZ)
+        };
+        bd
+    }
+}

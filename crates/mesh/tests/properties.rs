@@ -1,0 +1,81 @@
+//! Property tests for the mesh model.
+
+use mesh::{ClusterMode, Coord, MeshModel, Topology};
+use proptest::prelude::*;
+use simfabric::SimTime;
+
+fn coord() -> impl Strategy<Value = Coord> {
+    (0u8..6, 0u8..6).prop_map(|(x, y)| Coord { x, y })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Route length always equals the Manhattan distance, routes are
+    /// duplicate-free, and each step moves by exactly one hop.
+    #[test]
+    fn routes_are_minimal_xy_paths(a in coord(), b in coord()) {
+        let route = MeshModel::route(a, b);
+        prop_assert_eq!(route.len() as u32, a.hops_to(b));
+        let mut prev = a;
+        for &c in &route {
+            prop_assert_eq!(prev.hops_to(c), 1, "non-unit step {:?} -> {:?}", prev, c);
+            prev = c;
+        }
+        if !route.is_empty() {
+            prop_assert_eq!(*route.last().unwrap(), b);
+        }
+    }
+
+    /// Uncontended send latency is exactly hops x hop-latency, and
+    /// sending never returns earlier than it started.
+    #[test]
+    fn send_latency_is_hops(a in coord(), b in coord()) {
+        let mut m = MeshModel::knl(ClusterMode::Quadrant);
+        let t = m.send(a, b, SimTime::ZERO);
+        let expect = a.hops_to(b) as f64 * 1.2;
+        prop_assert!((t.as_ns() - expect).abs() < 1e-9);
+    }
+
+    /// CHA selection is deterministic and respects the cluster-mode
+    /// affinity constraint for every address.
+    #[test]
+    fn cha_respects_mode_constraints(addr in 0u64..(1u64 << 40), is_mcdram in any::<bool>()) {
+        let topo = Topology::knl7210();
+        for mode in [ClusterMode::Quadrant, ClusterMode::Hemisphere, ClusterMode::AllToAll] {
+            let port = mode.port_for(&topo, addr, is_mcdram);
+            let cha1 = mode.cha_for(&topo, addr, port);
+            let cha2 = mode.cha_for(&topo, addr, port);
+            prop_assert_eq!(cha1, cha2, "non-deterministic CHA");
+            match mode {
+                ClusterMode::Quadrant => prop_assert_eq!(
+                    topo.quadrant_of(cha1),
+                    topo.quadrant_of(topo.port(port))
+                ),
+                ClusterMode::Hemisphere => prop_assert_eq!(
+                    topo.hemisphere_of(cha1),
+                    topo.hemisphere_of(topo.port(port))
+                ),
+                _ => {}
+            }
+            // The CHA is always an active tile.
+            prop_assert!(topo.tiles.contains(&cha1));
+        }
+    }
+
+    /// Messages through one link are separated by at least the link
+    /// service time (rate limiting holds under load).
+    #[test]
+    fn link_rate_is_enforced(n in 2usize..40) {
+        let mut m = MeshModel::knl(ClusterMode::Quadrant);
+        let a = Coord { x: 0, y: 0 };
+        let b = Coord { x: 5, y: 0 };
+        let mut arrivals: Vec<f64> = (0..n)
+            .map(|_| m.send(a, b, SimTime::ZERO).as_ns())
+            .collect();
+        arrivals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for w in arrivals.windows(2) {
+            prop_assert!(w[1] - w[0] > 0.39, "arrivals too close: {:?}", w);
+        }
+    }
+}

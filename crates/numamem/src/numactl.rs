@@ -1,0 +1,228 @@
+//! A `numactl`-style front end.
+//!
+//! The paper steers data placement entirely through `numactl`
+//! (§III-C): `--membind=0` for the DRAM configuration, `--membind=1`
+//! for HBM, and `numactl --hardware` to report the NUMA distances shown
+//! in Table II. This module parses that vocabulary and renders the
+//! hardware report in both the classic `numactl` layout and the
+//! compact layout the paper prints.
+
+use crate::policy::MemPolicy;
+use crate::topology::{NodeId, NumaTopology};
+use std::fmt::Write as _;
+
+/// A parsed numactl invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumactlCommand {
+    /// `--hardware` / `-H`: print the topology report.
+    Hardware,
+    /// A policy to apply to the command being launched.
+    Policy(MemPolicy),
+    /// `--show` / `-s`: print the current policy.
+    Show,
+}
+
+/// Parse a node list: `"0"`, `"0,1"`, `"0-3"`, `"all"`.
+fn parse_nodes(s: &str, topo: &NumaTopology) -> Result<Vec<NodeId>, String> {
+    if s == "all" {
+        return Ok((0..topo.num_nodes() as NodeId).collect());
+    }
+    let mut nodes = Vec::new();
+    for part in s.split(',') {
+        if let Some((a, b)) = part.split_once('-') {
+            let a: NodeId = a.trim().parse().map_err(|_| format!("bad node {part:?}"))?;
+            let b: NodeId = b.trim().parse().map_err(|_| format!("bad node {part:?}"))?;
+            if a > b {
+                return Err(format!("descending node range {part:?}"));
+            }
+            nodes.extend(a..=b);
+        } else {
+            nodes.push(part.trim().parse().map_err(|_| format!("bad node {part:?}"))?);
+        }
+    }
+    if nodes.is_empty() {
+        return Err("empty node list".into());
+    }
+    Ok(nodes)
+}
+
+/// Parse numactl-style arguments (the subset the paper uses, plus
+/// `--interleave` and `--preferred`).
+///
+/// Accepted forms: `--hardware`/`-H`, `--show`/`-s`,
+/// `--membind=<nodes>`/`-m <nodes>`, `--interleave=<nodes>`/`-i`,
+/// `--preferred=<node>`/`-p`, `--localalloc`/`-l`.
+pub fn parse_numactl(args: &[&str], topo: &NumaTopology) -> Result<NumactlCommand, String> {
+    let Some(&arg) = args.first() else {
+        return Err("no numactl arguments".into());
+    };
+    let (flag, inline_value) = match arg.split_once('=') {
+        Some((f, v)) => (f, Some(v.to_string())),
+        None => (arg, None),
+    };
+    let value = || -> Result<String, String> {
+        if let Some(v) = inline_value.clone() {
+            Ok(v)
+        } else {
+            args.get(1)
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} requires a value"))
+        }
+    };
+    match flag {
+        "--hardware" | "-H" => Ok(NumactlCommand::Hardware),
+        "--show" | "-s" => Ok(NumactlCommand::Show),
+        "--localalloc" | "-l" => Ok(NumactlCommand::Policy(MemPolicy::Default)),
+        "--membind" | "-m" => {
+            let nodes = parse_nodes(&value()?, topo)?;
+            Ok(NumactlCommand::Policy(MemPolicy::Bind(nodes)))
+        }
+        "--interleave" | "-i" => {
+            let nodes = parse_nodes(&value()?, topo)?;
+            Ok(NumactlCommand::Policy(MemPolicy::Interleave(nodes)))
+        }
+        "--preferred" | "-p" => {
+            let nodes = parse_nodes(&value()?, topo)?;
+            if nodes.len() != 1 {
+                return Err("--preferred takes exactly one node".into());
+            }
+            Ok(NumactlCommand::Policy(MemPolicy::Preferred(nodes[0])))
+        }
+        other => Err(format!("unknown numactl option {other:?}")),
+    }
+}
+
+/// Render the classic `numactl --hardware` report.
+pub fn hardware_report(topo: &NumaTopology) -> String {
+    let n = topo.num_nodes();
+    let mut out = String::new();
+    let _ = writeln!(out, "available: {} nodes (0-{})", n, n - 1);
+    for node in &topo.nodes {
+        let cpus: Vec<String> = (0..node.cpus).map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "node {} cpus: {}", node.id, cpus.join(" "));
+        let _ = writeln!(
+            out,
+            "node {} size: {} MB",
+            node.id,
+            node.size.as_u64() / (1 << 20)
+        );
+    }
+    let _ = writeln!(out, "node distances:");
+    let mut header = String::from("node ");
+    for j in 0..n {
+        let _ = write!(header, "{j:>4}");
+    }
+    let _ = writeln!(out, "{header}");
+    for i in 0..n {
+        let mut row = format!("{i:>4}:");
+        for j in 0..n {
+            let _ = write!(row, "{:>4}", topo.distances[i][j]);
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Render the compact distance panel exactly as Table II of the paper
+/// prints it (node sizes in the header, SLIT values in the body).
+pub fn table2_panel(topo: &NumaTopology) -> String {
+    let mut out = String::from("Distances:");
+    for node in &topo.nodes {
+        let _ = write!(out, " {} ({} GB)", node.id, node.size.as_u64() >> 30);
+    }
+    out.push('\n');
+    for (i, row) in topo.distances.iter().enumerate() {
+        let _ = write!(out, "{i}");
+        for d in row {
+            let _ = write!(out, " {d}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> NumaTopology {
+        NumaTopology::knl_flat()
+    }
+
+    #[test]
+    fn parses_the_papers_invocations() {
+        // §III-C: numactl --membind=0 (DRAM) and --membind=1 (HBM).
+        assert_eq!(
+            parse_numactl(&["--membind=0"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Bind(vec![0]))
+        );
+        assert_eq!(
+            parse_numactl(&["--membind=1"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Bind(vec![1]))
+        );
+        assert_eq!(
+            parse_numactl(&["--hardware"], &topo()).unwrap(),
+            NumactlCommand::Hardware
+        );
+    }
+
+    #[test]
+    fn parses_short_flags_and_separate_values() {
+        assert_eq!(
+            parse_numactl(&["-m", "1"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Bind(vec![1]))
+        );
+        assert_eq!(
+            parse_numactl(&["-i", "all"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Interleave(vec![0, 1]))
+        );
+        assert_eq!(
+            parse_numactl(&["-p", "1"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Preferred(1))
+        );
+        assert_eq!(
+            parse_numactl(&["--localalloc"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Default)
+        );
+    }
+
+    #[test]
+    fn parses_ranges() {
+        assert_eq!(
+            parse_numactl(&["--interleave=0-1"], &topo()).unwrap(),
+            NumactlCommand::Policy(MemPolicy::Interleave(vec![0, 1]))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_numactl(&["--frobnicate"], &topo()).is_err());
+        assert!(parse_numactl(&["--membind=x"], &topo()).is_err());
+        assert!(parse_numactl(&["--membind"], &topo()).is_err());
+        assert!(parse_numactl(&["--preferred=0,1"], &topo()).is_err());
+        assert!(parse_numactl(&["--interleave=1-0"], &topo()).is_err());
+        assert!(parse_numactl(&[], &topo()).is_err());
+    }
+
+    #[test]
+    fn table2_panel_matches_paper_flat() {
+        let s = table2_panel(&NumaTopology::knl_flat());
+        assert_eq!(s, "Distances: 0 (96 GB) 1 (16 GB)\n0 10 31\n1 31 10\n");
+    }
+
+    #[test]
+    fn table2_panel_matches_paper_cache() {
+        let s = table2_panel(&NumaTopology::knl_cache());
+        assert_eq!(s, "Distances: 0 (96 GB)\n0 10\n");
+    }
+
+    #[test]
+    fn hardware_report_layout() {
+        let s = hardware_report(&NumaTopology::knl_flat());
+        assert!(s.starts_with("available: 2 nodes (0-1)\n"));
+        assert!(s.contains("node 0 size: 98304 MB"));
+        assert!(s.contains("node 1 size: 16384 MB"));
+        assert!(s.contains("node 1 cpus: \n") || s.contains("node 1 cpus:\n"));
+        assert!(s.contains("  10  31"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Memory allocation policies, mirroring Linux `set_mempolicy(2)`.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use simfabric::ByteSize;
+use std::fmt;
+
+/// An allocation policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MemPolicy {
+    /// Allocate on the faulting CPU's local node, falling back by
+    /// distance when full (Linux default).
+    #[default]
+    Default,
+    /// Allocate **only** on the given nodes; fail when they are full
+    /// (`numactl --membind`). This is what the paper uses to pin runs
+    /// to DRAM (`--membind=0`) or HBM (`--membind=1`).
+    Bind(Vec<NodeId>),
+    /// Try the given node first, fall back silently
+    /// (`numactl --preferred`).
+    Preferred(NodeId),
+    /// Round-robin pages over the given nodes
+    /// (`numactl --interleave`).
+    Interleave(Vec<NodeId>),
+}
+
+impl fmt::Display for MemPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(nodes: &[NodeId]) -> String {
+            nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            MemPolicy::Default => write!(f, "default"),
+            MemPolicy::Bind(nodes) => write!(f, "membind={}", list(nodes)),
+            MemPolicy::Preferred(n) => write!(f, "preferred={n}"),
+            MemPolicy::Interleave(nodes) => write!(f, "interleave={}", list(nodes)),
+        }
+    }
+}
+
+/// Errors surfaced by policy-driven allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// A strict policy could not be satisfied.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: ByteSize,
+        /// Bytes actually available on the allowed nodes.
+        available: ByteSize,
+    },
+    /// A policy referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A policy was given an empty node list.
+    EmptyNodeSet,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::OutOfMemory { requested, available } => write!(
+                f,
+                "mbind: cannot allocate {requested} (only {available} available on allowed nodes)"
+            ),
+            PolicyError::UnknownNode(n) => write!(f, "unknown NUMA node {n}"),
+            PolicyError::EmptyNodeSet => write!(f, "empty node set"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_numactl_vocabulary() {
+        assert_eq!(MemPolicy::Default.to_string(), "default");
+        assert_eq!(MemPolicy::Bind(vec![0]).to_string(), "membind=0");
+        assert_eq!(MemPolicy::Preferred(1).to_string(), "preferred=1");
+        assert_eq!(
+            MemPolicy::Interleave(vec![0, 1]).to_string(),
+            "interleave=0,1"
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = PolicyError::OutOfMemory {
+            requested: ByteSize::gib(17),
+            available: ByteSize::gib(16),
+        };
+        assert!(e.to_string().contains("17GiB"));
+        assert!(e.to_string().contains("16GiB"));
+    }
+}

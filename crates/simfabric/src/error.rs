@@ -1,0 +1,71 @@
+//! Shared error types for the simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulation fabric and by models built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A capacity was exceeded (e.g. allocating beyond a device size).
+    CapacityExceeded {
+        /// What ran out.
+        resource: String,
+        /// Bytes (or units) requested.
+        requested: u64,
+        /// Bytes (or units) available.
+        available: u64,
+    },
+    /// A configuration value was invalid or inconsistent.
+    InvalidConfig(String),
+    /// An address fell outside every mapped region.
+    UnmappedAddress(u64),
+    /// A named entity (device, node, kind, workload…) was not found.
+    NotFound(String),
+    /// The operation is not supported in the current mode.
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CapacityExceeded {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded on {resource}: requested {requested}, available {available}"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnmappedAddress(addr) => write!(f, "unmapped address {addr:#x}"),
+            SimError::NotFound(what) => write!(f, "not found: {what}"),
+            SimError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used across the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::CapacityExceeded {
+            resource: "MCDRAM".into(),
+            requested: 32,
+            available: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("MCDRAM"));
+        assert!(s.contains("32"));
+        assert!(s.contains("16"));
+        assert_eq!(
+            SimError::UnmappedAddress(0xdead).to_string(),
+            "unmapped address 0xdead"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Deterministic discrete-event queue and a thin simulator wrapper.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion
+//! sequence number so that simulation replay is bit-for-bit
+//! reproducible regardless of heap internals.
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry. Ordered so that the *earliest* (time, seq) pair
+/// is popped first from a max-heap.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want min-(time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A minimal simulator: an [`EventQueue`] plus the current clock.
+///
+/// Models that need full event-driven execution use this directly;
+/// models that compute time analytically only borrow [`SimTime`] /
+/// [`Duration`].
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Create a simulator with the clock at zero.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock: scheduling into the
+    /// past indicates a causality bug in the calling model.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < now {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule an event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        let at = self.now + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Run events through `handler` until the queue is empty or
+    /// `max_events` have been processed. The handler may schedule more
+    /// events through the provided simulator reference.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run<F>(&mut self, max_events: u64, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        let mut n = 0;
+        while n < max_events {
+            match self.pop() {
+                Some((t, e)) => {
+                    handler(self, t, e);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Advance the clock directly (used by analytic models that account
+    /// for time without individual events).
+    pub fn advance(&mut self, by: Duration) {
+        self.now += by;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(30), "c");
+        q.push(SimTime::from_ps(10), "a");
+        q.push(SimTime::from_ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ps(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simulator_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(Duration::from_ns(7.0), ());
+        sim.schedule_in(Duration::from_ns(3.0), ());
+        assert_eq!(sim.pending(), 2);
+        sim.pop().unwrap();
+        assert_eq!(sim.now().as_ns(), 3.0);
+        sim.pop().unwrap();
+        assert_eq!(sim.now().as_ns(), 7.0);
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn run_executes_cascading_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(Duration::from_ns(1.0), 3u32);
+        let mut total = 0u32;
+        sim.run(1000, |sim, _t, depth| {
+            total += 1;
+            if depth > 0 {
+                sim.schedule_in(Duration::from_ns(1.0), depth - 1);
+            }
+        });
+        assert_eq!(total, 4); // 3, 2, 1, 0
+        assert_eq!(sim.now().as_ns(), 4.0);
+    }
+
+    #[test]
+    fn run_respects_event_budget() {
+        let mut sim = Simulator::new();
+        for _ in 0..10 {
+            sim.schedule_in(Duration::from_ns(1.0), ());
+        }
+        let n = sim.run(4, |_, _, _| {});
+        assert_eq!(n, 4);
+        assert_eq!(sim.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(Duration::from_ns(5.0), ());
+        sim.pop();
+        sim.schedule_at(SimTime::from_ps(1), ());
+    }
+
+    #[test]
+    fn advance_moves_clock_without_events() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance(Duration::from_us(1.0));
+        assert_eq!(sim.now().as_us(), 1.0);
+    }
+}

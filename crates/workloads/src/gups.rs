@@ -1,0 +1,220 @@
+//! GUPS \[14\] — the HPC Challenge RandomAccess benchmark.
+//!
+//! A table of 2^k 64-bit words is updated at uniformly random indices
+//! (`table[idx] ^= value`); the metric is giga-updates-per-second.
+//! The native path implements the actual xorshift-driven update kernel
+//! (with the HPCC verification pass: re-applying the same update
+//! stream must restore the table). The model path prices the updates
+//! as random read-modify-writes; the reported GUPS applies the
+//! [`knl::calib::GUPS_SERIALIZATION`] reporting constant that matches
+//! the paper's HPCC configuration scale.
+
+use crate::PaperWorkload;
+use knl::access::RandomOp;
+use knl::{calib, Machine, MachineError};
+use simfabric::ByteSize;
+
+/// A GUPS problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gups {
+    /// Table size in bytes (power of two, as HPCC requires).
+    pub table_bytes: u64,
+}
+
+impl Gups {
+    /// GUPS over a table of `size` (rounded down to a power of two).
+    pub fn new(size: ByteSize) -> Self {
+        let b = size.as_u64().max(64);
+        Gups {
+            table_bytes: 1u64 << (63 - b.leading_zeros()),
+        }
+    }
+
+    /// Number of 8-byte table entries.
+    pub fn entries(&self) -> u64 {
+        self.table_bytes / 8
+    }
+
+    /// Updates performed (HPCC uses 4× the table entries).
+    pub fn updates(&self) -> u64 {
+        4 * self.entries()
+    }
+
+    /// Model: GUPS on `machine`.
+    pub fn model_gups(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        let table = machine.alloc("gups_table", ByteSize::bytes(self.table_bytes))?;
+        let op = RandomOp::updates(&table, self.updates());
+        let rate = machine.random_rate(&op);
+        machine.random(&op);
+        machine.release(&table)?;
+        Ok(rate / 1e9 / calib::GUPS_SERIALIZATION)
+    }
+}
+
+impl PaperWorkload for Gups {
+    fn name(&self) -> &'static str {
+        "GUPS"
+    }
+
+    fn metric(&self) -> &'static str {
+        "GUPS"
+    }
+
+    fn footprint(&self) -> ByteSize {
+        ByteSize::bytes(self.table_bytes)
+    }
+
+    fn run_model(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        self.model_gups(machine)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native kernel
+// ---------------------------------------------------------------------
+
+/// The HPCC polynomial random-number stream: x ← (x << 1) ^ (POLY if
+/// the top bit was set).
+#[inline]
+fn hpcc_next(x: u64) -> u64 {
+    const POLY: u64 = 0x0000000000000007;
+    (x << 1) ^ (if (x as i64) < 0 { POLY } else { 0 })
+}
+
+/// A native GUPS table.
+pub struct GupsTable {
+    /// The table; entry i is initialized to i.
+    pub table: Vec<u64>,
+}
+
+impl GupsTable {
+    /// Allocate a table of `entries` (power of two) words.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "HPCC requires a power-of-two table");
+        GupsTable {
+            table: (0..entries as u64).collect(),
+        }
+    }
+
+    /// Run `n` updates from the given stream seed; returns the number
+    /// of updates applied.
+    pub fn run_updates(&mut self, n: u64, seed: u64) -> u64 {
+        let mask = self.table.len() as u64 - 1;
+        let mut x = if seed == 0 { 1 } else { seed };
+        for _ in 0..n {
+            x = hpcc_next(x);
+            let idx = (x & mask) as usize;
+            self.table[idx] ^= x;
+        }
+        n
+    }
+
+    /// HPCC verification: re-running the identical update stream must
+    /// restore the initial table (xor is an involution). Returns the
+    /// number of mismatching entries.
+    pub fn verify(&mut self, n: u64, seed: u64) -> u64 {
+        self.run_updates(n, seed);
+        self.table
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| v != i as u64)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl::MemSetup;
+
+    #[test]
+    fn native_updates_verify_to_zero_errors() {
+        let mut t = GupsTable::new(1 << 12);
+        t.run_updates(4 << 12, 42);
+        let errors = t.verify(4 << 12, 42);
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn native_updates_actually_change_the_table() {
+        // xor updates cancel in pairs, so roughly half the entries end
+        // up changed; assert a loose statistical bound.
+        let mut t = GupsTable::new(1 << 10);
+        t.run_updates(1 << 12, 7);
+        let changed = t.table.iter().enumerate().filter(|&(i, &v)| v != i as u64).count();
+        assert!(changed > 256, "only {changed} entries changed");
+    }
+
+    #[test]
+    fn hpcc_stream_has_long_period() {
+        let mut x = 1u64;
+        let mut seen_one_again = 0;
+        for _ in 0..100_000 {
+            x = hpcc_next(x);
+            if x == 1 {
+                seen_one_again += 1;
+            }
+        }
+        assert_eq!(seen_one_again, 0, "stream cycled suspiciously early");
+    }
+
+    #[test]
+    fn table_size_rounds_to_power_of_two() {
+        let g = Gups::new(ByteSize::gib(3));
+        assert_eq!(g.table_bytes, ByteSize::gib(2).as_u64());
+        assert_eq!(g.updates(), 4 * g.entries());
+    }
+
+    #[test]
+    fn model_matches_fig4c_scale_and_ordering() {
+        let g = Gups::new(ByteSize::gib(8));
+        let run = |setup| {
+            let mut m = Machine::knl7210(setup, 64).unwrap();
+            g.model_gups(&mut m).unwrap()
+        };
+        let dram = run(MemSetup::DramOnly);
+        let hbm = run(MemSetup::HbmOnly);
+        // Paper scale: ~1.06–1.10 × 10⁻².
+        assert!(dram > 0.008 && dram < 0.014, "DRAM GUPS {dram}");
+        assert!(dram > hbm, "DRAM should beat HBM: {dram} vs {hbm}");
+        assert!(hbm / dram > 0.8, "gap too wide: {}", hbm / dram);
+    }
+
+    #[test]
+    fn model_is_roughly_flat_in_table_size() {
+        // Fig. 4c: GUPS varies only a few percent from 1 to 32 GB.
+        let mut vals = Vec::new();
+        for gib in [1u64, 4, 16, 32] {
+            let g = Gups::new(ByteSize::gib(gib));
+            let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+            vals.push(g.model_gups(&mut m).unwrap());
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min < 1.35, "GUPS spread too wide: {vals:?}");
+    }
+
+    #[test]
+    fn model_hbm_stops_at_capacity() {
+        let g = Gups::new(ByteSize::gib(32));
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        assert!(g.model_gups(&mut hbm).is_err());
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        assert!(g.model_gups(&mut dram).is_ok());
+    }
+
+    #[test]
+    fn model_cache_mode_between_at_moderate_sizes() {
+        let g = Gups::new(ByteSize::gib(8));
+        let run = |setup| {
+            let mut m = Machine::knl7210(setup, 64).unwrap();
+            g.model_gups(&mut m).unwrap()
+        };
+        let dram = run(MemSetup::DramOnly);
+        let cache = run(MemSetup::CacheMode);
+        let hbm = run(MemSetup::HbmOnly);
+        // At 8 GB the table fits the MCDRAM cache: cache ≈ HBM < DRAM.
+        assert!((cache - hbm).abs() / hbm < 0.15, "cache {cache} vs hbm {hbm}");
+        assert!(dram > cache);
+    }
+}

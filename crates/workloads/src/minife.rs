@@ -1,0 +1,376 @@
+//! MiniFE \[13\] — the implicit finite-element proxy application.
+//!
+//! The performance-critical part is the conjugate-gradient solve over
+//! the assembled sparse system (the paper reports "total Mflops in the
+//! CG part"). The native path assembles the 27-point (3D structured
+//! hexahedral) stiffness-like matrix in CSR form and runs a real CG
+//! solver (Rayon-parallel SpMV, axpy, dot) validated on a Poisson
+//! problem. The model path prices one CG iteration's traffic — matrix
+//! stream, x-vector gather, CG vector sweeps — with the calibrated
+//! per-row constants in [`knl::calib`].
+
+use crate::PaperWorkload;
+use knl::access::Reuse;
+use knl::{calib, Machine, MachineError, StreamOp};
+use rayon::prelude::*;
+use simfabric::ByteSize;
+
+/// Approximate bytes of footprint per matrix row (CSR + CG vectors).
+pub const BYTES_PER_ROW: u64 = 364;
+
+/// A MiniFE problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiniFe {
+    /// Grid dimension (the problem is nx × nx × nx nodes).
+    pub nx: u64,
+}
+
+impl MiniFe {
+    /// Cubic problem of dimension `nx`.
+    pub fn new(nx: u64) -> Self {
+        MiniFe { nx: nx.max(2) }
+    }
+
+    /// The problem whose matrix+vectors total ≈ `footprint` (Fig. 4b's
+    /// x-axis).
+    pub fn with_footprint(footprint: ByteSize) -> Self {
+        let rows = footprint.as_u64() / BYTES_PER_ROW;
+        MiniFe {
+            nx: (rows as f64).cbrt().round().max(2.0) as u64,
+        }
+    }
+
+    /// Number of matrix rows (= grid nodes).
+    pub fn rows(&self) -> u64 {
+        self.nx * self.nx * self.nx
+    }
+
+    /// Model: CG MFLOPS on `machine`.
+    pub fn model_cg_mflops(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        let rows = self.rows() as f64;
+        let mut regions = machine.alloc_many(&[
+            (
+                "minife_matrix",
+                ByteSize::bytes((rows * calib::MINIFE_MATRIX_BYTES_PER_ROW) as u64),
+            ),
+            ("minife_vectors", ByteSize::bytes((rows as u64) * 8 * 5)),
+        ])?;
+        let vectors = regions.pop().expect("two regions");
+        let matrix = regions.pop().expect("two regions");
+        // The x-vector gather only reaches memory for the part of x
+        // the 32-MB aggregate L2 cannot hold: small problems gather
+        // entirely from cache, which is why the paper's Fig. 4b
+        // improvement line starts low and grows with size.
+        let x_bytes = rows * 8.0;
+        let l2_total = 32.0 * 1024.0 * 1024.0;
+        let gather_miss = (1.0 - (l2_total / x_bytes).min(1.0)).max(0.0);
+        // One CG iteration, phase 1: SpMV — matrix stream plus the
+        // x-gather, which contends with the matrix for MCDRAM-cache
+        // slots (hence one phase).
+        let spmv = [
+            StreamOp {
+                region: matrix.clone(),
+                read_bytes: (rows * calib::MINIFE_MATRIX_BYTES_PER_ROW) as u64,
+                write_bytes: 0,
+                reuse: Reuse::Streaming,
+            },
+            StreamOp {
+                region: vectors.clone(),
+                read_bytes: (rows * calib::MINIFE_GATHER_BYTES_PER_ROW * gather_miss) as u64,
+                write_bytes: 0,
+                reuse: Reuse::Streaming,
+            },
+        ];
+        let t_spmv = machine.price_stream(&spmv);
+        // Phase 2: CG vector updates (axpys, dots) — hot, small
+        // footprint.
+        let vec_bytes = (rows * calib::MINIFE_VECTOR_BYTES_PER_ROW) as u64;
+        let vecops = [StreamOp {
+            region: vectors.clone(),
+            read_bytes: vec_bytes * 2 / 3,
+            write_bytes: vec_bytes / 3,
+            reuse: Reuse::Streaming,
+        }];
+        let t_vec = machine.price_stream(&vecops);
+        // Non-memory overhead (reductions, loop bookkeeping) shrinks
+        // as threads grow, saturating at 2 threads/core.
+        let threads = machine.config().threads.min(128) as f64;
+        let flops = rows * calib::MINIFE_FLOPS_PER_ROW;
+        let overhead_s = flops * calib::MINIFE_COMPUTE_NS_PER_FLOP_64T * (64.0 / threads) * 1e-9;
+        let secs = t_spmv.as_secs() + t_vec.as_secs() + overhead_s;
+        machine.compute(flops, flops / secs / 1e9);
+        machine.release(&matrix)?;
+        machine.release(&vectors)?;
+        Ok(flops / secs / 1e6)
+    }
+}
+
+impl PaperWorkload for MiniFe {
+    fn name(&self) -> &'static str {
+        "MiniFE"
+    }
+
+    fn metric(&self) -> &'static str {
+        "CG MFLOPS"
+    }
+
+    fn footprint(&self) -> ByteSize {
+        ByteSize::bytes(self.rows() * BYTES_PER_ROW)
+    }
+
+    fn run_model(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        self.model_cg_mflops(machine)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native kernel: CSR assembly + CG solver
+// ---------------------------------------------------------------------
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row pointers (len = rows + 1).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// y = A·x (parallel over rows).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows());
+        assert_eq!(y.len(), self.rows());
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.vals[k] * x[self.cols[k] as usize];
+            }
+            *yi = acc;
+        });
+    }
+}
+
+/// Assemble the 27-point stencil operator for an nx³ grid: diagonal 26,
+/// off-diagonals −1 toward every lattice neighbour (a strictly
+/// diagonally dominant M-matrix, so CG converges).
+pub fn assemble_27pt(nx: usize) -> Csr {
+    let n = nx * nx * nx;
+    let idx = |x: usize, y: usize, z: usize| (z * nx + y) * nx + x;
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for z in 0..nx {
+        for y in 0..nx {
+            for x in 0..nx {
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= nx as i64
+                                || zz >= nx as i64
+                            {
+                                continue;
+                            }
+                            let j = idx(xx as usize, yy as usize, zz as usize);
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                cols.push(j as u32);
+                                vals.push(26.0);
+                            } else {
+                                cols.push(j as u32);
+                                vals.push(-1.0);
+                            }
+                        }
+                    }
+                }
+                row_ptr.push(cols.len());
+            }
+        }
+    }
+    Csr { row_ptr, cols, vals }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgResult {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Flops executed (2·nnz + 10·n per iteration, as MiniFE counts).
+    pub flops: f64,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Conjugate gradient: solve A·x = b to `tol` or `max_iters`.
+pub fn cg_solve(a: &Csr, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -> CgResult {
+    let n = a.rows();
+    let mut r = b.to_vec();
+    let mut ap = vec![0.0; n];
+    // r = b - A·x
+    a.spmv(x, &mut ap);
+    r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= api);
+    let mut p = r.clone();
+    let mut rsq = dot(&r, &r);
+    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+    let mut iterations = 0;
+    while iterations < max_iters && rsq.sqrt() / b_norm > tol {
+        a.spmv(&p, &mut ap);
+        let alpha = rsq / dot(&p, &ap);
+        x.par_iter_mut().zip(p.par_iter()).for_each(|(xi, &pi)| *xi += alpha * pi);
+        r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= alpha * api);
+        let rsq_new = dot(&r, &r);
+        let beta = rsq_new / rsq;
+        p.par_iter_mut().zip(r.par_iter()).for_each(|(pi, &ri)| *pi = ri + beta * *pi);
+        rsq = rsq_new;
+        iterations += 1;
+    }
+    CgResult {
+        iterations,
+        residual: rsq.sqrt(),
+        flops: iterations as f64 * (2.0 * a.nnz() as f64 + 10.0 * n as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl::MemSetup;
+
+    #[test]
+    fn assembly_shape_and_symmetry() {
+        let a = assemble_27pt(4);
+        assert_eq!(a.rows(), 64);
+        // Interior nodes have 27 entries; corners 8.
+        let interior = (4 + 1) * 4 + 1; // node (1,1,1)
+        assert_eq!(a.row_ptr[interior + 1] - a.row_ptr[interior], 27);
+        assert_eq!(a.row_ptr[1] - a.row_ptr[0], 8);
+        // Weak diagonal dominance: interior rows sum to exactly zero
+        // (26 - 26 neighbours), boundary rows are strictly positive —
+        // together with irreducibility this makes the operator SPD.
+        for i in 0..a.rows() {
+            let sum: f64 = (a.row_ptr[i]..a.row_ptr[i + 1]).map(|k| a.vals[k]).sum();
+            assert!(sum >= 0.0, "row {i} sum {sum}");
+        }
+        let corner_sum: f64 = (a.row_ptr[0]..a.row_ptr[1]).map(|k| a.vals[k]).sum();
+        assert!(corner_sum > 0.0, "corner row should be strictly dominant");
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let a = assemble_27pt(3);
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; n];
+        a.spmv(&x, &mut y);
+        // Dense reference.
+        for (i, &yi) in y.iter().enumerate().take(n) {
+            let mut acc = 0.0;
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                acc += a.vals[k] * x[a.cols[k] as usize];
+            }
+            assert!((yi - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cg_converges_and_solves() {
+        let a = assemble_27pt(6);
+        let n = a.rows();
+        // Manufactured solution.
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let res = cg_solve(&a, &b, &mut x, 1e-10, 500);
+        assert!(res.iterations < 200, "CG took {} iterations", res.iterations);
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "solution error {err}");
+        assert!(res.flops > 0.0);
+    }
+
+    #[test]
+    fn cg_zero_rhs_terminates_immediately() {
+        let a = assemble_27pt(3);
+        let b = vec![0.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 1e-8, 100);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn model_fig4b_ordering_and_3x() {
+        let m = MiniFe::with_footprint(ByteSize::gib_f(7.2));
+        let run = |setup| {
+            let mut mac = Machine::knl7210(setup, 64).unwrap();
+            m.model_cg_mflops(&mut mac).unwrap()
+        };
+        let dram = run(MemSetup::DramOnly);
+        let hbm = run(MemSetup::HbmOnly);
+        let cache = run(MemSetup::CacheMode);
+        assert!(hbm > cache && cache > dram, "hbm {hbm} cache {cache} dram {dram}");
+        let ratio = hbm / dram;
+        assert!(ratio > 2.6 && ratio < 3.8, "HBM/DRAM {ratio}");
+    }
+
+    #[test]
+    fn model_cache_gain_decays_to_1_05x_at_twice_capacity() {
+        // Fig. 4b: improvement from cache mode drops to ~1.05x when the
+        // problem is nearly twice the HBM capacity (28.8 GB).
+        let m = MiniFe::with_footprint(ByteSize::gib_f(28.8));
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let mut cache = Machine::knl7210(MemSetup::CacheMode, 64).unwrap();
+        let d = m.model_cg_mflops(&mut dram).unwrap();
+        let c = m.model_cg_mflops(&mut cache).unwrap();
+        let imp = c / d;
+        assert!(imp > 0.98 && imp < 1.25, "cache improvement {imp}");
+        // And HBM cannot hold it at all.
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        assert!(m.model_cg_mflops(&mut hbm).is_err());
+    }
+
+    #[test]
+    fn model_thread_scaling_fig6b() {
+        let m = MiniFe::with_footprint(ByteSize::gib_f(7.2));
+        let run = |setup, threads| {
+            let mut mac = Machine::knl7210(setup, threads).unwrap();
+            m.model_cg_mflops(&mut mac).unwrap()
+        };
+        let h64 = run(MemSetup::HbmOnly, 64);
+        let h192 = run(MemSetup::HbmOnly, 192);
+        let gain = h192 / h64;
+        assert!(gain > 1.3 && gain < 1.9, "HBM 192/64 gain {gain}");
+        // DRAM barely moves.
+        let d_gain = run(MemSetup::DramOnly, 192) / run(MemSetup::DramOnly, 64);
+        assert!(d_gain < 1.15, "DRAM gain {d_gain}");
+        // §I: ~3.8x HBM-vs-DRAM with 4 hardware threads/core.
+        let r256 = run(MemSetup::HbmOnly, 256) / run(MemSetup::DramOnly, 256);
+        assert!(r256 > 3.0 && r256 < 5.2, "HBM/DRAM at 256 threads {r256}");
+    }
+}

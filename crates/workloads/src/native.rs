@@ -1,0 +1,275 @@
+//! Native measurement harness: run the real kernels on the host with a
+//! controlled thread count and report the paper's metrics from
+//! wall-clock time.
+//!
+//! This is the "run it on whatever machine you have" counterpart to the
+//! KNL model — the same kernels, the same metrics (GB/s, GFLOPS,
+//! CG MFLOPS, GUPS, TEPS, lookups/s), measured rather than modeled.
+//! The examples use it to ground the model's numbers against reality
+//! at laptop scale.
+
+use crate::dgemm::matmul_blocked;
+use crate::graph500::{Graph, Kronecker};
+use crate::gups::GupsTable;
+use crate::minife::{assemble_27pt, cg_solve};
+use crate::stream::StreamArrays;
+use crate::xsbench::XsData;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One native measurement.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NativeMeasurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Measured value (higher is better).
+    pub value: f64,
+    /// Wall-clock seconds spent in the timed section.
+    pub seconds: f64,
+    /// Rayon threads used.
+    pub threads: usize,
+}
+
+fn in_pool<F: FnOnce() -> NativeMeasurement + Send>(threads: usize, f: F) -> NativeMeasurement {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let mut m = pool.install(f);
+    m.threads = threads;
+    m
+}
+
+/// STREAM triad over `n` elements per array, `reps` repetitions; the
+/// best repetition's bandwidth is reported (the STREAM convention).
+pub fn measure_stream(threads: usize, n: usize, reps: u32) -> NativeMeasurement {
+    in_pool(threads, || {
+        let mut arrays = StreamArrays::new(n);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t = Instant::now();
+            arrays.triad(3.0);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        NativeMeasurement {
+            workload: "STREAM",
+            metric: "GB/s",
+            value: 3.0 * 8.0 * n as f64 / 1e9 / best,
+            seconds: best,
+            threads: 0,
+        }
+    })
+}
+
+/// DGEMM of dimension `n`.
+pub fn measure_dgemm(threads: usize, n: usize) -> NativeMeasurement {
+    in_pool(threads, || {
+        let a = vec![1.5f64; n * n];
+        let b = vec![0.5f64; n * n];
+        let mut c = vec![0.0f64; n * n];
+        let t = Instant::now();
+        matmul_blocked(&a, &b, &mut c, n);
+        let secs = t.elapsed().as_secs_f64();
+        assert!((c[0] - 0.75 * n as f64).abs() < 1e-6, "result check failed");
+        NativeMeasurement {
+            workload: "DGEMM",
+            metric: "GFLOPS",
+            value: 2.0 * (n as f64).powi(3) / 1e9 / secs,
+            seconds: secs,
+            threads: 0,
+        }
+    })
+}
+
+/// MiniFE CG on an nx³ grid, `iters` iterations.
+pub fn measure_minife(threads: usize, nx: usize, iters: usize) -> NativeMeasurement {
+    in_pool(threads, || {
+        let a = assemble_27pt(nx);
+        let b = vec![1.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let t = Instant::now();
+        let res = cg_solve(&a, &b, &mut x, 0.0, iters); // fixed iterations
+        let secs = t.elapsed().as_secs_f64();
+        NativeMeasurement {
+            workload: "MiniFE",
+            metric: "CG MFLOPS",
+            value: res.flops / 1e6 / secs,
+            seconds: secs,
+            threads: 0,
+        }
+    })
+}
+
+/// GUPS over a `2^log2_entries`-entry table.
+pub fn measure_gups(threads: usize, log2_entries: u32) -> NativeMeasurement {
+    in_pool(threads, || {
+        // The HPCC kernel is serial per stream; run one stream per
+        // thread over disjoint seeds via rayon scope.
+        let entries = 1usize << log2_entries;
+        let updates_per_stream = 4 * entries as u64;
+        let n_streams = rayon::current_num_threads().max(1);
+        let t = Instant::now();
+        let total: u64 = (0..n_streams)
+            .into_par_iter()
+            .map(|i| {
+                let mut table = GupsTable::new(entries);
+                table.run_updates(updates_per_stream, i as u64 + 1)
+            })
+            .sum();
+        let secs = t.elapsed().as_secs_f64();
+        NativeMeasurement {
+            workload: "GUPS",
+            metric: "GUPS",
+            value: total as f64 / 1e9 / secs,
+            seconds: secs,
+            threads: 0,
+        }
+    })
+}
+
+/// Graph500 BFS over a Kronecker graph of the given scale; harmonic
+/// mean TEPS over `roots` validated searches.
+pub fn measure_graph500(threads: usize, scale: u32, roots: usize) -> NativeMeasurement {
+    in_pool(threads, || {
+        let gen = Kronecker::new(scale, 2017);
+        let g = Graph::from_edges(gen.vertices() as usize, &gen.generate());
+        let mut rates = Vec::new();
+        let mut secs_total = 0.0;
+        let mut done = 0;
+        for root in 0..g.num_vertices() as u32 {
+            if g.neighbors_of(root).is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            let parents = g.bfs(root);
+            let secs = t.elapsed().as_secs_f64();
+            g.validate_bfs(root, &parents).expect("validation");
+            rates.push(g.traversed_edges(&parents) as f64 / secs);
+            secs_total += secs;
+            done += 1;
+            if done == roots {
+                break;
+            }
+        }
+        NativeMeasurement {
+            workload: "Graph500",
+            metric: "TEPS",
+            value: simfabric::stats::harmonic_mean(&rates),
+            seconds: secs_total,
+            threads: 0,
+        }
+    })
+}
+
+/// XSBench lookups over a generated data set.
+pub fn measure_xsbench(threads: usize, nuclides: usize, gridpoints: usize, lookups: u64) -> NativeMeasurement {
+    in_pool(threads, || {
+        let data = XsData::build(nuclides, gridpoints, 7);
+        let n_chunks = rayon::current_num_threads().max(1) as u64;
+        let per_chunk = lookups / n_chunks;
+        let t = Instant::now();
+        let (sum, count) = (0..n_chunks)
+            .into_par_iter()
+            .map(|i| data.run_lookups(per_chunk, i))
+            .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        let secs = t.elapsed().as_secs_f64();
+        assert!(sum.is_finite());
+        NativeMeasurement {
+            workload: "XSBench",
+            metric: "lookups/s",
+            value: count as f64 / secs,
+            seconds: secs,
+            threads: 0,
+        }
+    })
+}
+
+/// Run the whole native suite at laptop scale.
+pub fn native_suite(threads: usize) -> Vec<NativeMeasurement> {
+    vec![
+        measure_stream(threads, 1 << 21, 3),
+        measure_dgemm(threads, 192),
+        measure_minife(threads, 16, 25),
+        measure_gups(threads, 14),
+        measure_graph500(threads, 12, 4),
+        measure_xsbench(threads, 24, 400, 40_000),
+    ]
+}
+
+/// Render measurements as an aligned table.
+pub fn render_native(results: &[NativeMeasurement]) -> String {
+    let mut out = format!(
+        "{:<10} {:>14} {:>12} {:>10} {:>8}\n",
+        "workload", "value", "metric", "seconds", "threads"
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<10} {:>14.4e} {:>12} {:>10.4} {:>8}\n",
+            r.workload, r.value, r.metric, r.seconds, r.threads
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_measurement_is_sane() {
+        let m = measure_stream(1, 1 << 16, 2);
+        assert_eq!(m.workload, "STREAM");
+        assert!(m.value > 0.1, "bandwidth {}", m.value);
+        assert!(m.seconds > 0.0);
+        assert_eq!(m.threads, 1);
+    }
+
+    #[test]
+    fn dgemm_measurement_verifies_result() {
+        let m = measure_dgemm(1, 96);
+        assert!(m.value > 0.01, "GFLOPS {}", m.value);
+    }
+
+    #[test]
+    fn minife_counts_fixed_iterations() {
+        let m = measure_minife(1, 8, 10);
+        assert!(m.value > 0.0);
+        assert_eq!(m.metric, "CG MFLOPS");
+    }
+
+    #[test]
+    fn gups_scales_streams_with_threads() {
+        let m = measure_gups(2, 10);
+        assert!(m.value > 0.0);
+        assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn graph500_validates_and_reports_harmonic_mean() {
+        let m = measure_graph500(1, 8, 2);
+        assert!(m.value > 0.0);
+        assert_eq!(m.metric, "TEPS");
+    }
+
+    #[test]
+    fn xsbench_counts_all_lookups() {
+        let m = measure_xsbench(1, 8, 100, 2_000);
+        assert!(m.value > 0.0);
+    }
+
+    #[test]
+    fn suite_covers_all_workloads_and_renders() {
+        // Tiny configuration so the test stays fast.
+        let results = vec![
+            measure_stream(1, 1 << 12, 1),
+            measure_gups(1, 8),
+        ];
+        let table = render_native(&results);
+        assert!(table.contains("STREAM"));
+        assert!(table.contains("GUPS"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

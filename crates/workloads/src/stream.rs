@@ -1,0 +1,237 @@
+//! STREAM — McCalpin's bandwidth benchmark \[17\], OpenMP-style.
+//!
+//! The paper uses the triad kernel (`a[i] = b[i] + s*c[i]`) with one
+//! thread per core to produce Fig. 2, and sweeps hardware threads for
+//! Fig. 5. The native path implements all four kernels (copy, scale,
+//! add, triad) with Rayon and verifies results; the model path submits
+//! the triad's traffic (two streamed reads + one streamed write, plus
+//! the write-allocate read the paper's compiler flags imply away with
+//! streaming stores — STREAM convention counts 3 × N × 8 bytes).
+
+use crate::PaperWorkload;
+use knl::{Machine, MachineError, StreamOp};
+use rayon::prelude::*;
+use simfabric::ByteSize;
+
+/// STREAM configured for a total array footprint (all three arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBench {
+    /// Combined size of the three arrays.
+    pub total_size: ByteSize,
+    /// Number of triad iterations to time (STREAM uses 10, reports the
+    /// best; the model prices the steady state so one pass suffices).
+    pub passes: u32,
+}
+
+impl StreamBench {
+    /// STREAM with the given combined footprint.
+    pub fn new(total_size: ByteSize) -> Self {
+        StreamBench {
+            total_size,
+            passes: 1,
+        }
+    }
+
+    /// Elements per array.
+    pub fn elements(&self) -> u64 {
+        self.total_size.as_u64() / 3 / 8
+    }
+
+    /// Run the model and return the triad bandwidth in GB/s.
+    pub fn triad_bandwidth(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        let per_array = ByteSize::bytes(self.elements() * 8);
+        let mut regions = machine.alloc_many(&[
+            ("stream_a", per_array),
+            ("stream_b", per_array),
+            ("stream_c", per_array),
+        ])?;
+        let c = regions.pop().expect("three regions");
+        let b = regions.pop().expect("three regions");
+        let a = regions.pop().expect("three regions");
+        let ops = [
+            StreamOp::read_all(&b),
+            StreamOp::read_all(&c),
+            StreamOp::write_all(&a),
+        ];
+        let mut total_bytes = 0u64;
+        let mut secs = 0.0;
+        for _ in 0..self.passes.max(1) {
+            let d = machine.stream(&ops);
+            secs += d.as_secs();
+            total_bytes += ops.iter().map(StreamOp::bytes).sum::<u64>();
+        }
+        machine.release(&a)?;
+        machine.release(&b)?;
+        machine.release(&c)?;
+        Ok(total_bytes as f64 / 1e9 / secs)
+    }
+}
+
+impl PaperWorkload for StreamBench {
+    fn name(&self) -> &'static str {
+        "STREAM"
+    }
+
+    fn metric(&self) -> &'static str {
+        "GB/s"
+    }
+
+    fn footprint(&self) -> ByteSize {
+        self.total_size
+    }
+
+    fn run_model(&self, machine: &mut Machine) -> Result<f64, MachineError> {
+        let mut bench = *self;
+        bench.passes = bench.passes.max(1);
+        bench.triad_bandwidth(machine)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native kernels
+// ---------------------------------------------------------------------
+
+/// Native STREAM arrays.
+pub struct StreamArrays {
+    /// `a` — destination of copy/triad.
+    pub a: Vec<f64>,
+    /// `b` — destination of scale, source of add/triad.
+    pub b: Vec<f64>,
+    /// `c` — destination of add, source of copy/scale/triad.
+    pub c: Vec<f64>,
+}
+
+impl StreamArrays {
+    /// Initialize as the reference code does: a=1, b=2, c=0.
+    pub fn new(n: usize) -> Self {
+        StreamArrays {
+            a: vec![1.0; n],
+            b: vec![2.0; n],
+            c: vec![0.0; n],
+        }
+    }
+
+    /// `c = a`.
+    pub fn copy(&mut self) {
+        let a = &self.a;
+        self.c.par_iter_mut().zip(a.par_iter()).for_each(|(c, &a)| *c = a);
+    }
+
+    /// `b = s * c`.
+    pub fn scale(&mut self, s: f64) {
+        let c = &self.c;
+        self.b.par_iter_mut().zip(c.par_iter()).for_each(|(b, &c)| *b = s * c);
+    }
+
+    /// `c = a + b`.
+    pub fn add(&mut self) {
+        let (a, b) = (&self.a, &self.b);
+        self.c
+            .par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(c, (&a, &b))| *c = a + b);
+    }
+
+    /// `a = b + s * c`.
+    pub fn triad(&mut self, s: f64) {
+        let (b, c) = (&self.b, &self.c);
+        self.a
+            .par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(a, (&b, &c))| *a = b + s * c);
+    }
+
+    /// Run the full STREAM sequence once and verify against the
+    /// closed-form expected values; returns `Err` with the first
+    /// mismatching index otherwise.
+    pub fn run_and_verify(&mut self, s: f64) -> Result<(), usize> {
+        self.copy(); // c = 1
+        self.scale(s); // b = s
+        self.add(); // c = 1 + s
+        self.triad(s); // a = s + s(1+s)
+        let expect_a = s + s * (1.0 + s);
+        let expect_b = s;
+        let expect_c = 1.0 + s;
+        for i in 0..self.a.len() {
+            if (self.a[i] - expect_a).abs() > 1e-12
+                || (self.b[i] - expect_b).abs() > 1e-12
+                || (self.c[i] - expect_c).abs() > 1e-12
+            {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl::MemSetup;
+
+    #[test]
+    fn native_kernels_verify() {
+        let mut s = StreamArrays::new(10_000);
+        s.run_and_verify(3.0).unwrap();
+    }
+
+    #[test]
+    fn native_triad_matches_formula_elementwise() {
+        let mut s = StreamArrays::new(257); // odd size exercises tails
+        s.b.iter_mut().enumerate().for_each(|(i, b)| *b = i as f64);
+        s.c.iter_mut().enumerate().for_each(|(i, c)| *c = 2.0 * i as f64);
+        s.triad(0.5);
+        for i in 0..257 {
+            assert_eq!(s.a[i], i as f64 + 0.5 * 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn model_reproduces_fig2_ordering() {
+        let bench = StreamBench::new(ByteSize::gib(6));
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        let mut cache = Machine::knl7210(MemSetup::CacheMode, 64).unwrap();
+        let d = bench.triad_bandwidth(&mut dram).unwrap();
+        let h = bench.triad_bandwidth(&mut hbm).unwrap();
+        let c = bench.triad_bandwidth(&mut cache).unwrap();
+        assert!(h > c && c > d, "HBM {h} > cache {c} > DRAM {d} expected");
+        assert!(h / d > 4.0, "HBM/DRAM ratio {}", h / d);
+    }
+
+    #[test]
+    fn model_hbm_stops_at_capacity() {
+        let bench = StreamBench::new(ByteSize::gib(20));
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        assert!(matches!(
+            bench.triad_bandwidth(&mut hbm),
+            Err(MachineError::Alloc(_))
+        ));
+        // Same size is fine on DRAM.
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        assert!(bench.triad_bandwidth(&mut dram).is_ok());
+    }
+
+    #[test]
+    fn workload_trait_surface() {
+        let bench = StreamBench::new(ByteSize::gib(3));
+        assert_eq!(bench.name(), "STREAM");
+        assert_eq!(bench.metric(), "GB/s");
+        assert_eq!(bench.footprint(), ByteSize::gib(3));
+        let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let bw = bench.run_model(&mut m).unwrap();
+        assert!(bw > 70.0 && bw < 80.0);
+    }
+
+    #[test]
+    fn repeated_passes_price_identically() {
+        let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let one = StreamBench { total_size: ByteSize::gib(3), passes: 1 }
+            .triad_bandwidth(&mut m)
+            .unwrap();
+        let ten = StreamBench { total_size: ByteSize::gib(3), passes: 10 }
+            .triad_bandwidth(&mut m)
+            .unwrap();
+        assert!((one - ten).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,176 @@
+//! TinyMemBench \[19\] — dual random read latency.
+//!
+//! The paper measures the latency of two simultaneous dependent random
+//! read chains over buffers from 128 KB to 1 GB (Fig. 3), in DRAM and
+//! HBM. The native path implements the actual dual pointer chase
+//! (with a Sattolo-cycle permutation so every element is visited); the
+//! model path evaluates [`knl::dual_random_read_latency`].
+
+use knl::{Machine, MachineError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simfabric::ByteSize;
+
+/// The block sizes Fig. 3 sweeps (128 KB … 1 GB, powers of two).
+pub fn fig3_block_sizes() -> Vec<ByteSize> {
+    let mut v = Vec::new();
+    let mut b = 128 * 1024u64;
+    while b <= 1 << 30 {
+        v.push(ByteSize::bytes(b));
+        b *= 2;
+    }
+    v
+}
+
+/// Model: dual random read latency (ns) for a buffer of `block` bytes
+/// on `machine`'s *bound* memory (DRAM or HBM per the machine setup).
+pub fn model_latency_ns(machine: &mut Machine, block: ByteSize) -> Result<f64, MachineError> {
+    // Allocate so that an HBM bind that cannot hold the block errors
+    // out exactly like the real benchmark would.
+    let region = machine.alloc("tmb_buffer", block)?;
+    let cfg = machine.config();
+    let tlb = if cfg.huge_pages {
+        cachesim::tlb::TlbConfig::knl_2m()
+    } else {
+        cachesim::tlb::TlbConfig::knl_4k()
+    };
+    let spec = if region.hbm_fraction >= 0.5 {
+        cfg.mcdram.clone()
+    } else {
+        cfg.ddr.clone()
+    };
+    let ns = knl::dual_random_read_latency(&spec, block, &tlb).as_ns();
+    machine.release(&region)?;
+    Ok(ns)
+}
+
+/// A pointer-chase buffer: `next[i]` is the index to visit after `i`,
+/// forming a single cycle covering every slot (Sattolo's algorithm),
+/// so the chase cannot be predicted or shortcut.
+pub struct ChaseBuffer {
+    next: Vec<u32>,
+}
+
+impl ChaseBuffer {
+    /// Build a chase over `n` slots with the given seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two slots");
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Sattolo: single cycle.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i);
+            idx.swap(i, j);
+        }
+        // The shuffled permutation is a single cycle when applied as a
+        // successor function.
+        ChaseBuffer { next: idx }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Chase one chain for `steps` starting at `start`; returns the
+    /// final index (forces the dependency chain).
+    pub fn chase(&self, start: u32, steps: usize) -> u32 {
+        let mut p = start;
+        for _ in 0..steps {
+            p = self.next[p as usize];
+        }
+        p
+    }
+
+    /// Chase two chains in lockstep — the "dual random read" pattern.
+    /// Returns both endpoints.
+    pub fn dual_chase(&self, start_a: u32, start_b: u32, steps: usize) -> (u32, u32) {
+        let mut a = start_a;
+        let mut b = start_b;
+        for _ in 0..steps {
+            a = self.next[a as usize];
+            b = self.next[b as usize];
+        }
+        (a, b)
+    }
+
+    /// Verify the successor map is a single cycle through all slots.
+    pub fn is_single_cycle(&self) -> bool {
+        let n = self.next.len();
+        let mut seen = vec![false; n];
+        let mut p = 0u32;
+        for _ in 0..n {
+            if seen[p as usize] {
+                return false;
+            }
+            seen[p as usize] = true;
+            p = self.next[p as usize];
+        }
+        p == 0 && seen.iter().all(|&s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl::MemSetup;
+
+    #[test]
+    fn fig3_sweep_covers_128k_to_1g() {
+        let sizes = fig3_block_sizes();
+        assert_eq!(sizes.first().unwrap().as_u64(), 128 * 1024);
+        assert_eq!(sizes.last().unwrap().as_u64(), 1 << 30);
+        assert_eq!(sizes.len(), 14);
+    }
+
+    #[test]
+    fn chase_buffer_is_single_cycle() {
+        for n in [2usize, 3, 64, 1000] {
+            let c = ChaseBuffer::new(n, 42);
+            assert!(c.is_single_cycle(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn chase_visits_everything_in_n_steps() {
+        let c = ChaseBuffer::new(128, 7);
+        // A full cycle returns to the start.
+        assert_eq!(c.chase(5, 128), 5);
+        assert_ne!(c.chase(5, 64), 5);
+    }
+
+    #[test]
+    fn dual_chase_matches_two_singles() {
+        let c = ChaseBuffer::new(256, 3);
+        let (a, b) = c.dual_chase(0, 100, 37);
+        assert_eq!(a, c.chase(0, 37));
+        assert_eq!(b, c.chase(100, 37));
+    }
+
+    #[test]
+    fn model_dram_faster_than_hbm_beyond_l2() {
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        let block = ByteSize::mib(64);
+        let d = model_latency_ns(&mut dram, block).unwrap();
+        let h = model_latency_ns(&mut hbm, block).unwrap();
+        let gap = (h - d) / d;
+        assert!(gap > 0.10 && gap < 0.25, "gap {gap}");
+    }
+
+    #[test]
+    fn model_small_blocks_show_no_gap() {
+        let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+        let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        let block = ByteSize::kib(256);
+        let d = model_latency_ns(&mut dram, block).unwrap();
+        let h = model_latency_ns(&mut hbm, block).unwrap();
+        assert!((d - h).abs() < 0.5, "L2-resident gap {d} vs {h}");
+        assert!(d < 15.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace generators: emit [`knl::TraceAccess`] streams with each
+//! workload's characteristic access pattern, at footprints the
+//! line-accurate trace simulator can chew through.
+//!
+//! This closes the validation triangle: the *native kernels* prove the
+//! algorithms are real, the *machine model* prices them at paper
+//! scale, and these traces let the *trace simulator* check the model's
+//! orderings with the exact cache/bank/TLB substrate models
+//! (`tests/trace_crosscheck.rs`).
+
+use knl::tracesim::TraceAccess;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// De-aliased per-core base addresses (physically scattered pages
+/// never alias all cores onto one DRAM bank; synthetic traces must
+/// not either).
+fn core_base(core: u32) -> u64 {
+    (core as u64 * 23_456_789) & !63
+}
+
+/// STREAM: each core sweeps a disjoint contiguous block in bursts of
+/// 16 lines (the natural MSHR-drain issue pattern).
+pub fn stream_trace(cores: u32, lines_per_core: u64, passes: u32) -> Vec<TraceAccess> {
+    const BURST: u64 = 16;
+    let mut t = Vec::with_capacity((cores as u64 * lines_per_core * passes as u64) as usize);
+    for _ in 0..passes.max(1) {
+        let mut i = 0;
+        while i < lines_per_core {
+            for c in 0..cores {
+                for j in i..(i + BURST).min(lines_per_core) {
+                    t.push(TraceAccess::read(c, core_base(c) + j * 64));
+                }
+            }
+            i += BURST;
+        }
+    }
+    t
+}
+
+/// GUPS: independent random read-modify-writes over a shared table.
+pub fn gups_trace(cores: u32, table_bytes: u64, updates_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+    let mut t = Vec::with_capacity((cores as u64 * updates_per_core * 2) as usize);
+    let lines = (table_bytes / 64).max(1);
+    let mut rngs: Vec<SmallRng> = (0..cores)
+        .map(|c| SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+        .collect();
+    for _ in 0..updates_per_core {
+        for c in 0..cores {
+            let line = rngs[c as usize].gen_range(0..lines);
+            let addr = line * 64;
+            t.push(TraceAccess::read(c, addr));
+            t.push(TraceAccess::write(c, addr));
+        }
+    }
+    t
+}
+
+/// TinyMemBench: a dependent pointer chase over `block_bytes` (two
+/// interleaved chains on one core, as the dual-read benchmark runs).
+pub fn chase_trace(block_bytes: u64, steps: u64, seed: u64) -> Vec<TraceAccess> {
+    let lines = (block_bytes / 64).max(2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Vec::with_capacity(steps as usize);
+    let mut a = 0u64;
+    let mut b = lines / 2;
+    for i in 0..steps {
+        // Jump far enough to defeat the prefetcher and row buffer.
+        let hop = rng.gen_range(lines / 4..lines.max(2));
+        if i % 2 == 0 {
+            a = (a + hop) % lines;
+            t.push(TraceAccess::chase(0, a * 64));
+        } else {
+            b = (b + hop) % lines;
+            t.push(TraceAccess::chase(0, b * 64));
+        }
+    }
+    t
+}
+
+/// XSBench-like: each "lookup" is a short dependent chain (binary
+/// search tail) at a random position, chains from different iterations
+/// independent across cores.
+pub fn xsbench_trace(
+    cores: u32,
+    grid_bytes: u64,
+    lookups_per_core: u64,
+    deps_per_lookup: u32,
+    seed: u64,
+) -> Vec<TraceAccess> {
+    let lines = (grid_bytes / 64).max(deps_per_lookup as u64 + 1);
+    let mut rngs: Vec<SmallRng> = (0..cores)
+        .map(|c| SmallRng::seed_from_u64(seed ^ (0xA11CEu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+        .collect();
+    let mut t = Vec::new();
+    for _ in 0..lookups_per_core {
+        for c in 0..cores {
+            let rng = &mut rngs[c as usize];
+            // Binary-search tail: successive halving jumps, dependent.
+            let mut pos = rng.gen_range(0..lines);
+            let mut span = lines / 2;
+            for _ in 0..deps_per_lookup {
+                t.push(TraceAccess::chase(c, pos * 64));
+                span = (span / 2).max(1);
+                pos = (pos + span) % lines;
+            }
+        }
+    }
+    t
+}
+
+/// Graph500-like: per traversed edge, a streaming CSR read plus a
+/// random probe of the visited structure (write when claiming).
+pub fn bfs_trace(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+    let lines = (graph_bytes / 64).max(2);
+    let mut rngs: Vec<SmallRng> = (0..cores)
+        .map(|c| SmallRng::seed_from_u64(seed ^ (0xB5Fu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+        .collect();
+    let mut csr_cursor: Vec<u64> = (0..cores).map(|c| core_base(c) / 64 % lines).collect();
+    let mut t = Vec::new();
+    for _ in 0..edges_per_core {
+        for c in 0..cores {
+            let rng = &mut rngs[c as usize];
+            // Sequential CSR adjacency read.
+            let cur = &mut csr_cursor[c as usize];
+            *cur = (*cur + 1) % lines;
+            t.push(TraceAccess::read(c, *cur * 64));
+            // Random visited probe; 30% of probes claim (write).
+            let probe = rng.gen_range(0..lines);
+            if rng.gen_bool(0.3) {
+                t.push(TraceAccess::write(c, probe * 64));
+            } else {
+                t.push(TraceAccess::read(c, probe * 64));
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_trace_is_sequential_per_core() {
+        let t = stream_trace(2, 64, 1);
+        assert_eq!(t.len(), 128);
+        let core0: Vec<u64> = t.iter().filter(|a| a.core == 0).map(|a| a.addr).collect();
+        assert!(core0.windows(2).all(|w| w[1] == w[0] + 64));
+        assert!(t.iter().all(|a| !a.dependent && !a.write));
+    }
+
+    #[test]
+    fn stream_trace_passes_repeat_addresses() {
+        let one = stream_trace(1, 32, 1);
+        let two = stream_trace(1, 32, 2);
+        assert_eq!(two.len(), 2 * one.len());
+        assert_eq!(&two[..one.len()], &one[..]);
+        assert_eq!(&two[one.len()..], &one[..]);
+    }
+
+    #[test]
+    fn gups_trace_pairs_reads_with_writes() {
+        let t = gups_trace(2, 1 << 20, 100, 42);
+        assert_eq!(t.len(), 400);
+        for pair in t.chunks(2) {
+            assert_eq!(pair[0].addr, pair[1].addr);
+            assert!(!pair[0].write && pair[1].write);
+            assert_eq!(pair[0].core, pair[1].core);
+        }
+        // Addresses stay within the table.
+        assert!(t.iter().all(|a| a.addr < 1 << 20));
+    }
+
+    #[test]
+    fn gups_trace_is_deterministic_per_seed() {
+        assert_eq!(gups_trace(2, 1 << 16, 50, 7), gups_trace(2, 1 << 16, 50, 7));
+        assert_ne!(gups_trace(2, 1 << 16, 50, 7), gups_trace(2, 1 << 16, 50, 8));
+    }
+
+    #[test]
+    fn chase_trace_is_fully_dependent() {
+        let t = chase_trace(1 << 24, 500, 1);
+        assert_eq!(t.len(), 500);
+        assert!(t.iter().all(|a| a.dependent && a.core == 0));
+        // Jumps are large (defeat prefetch): median hop > 1 MB.
+        let mut hops: Vec<i64> = t
+            .windows(2)
+            .map(|w| (w[1].addr as i64 - w[0].addr as i64).abs())
+            .collect();
+        hops.sort();
+        assert!(hops[hops.len() / 2] > 1 << 20);
+    }
+
+    #[test]
+    fn xsbench_trace_has_dependent_chains() {
+        let t = xsbench_trace(4, 1 << 26, 10, 6, 3);
+        assert_eq!(t.len(), 4 * 10 * 6);
+        assert!(t.iter().all(|a| a.dependent));
+    }
+
+    #[test]
+    fn bfs_trace_mixes_sequential_and_random() {
+        let t = bfs_trace(2, 1 << 24, 200, 9);
+        assert_eq!(t.len(), 800);
+        let writes = t.iter().filter(|a| a.write).count();
+        // ~30% of the probe half.
+        assert!(writes > 60 && writes < 180, "writes {writes}");
+    }
+}

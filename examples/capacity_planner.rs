@@ -1,0 +1,58 @@
+//! Capacity planning for a hybrid-memory cluster: combine the
+//! decomposition rule (§IV-C), the placement advisor (§VI) and the
+//! sensitivity scans into the workflow an HPC site would run when
+//! sizing a KNL-generation procurement or partitioning an existing
+//! machine.
+//!
+//! Run with: `cargo run --release --example capacity_planner`
+
+use hybridmem::sensitivity;
+use hybridmem::{advise, decompose, AppProfile};
+use knl_hybrid_memory::prelude::*;
+use workloads::AccessClass;
+
+fn main() {
+    println!("=== Workload portfolio (from Table I) ===\n");
+    let portfolio = [
+        ("CFD / MiniFE-class", AccessClass::Sequential, 140u64),
+        ("Dense linear algebra", AccessClass::Sequential, 24),
+        ("Graph analytics", AccessClass::Random, 35),
+        ("Monte Carlo transport", AccessClass::Random, 90),
+    ];
+
+    for (name, pattern, gib) in portfolio {
+        println!("-- {name}: {gib} GB, {:?} access --", pattern);
+        // Single-node placement.
+        let rec = advise(&AppProfile {
+            name: name.to_string(),
+            pattern,
+            footprint: ByteSize::gib(gib.min(90)),
+            can_use_hyperthreads: true,
+        });
+        println!(
+            "   single node : {} @ {} threads ({:.2}x vs DRAM baseline)",
+            rec.setup.label(),
+            rec.threads,
+            rec.expected_speedup
+        );
+        // Multi-node decomposition.
+        let plan = decompose(ByteSize::gib(gib), pattern, 32);
+        println!(
+            "   cluster plan: {} node(s) x {}, {} per node ({:.2}x per-node speedup)",
+            plan.nodes,
+            plan.per_node,
+            plan.setup.label(),
+            plan.speedup_vs_single_node
+        );
+        println!("   {}\n", plan.rationale);
+    }
+
+    println!("=== Would these conclusions survive different hardware? ===\n");
+    print!("{}", sensitivity::render_scans(&sensitivity::all_scans()));
+    println!(
+        "\nReading: the DRAM preference for random access holds for *any*\n\
+         fast memory with a latency premium; the 2x bandwidth-bound gain\n\
+         needs ≥ ~2.3x sustained bandwidth; and a direct-mapped memory-side\n\
+         cache needs ~80% of the working set before it beats plain DRAM."
+    );
+}

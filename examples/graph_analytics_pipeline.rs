@@ -1,0 +1,75 @@
+//! A data-analytics pipeline end to end: generate a Kronecker graph,
+//! build the CSR, run and validate BFS natively (real computation),
+//! then project the run to the full KNL node with the machine model
+//! and pick the best memory configuration — the paper's Graph500
+//! story (§IV) as a user workflow.
+//!
+//! Run with: `cargo run --release --example graph_analytics_pipeline`
+
+use knl_hybrid_memory::prelude::*;
+use simfabric::stats::harmonic_mean;
+use std::time::Instant;
+use workloads::graph500::{Graph, Graph500, Kronecker};
+
+fn main() {
+    // --- Native stage: a scale-14 graph we can actually hold. ---
+    let scale = 14;
+    let gen = Kronecker::new(scale, 2017);
+    println!("Generating Kronecker graph: scale {scale}, edge factor 16...");
+    let t0 = Instant::now();
+    let edges = gen.generate();
+    let graph = Graph::from_edges(gen.vertices() as usize, &edges);
+    println!(
+        "  {} vertices, {} undirected edges, built in {:.2?}",
+        graph.num_vertices(),
+        graph.input_edges,
+        t0.elapsed()
+    );
+
+    // 8 BFS roots, validated, harmonic-mean TEPS (reference protocol).
+    let mut rates = Vec::new();
+    let mut done = 0;
+    for root in 0..graph.num_vertices() as u32 {
+        if graph.neighbors_of(root).is_empty() {
+            continue;
+        }
+        let t = Instant::now();
+        let parents = graph.bfs(root);
+        let secs = t.elapsed().as_secs_f64();
+        graph
+            .validate_bfs(root, &parents)
+            .expect("BFS tree failed Graph500 validation");
+        let traversed = graph.traversed_edges(&parents);
+        rates.push(traversed as f64 / secs);
+        done += 1;
+        if done == 8 {
+            break;
+        }
+    }
+    println!(
+        "  {} validated BFS runs, native harmonic-mean TEPS on this host: {:.3e}\n",
+        rates.len(),
+        harmonic_mean(&rates)
+    );
+
+    // --- Model stage: project to the KNL node at paper scale. ---
+    println!("Projected on the KNL node (35 GB graph, Fig. 4d):");
+    let big = Graph500::with_footprint(ByteSize::gib(35));
+    for setup in MemSetup::PAPER_SETUPS {
+        let mut machine = Machine::knl7210(setup, 64).unwrap();
+        match big.model_teps(&mut machine) {
+            Ok(teps) => println!("  {:<11} {teps:>10.3e} TEPS", setup.label()),
+            Err(_) => println!("  {:<11} graph does not fit", setup.label()),
+        }
+    }
+
+    println!("\nThread ladder on DRAM (Fig. 6c):");
+    let mid = Graph500::with_footprint(ByteSize::gib_f(8.8));
+    for threads in [64u32, 128, 192, 256] {
+        let mut machine = Machine::knl7210(MemSetup::DramOnly, threads).unwrap();
+        let teps = mid.model_teps(&mut machine).unwrap();
+        println!("  {threads:>3} threads: {teps:>10.3e} TEPS");
+    }
+    println!("\nBFS is latency-bound: the extra MCDRAM latency never pays off, and");
+    println!("128 threads is the sweet spot before atomics contention bites (§IV-D).");
+}

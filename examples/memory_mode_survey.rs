@@ -1,0 +1,44 @@
+//! Memory-mode survey: the paper's core experiment as a library call.
+//!
+//! Sweeps every application in Table I over its problem sizes and the
+//! three memory configurations, printing the Fig. 4 panels, and then
+//! sweeps thread counts for the Fig. 6 panels — the exact workflow a
+//! performance engineer would run before committing to a memory mode
+//! for a KNL deployment.
+//!
+//! Run with: `cargo run --release --example memory_mode_survey`
+
+use hybridmem::report::render_figure;
+use hybridmem::{figures, validate};
+
+fn main() {
+    println!("Reproducing the paper's evaluation (model-driven)...\n");
+
+    for fig in [
+        figures::fig4a(),
+        figures::fig4b(),
+        figures::fig4c(),
+        figures::fig4d(),
+        figures::fig4e(),
+    ] {
+        println!("{}", render_figure(&fig));
+    }
+
+    for fig in [
+        figures::fig6a(),
+        figures::fig6b(),
+        figures::fig6c(),
+        figures::fig6d(),
+    ] {
+        println!("{}", render_figure(&fig));
+    }
+
+    println!("=== Does the reproduction preserve the paper's findings? ===\n");
+    let checks = validate::validate_all();
+    print!("{}", validate::render_checks(&checks));
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    if failed > 0 {
+        eprintln!("{failed} findings NOT preserved");
+        std::process::exit(1);
+    }
+}

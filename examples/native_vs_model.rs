@@ -1,0 +1,53 @@
+//! Native vs model: run the real kernels on *this* host and print the
+//! KNL model's projection of the same workloads next to them.
+//!
+//! The native numbers depend on your machine; the model numbers are
+//! the calibrated KNL testbed. What should agree is the *structure*:
+//! STREAM/DGEMM/MiniFE are bandwidth-class, GUPS/Graph500/XSBench are
+//! latency-class, and their metrics are the same units the paper
+//! reports.
+//!
+//! Run with: `cargo run --release --example native_vs_model`
+
+use knl_hybrid_memory::prelude::*;
+use workloads::native::{native_suite, render_native};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== Native kernels on this host ({threads} threads, laptop scale) ===\n");
+    let results = native_suite(threads);
+    print!("{}", render_native(&results));
+
+    println!("\n=== The same applications on the modeled KNL node (paper scale) ===\n");
+    let apps = [
+        (AppSpec::Stream, 6.0),
+        (AppSpec::Dgemm, 6.0),
+        (AppSpec::MiniFe, 7.2),
+        (AppSpec::Gups, 8.0),
+        (AppSpec::Graph500, 8.8),
+        (AppSpec::XsBench, 5.6),
+    ];
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>14}",
+        "workload", "GB", "DRAM", "HBM", "Cache Mode"
+    );
+    for (app, gb) in apps {
+        let mut row = format!("{:<10} {:>8}", app.name(), gb);
+        for setup in MemSetup::PAPER_SETUPS {
+            let workload = app.build(ByteSize::gib_f(gb));
+            let mut machine = Machine::knl7210(setup, 64).unwrap();
+            match workload.run_model(&mut machine) {
+                Ok(v) => row.push_str(&format!(" {v:>14.4e}")),
+                Err(_) => row.push_str(&format!(" {:>14}", "-")),
+            }
+        }
+        println!("{row} ({})", app.metric());
+    }
+    println!(
+        "\nThe ordering within each row is the paper's finding: HBM wins the\n\
+         top three (bandwidth-bound), DRAM wins the bottom three\n\
+         (latency-bound) at one hardware thread per core."
+    );
+}

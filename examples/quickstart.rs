@@ -1,0 +1,59 @@
+//! Quickstart: spin up the simulated KNL node in each of the paper's
+//! three memory configurations, measure STREAM triad, report the NUMA
+//! topology `numactl --hardware` would show, and ask the advisor where
+//! to place an application.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use knl_hybrid_memory::prelude::*;
+use numamem::numactl::hardware_report;
+use workloads::AccessClass;
+
+fn main() {
+    println!("=== The testbed (ARCHER KNL node, Xeon Phi 7210) ===\n");
+    for setup in [MemSetup::DramOnly, MemSetup::CacheMode] {
+        println!(
+            "numactl --hardware with MCDRAM in {} mode:\n{}",
+            if setup == MemSetup::CacheMode { "cache" } else { "flat" },
+            hardware_report(&setup.topology())
+        );
+    }
+
+    println!("=== STREAM triad, 6 GB, 64 OpenMP threads (Fig. 2) ===\n");
+    let bench = StreamBench::new(ByteSize::gib(6));
+    for setup in MemSetup::PAPER_SETUPS {
+        let mut machine = Machine::knl7210(setup, 64).expect("valid configuration");
+        match bench.triad_bandwidth(&mut machine) {
+            Ok(bw) => println!("  {:<11} {bw:>7.1} GB/s", setup.label()),
+            Err(e) => println!("  {:<11} not measurable ({e})", setup.label()),
+        }
+    }
+
+    println!("\n=== Hardware threads hide HBM latency (Fig. 5) ===\n");
+    for ht in 1..=4u32 {
+        let mut machine = Machine::knl7210(MemSetup::HbmOnly, 64 * ht).unwrap();
+        let bw = bench.triad_bandwidth(&mut machine).unwrap();
+        println!("  HBM, {ht} HW thread(s)/core: {bw:>7.1} GB/s");
+    }
+
+    println!("\n=== Where should my application's data live? ===\n");
+    for (name, pattern, gib) in [
+        ("CFD solver (streaming)", AccessClass::Sequential, 8),
+        ("CFD solver, big case", AccessClass::Sequential, 40),
+        ("graph engine (random)", AccessClass::Random, 8),
+    ] {
+        let rec = advise(&AppProfile {
+            name: name.to_string(),
+            pattern,
+            footprint: ByteSize::gib(gib),
+            can_use_hyperthreads: true,
+        });
+        println!(
+            "  {name} ({gib} GB): {} with {} threads — expected {:.2}x vs DRAM\n    {}\n",
+            rec.setup.label(),
+            rec.threads,
+            rec.expected_speedup,
+            rec.rationale
+        );
+    }
+}

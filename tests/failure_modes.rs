@@ -1,0 +1,158 @@
+//! Failure injection: every layer must fail loudly and precisely when
+//! driven outside its envelope — the paper's missing-bars cases and
+//! the configuration mistakes a user would actually make.
+
+use knl::{Machine, MachineConfig, MachineError, MemSetup};
+use knl_hybrid_memory::prelude::*;
+use memkind_sim::{HeapError, MemkindHeap};
+use numamem::numactl::parse_numactl;
+use numamem::{MemPolicy, NumaSystem, NumaTopology, PolicyError};
+use workloads::PaperWorkload;
+
+#[test]
+fn every_oversized_workload_fails_cleanly_on_hbm() {
+    // Each application at its Table-I maximum must return the
+    // allocation error (not panic, not a wrong number) under an
+    // HBM-only bind.
+    for (app, gb) in [
+        (AppSpec::Dgemm, 24.0),
+        (AppSpec::MiniFe, 30.0),
+        (AppSpec::Gups, 32.0),
+        (AppSpec::Graph500, 35.0),
+        (AppSpec::XsBench, 90.0),
+    ] {
+        let workload = app.build(ByteSize::gib_f(gb));
+        let mut machine = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+        match workload.run_model(&mut machine) {
+            Err(MachineError::Alloc(_)) => {}
+            other => panic!("{} at {gb} GB on HBM: expected Alloc error, got {other:?}", app.name()),
+        }
+        // The failed allocation must not leak HBM pages.
+        assert_eq!(
+            machine.heap().free_on(1),
+            ByteSize::gib(16),
+            "{} leaked HBM pages",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn xsbench_90gb_also_fails_on_interleave_but_runs_on_dram() {
+    // 90 GB interleaved across 96+16 GB works; across HBM alone never.
+    let xs = AppSpec::XsBench.build(ByteSize::gib(90));
+    let mut inter = Machine::knl7210(MemSetup::Interleaved, 64).unwrap();
+    assert!(xs.run_model(&mut inter).is_ok());
+    let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    assert!(xs.run_model(&mut dram).is_ok());
+    // 110 GB fits nowhere.
+    let too_big = AppSpec::XsBench.build(ByteSize::gib(110));
+    let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    assert!(matches!(
+        too_big.run_model(&mut dram),
+        Err(MachineError::Alloc(_))
+    ));
+}
+
+#[test]
+fn invalid_machine_configs_are_rejected_not_misrun() {
+    for threads in [0u32, 257, 1000] {
+        let cfg = MachineConfig::knl7210(MemSetup::DramOnly, threads);
+        assert!(Machine::new(cfg).is_err(), "threads={threads} accepted");
+    }
+    let mut cfg = MachineConfig::knl7210(MemSetup::Hybrid, 64);
+    cfg.hybrid_cache_fraction = 1.5;
+    assert!(Machine::new(cfg).is_err());
+    let mut cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    cfg.ddr.sustained_bw_gbs = -1.0;
+    assert!(Machine::new(cfg).is_err());
+}
+
+#[test]
+fn numactl_rejections_match_real_tool_semantics() {
+    let topo = NumaTopology::knl_flat();
+    // Unknown flags, malformed node lists, missing values.
+    for bad in [
+        vec!["--turbo"],
+        vec!["--membind="],
+        vec!["--membind", ""],
+        vec!["--preferred=0,1"],
+        vec!["--interleave=5-2"],
+    ] {
+        assert!(
+            parse_numactl(&bad, &topo).is_err(),
+            "accepted {bad:?}"
+        );
+    }
+    // Binding to a node that exists in the *other* mode's topology.
+    let cache_topo = NumaTopology::knl_cache();
+    let cmd = parse_numactl(&["--membind=1"], &cache_topo).unwrap();
+    let numamem::numactl::NumactlCommand::Policy(policy) = cmd else {
+        panic!()
+    };
+    let mut sys = NumaSystem::new(cache_topo);
+    assert!(matches!(
+        sys.allocate(ByteSize::kib(4), &policy),
+        Err(PolicyError::UnknownNode(1))
+    ));
+}
+
+#[test]
+fn heap_misuse_is_diagnosed() {
+    let heap = MemkindHeap::new(NumaTopology::knl_flat());
+    let block = heap.malloc(Kind::Default, ByteSize::mib(1)).unwrap();
+    heap.free(&block).unwrap();
+    // Double free.
+    assert_eq!(heap.free(&block), Err(HeapError::InvalidFree(block.addr)));
+    // Migrating a dead block.
+    assert!(heap.migrate(&block, 1).is_err());
+    // Kind unavailable in cache mode.
+    let cache_heap = MemkindHeap::new(NumaTopology::knl_cache());
+    assert_eq!(
+        cache_heap.malloc(Kind::HbwInterleave, ByteSize::kib(4)),
+        Err(HeapError::KindUnavailable(Kind::HbwInterleave))
+    );
+}
+
+#[test]
+fn dgemm_256_threads_fails_like_the_paper() {
+    // Fig. 6a footnote: DGEMM with 256 threads "can not complete
+    // successfully" — the model surfaces that as an explicit error.
+    let d = AppSpec::Dgemm.build(ByteSize::gib(6));
+    let mut m = Machine::knl7210(MemSetup::DramOnly, 256).unwrap();
+    match d.run_model(&mut m) {
+        Err(MachineError::Invalid(msg)) => {
+            assert!(msg.contains("256"), "message: {msg}")
+        }
+        other => panic!("expected Invalid error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_work_is_priced_as_zero_not_nan() {
+    let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    let r = m.alloc("x", ByteSize::mib(1)).unwrap();
+    let d = m.price_stream(&[]);
+    assert!(d.is_zero());
+    let d = m.price_random(&knl::RandomOp::probes(&r, 0));
+    assert!(d.is_zero());
+    assert!(m.elapsed().is_zero());
+}
+
+#[test]
+fn hybrid_extremes_degenerate_sensibly() {
+    // fraction = 0: all-flat, equivalent to the flat topology.
+    let cfg = MachineConfig::knl7210_hybrid(0.0, 64);
+    assert_eq!(cfg.allocatable_mcdram(), ByteSize::gib(16));
+    assert_eq!(cfg.mcdram_cache_capacity(), ByteSize::ZERO);
+    let mut m = Machine::new(cfg).unwrap();
+    let r = m.alloc("x", ByteSize::gib(8)).unwrap();
+    assert_eq!(r.hbm_fraction, 1.0); // HBW_PREFERRED fills the flat part
+    // fraction = 1: hbw_malloc-style allocation has nowhere to go...
+    let cfg = MachineConfig::knl7210_hybrid(1.0, 64);
+    assert_eq!(cfg.allocatable_mcdram(), ByteSize::ZERO);
+    let mut m = Machine::new(cfg).unwrap();
+    // ...but HBW_PREFERRED falls back to DDR rather than failing.
+    let r = m.alloc("x", ByteSize::gib(8)).unwrap();
+    assert_eq!(r.hbm_fraction, 0.0);
+}

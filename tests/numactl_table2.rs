@@ -1,0 +1,87 @@
+//! Table II end to end: the numactl front end, the policy engine and
+//! the machine configurations must agree on what the OS shows in each
+//! memory mode.
+
+use knl::MemSetup;
+use knl_hybrid_memory::prelude::*;
+use numamem::numactl::{parse_numactl, table2_panel, NumactlCommand};
+use numamem::{MemPolicy, NumaSystem};
+
+#[test]
+fn table2_panels_match_paper_exactly() {
+    assert_eq!(
+        table2_panel(&MemSetup::DramOnly.topology()),
+        "Distances: 0 (96 GB) 1 (16 GB)\n0 10 31\n1 31 10\n"
+    );
+    assert_eq!(
+        table2_panel(&MemSetup::CacheMode.topology()),
+        "Distances: 0 (96 GB)\n0 10\n"
+    );
+}
+
+#[test]
+fn paper_invocations_drive_the_policy_engine() {
+    // §III-C: "The DRAM configuration ... numactl --membind=0", etc.
+    let topo = MemSetup::DramOnly.topology();
+    let mut system = NumaSystem::new(topo.clone());
+
+    let cmd = parse_numactl(&["--membind=0"], &topo).unwrap();
+    let NumactlCommand::Policy(policy) = cmd else {
+        panic!("expected a policy")
+    };
+    let alloc = system.allocate(ByteSize::gib(30), &policy).unwrap();
+    assert_eq!(alloc.fraction_on(0), 1.0);
+
+    let cmd = parse_numactl(&["--membind=1"], &topo).unwrap();
+    let NumactlCommand::Policy(policy) = cmd else {
+        panic!("expected a policy")
+    };
+    // 30 GB cannot bind to the 16-GB node: the exact failure that
+    // makes the paper's HBM bars disappear.
+    assert!(system.allocate(ByteSize::gib(30), &policy).is_err());
+    let ok = system.allocate(ByteSize::gib(10), &policy).unwrap();
+    assert_eq!(ok.fraction_on(1), 1.0);
+}
+
+#[test]
+fn machine_alloc_mirrors_numactl_membind() {
+    // Machine::alloc under each setup must place exactly where the
+    // paper's numactl invocation would.
+    let mut dram = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
+    let r = dram.alloc("x", ByteSize::gib(20)).unwrap();
+    assert_eq!(r.hbm_fraction, 0.0);
+
+    let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
+    let r = hbm.alloc("x", ByteSize::gib(10)).unwrap();
+    assert_eq!(r.hbm_fraction, 1.0);
+    assert!(hbm.alloc("y", ByteSize::gib(10)).is_err());
+
+    // Cache mode has one node; allocation succeeds, no HBM fraction.
+    let mut cache = Machine::knl7210(MemSetup::CacheMode, 64).unwrap();
+    let r = cache.alloc("x", ByteSize::gib(20)).unwrap();
+    assert_eq!(r.hbm_fraction, 0.0);
+}
+
+#[test]
+fn cache_mode_hides_hbw_from_memkind() {
+    // hbw_malloc must fail in cache mode — MCDRAM is invisible.
+    let heap = memkind_sim::MemkindHeap::new(MemSetup::CacheMode.topology());
+    assert!(!heap.check_available(Kind::Hbw));
+    assert!(heap.hbw_malloc(ByteSize::kib(4)).is_err());
+    let heap = memkind_sim::MemkindHeap::new(MemSetup::DramOnly.topology());
+    assert!(heap.check_available(Kind::Hbw));
+}
+
+#[test]
+fn interleave_policy_spreads_as_numactl_would() {
+    let topo = MemSetup::DramOnly.topology();
+    let mut system = NumaSystem::new(topo.clone());
+    let cmd = parse_numactl(&["--interleave=all"], &topo).unwrap();
+    let NumactlCommand::Policy(policy) = cmd else {
+        panic!("expected a policy")
+    };
+    assert_eq!(policy, MemPolicy::Interleave(vec![0, 1]));
+    let alloc = system.allocate(ByteSize::gib(4), &policy).unwrap();
+    assert!((alloc.fraction_on(0) - 0.5).abs() < 0.01);
+    assert!((alloc.fraction_on(1) - 0.5).abs() < 0.01);
+}

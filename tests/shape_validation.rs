@@ -1,0 +1,71 @@
+//! End-to-end shape validation: every finding the paper reports must
+//! be preserved by the reproduction. This is the workspace's primary
+//! acceptance test; EXPERIMENTS.md records its output.
+
+use hybridmem::validate::{
+    render_checks, validate_all, validate_fig2, validate_fig3, validate_fig4, validate_fig5,
+    validate_fig6,
+};
+
+#[test]
+fn fig2_stream_shapes_hold() {
+    let checks = validate_fig2();
+    assert!(
+        checks.iter().all(|c| c.pass),
+        "\n{}",
+        render_checks(&checks)
+    );
+}
+
+#[test]
+fn fig3_latency_shapes_hold() {
+    let checks = validate_fig3();
+    assert!(
+        checks.iter().all(|c| c.pass),
+        "\n{}",
+        render_checks(&checks)
+    );
+}
+
+#[test]
+fn fig4_application_shapes_hold() {
+    let checks = validate_fig4();
+    assert!(
+        checks.iter().all(|c| c.pass),
+        "\n{}",
+        render_checks(&checks)
+    );
+}
+
+#[test]
+fn fig5_thread_bandwidth_shapes_hold() {
+    let checks = validate_fig5();
+    assert!(
+        checks.iter().all(|c| c.pass),
+        "\n{}",
+        render_checks(&checks)
+    );
+}
+
+#[test]
+fn fig6_thread_application_shapes_hold() {
+    let checks = validate_fig6();
+    assert!(
+        checks.iter().all(|c| c.pass),
+        "\n{}",
+        render_checks(&checks)
+    );
+}
+
+#[test]
+fn full_suite_has_expected_coverage() {
+    let checks = validate_all();
+    // Every figure is covered by at least one check.
+    for fig in ["fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig5", "fig6a", "fig6b", "fig6c", "fig6d"] {
+        assert!(
+            checks.iter().any(|c| c.figure == fig),
+            "no shape check covers {fig}"
+        );
+    }
+    assert!(checks.len() >= 20, "only {} checks", checks.len());
+}

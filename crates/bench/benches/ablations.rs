@@ -3,7 +3,8 @@
 //! associativity (direct-mapped vs 8-way via the exact cache model),
 //! and the trace-vs-analytic cross-check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use knl::access::RandomOp;
 use knl::{Machine, MachineConfig, MemSetup};
 use mesh::{ClusterMode, MeshModel};
@@ -23,7 +24,7 @@ fn bench_hybrid_fraction(c: &mut Criterion) {
                 let cfg = MachineConfig::knl7210_hybrid(pct as f64 / 100.0, 64);
                 let mut m = Machine::new(cfg).unwrap();
                 let bench = StreamBench::new(ByteSize::gib(20));
-                criterion::black_box(bench.triad_bandwidth(&mut m).ok())
+                bench::harness::black_box(bench.triad_bandwidth(&mut m).ok())
             })
         });
     }
@@ -57,7 +58,7 @@ fn bench_huge_pages(c: &mut Criterion) {
                     cfg.huge_pages = huge;
                     let mut m = Machine::new(cfg).unwrap();
                     let t = m.alloc("t", ByteSize::gib(8)).unwrap();
-                    criterion::black_box(m.random_rate(&RandomOp::updates(&t, 1_000)))
+                    bench::harness::black_box(m.random_rate(&RandomOp::updates(&t, 1_000)))
                 })
             },
         );
@@ -83,14 +84,18 @@ fn bench_cluster_modes(c: &mut Criterion) {
             |b, &mode| {
                 b.iter(|| {
                     let m = MeshModel::knl(mode);
-                    criterion::black_box(m.avg_memory_latency(true))
+                    bench::harness::black_box(m.avg_memory_latency(true))
                 })
             },
         );
     }
     group.finish();
     println!("cluster-mode average memory-path latency (MCDRAM):");
-    for mode in [ClusterMode::AllToAll, ClusterMode::Quadrant, ClusterMode::Hemisphere] {
+    for mode in [
+        ClusterMode::AllToAll,
+        ClusterMode::Quadrant,
+        ClusterMode::Hemisphere,
+    ] {
         let m = MeshModel::knl(mode);
         println!("  {mode:?}: {}", m.avg_memory_latency(true));
     }
@@ -116,7 +121,7 @@ fn bench_msc_associativity(c: &mut Criterion) {
                     msc.access(a, false);
                 }
             }
-            criterion::black_box(msc.hit_rate())
+            bench::harness::black_box(msc.hit_rate())
         })
     });
     group.bench_function("eight_way_lru", |b| {
@@ -133,7 +138,7 @@ fn bench_msc_associativity(c: &mut Criterion) {
                     c8.access(a, AccessKind::Read);
                 }
             }
-            criterion::black_box(c8.stats().hit_rate())
+            bench::harness::black_box(c8.stats().hit_rate())
         })
     });
     group.finish();
@@ -146,7 +151,10 @@ fn bench_msc_associativity(c: &mut Criterion) {
             msc.access(a, false);
         }
     }
-    println!("2x-overflow cyclic sweep hit rates: direct-mapped {:.3}", msc.hit_rate());
+    println!(
+        "2x-overflow cyclic sweep hit rates: direct-mapped {:.3}",
+        msc.hit_rate()
+    );
 }
 
 /// Prefetcher: coverage on streaming vs random traces — the mechanism
@@ -167,7 +175,7 @@ fn bench_prefetcher(c: &mut Criterion) {
                 for a in trace.iter() {
                     pf.observe(a.addr);
                 }
-                criterion::black_box(pf.coverage())
+                bench::harness::black_box(pf.coverage())
             })
         });
     }

@@ -2,7 +2,8 @@
 //! configurations. Each Criterion target prices one figure point; the
 //! printed throughput (model-GB/s) regenerates the figure's series.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use knl::{Machine, MemSetup};
 use simfabric::ByteSize;
 use workloads::stream::StreamBench;
@@ -22,7 +23,7 @@ fn bench_fig2(c: &mut Criterion) {
                     b.iter(|| {
                         let mut m = Machine::knl7210(setup, 64).unwrap();
                         let bw = bench.triad_bandwidth(&mut m).ok();
-                        criterion::black_box(bw)
+                        bench::harness::black_box(bw)
                     })
                 },
             );

@@ -2,7 +2,8 @@
 //! sweep, plus the native pointer-chase kernel at cache-resident
 //! scale as a sanity anchor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use workloads::tinymembench::{fig3_block_sizes, ChaseBuffer};
 
 fn bench_fig3_model(c: &mut Criterion) {
@@ -21,13 +22,16 @@ fn bench_fig3_model(c: &mut Criterion) {
                 b.iter(|| {
                     let d = knl::dual_random_read_latency(&ddr, blk, &tlb);
                     let h = knl::dual_random_read_latency(&hbm, blk, &tlb);
-                    criterion::black_box((d, h))
+                    bench::harness::black_box((d, h))
                 })
             },
         );
     }
     group.finish();
-    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::fig3()));
+    println!(
+        "{}",
+        hybridmem::report::render_figure(&hybridmem::figures::fig3())
+    );
 }
 
 fn bench_native_chase(c: &mut Criterion) {
@@ -37,11 +41,9 @@ fn bench_native_chase(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     for slots in [4_096usize, 65_536] {
         let buf = ChaseBuffer::new(slots, 42);
-        group.bench_with_input(
-            BenchmarkId::new("dual_chase", slots),
-            &slots,
-            |b, _| b.iter(|| criterion::black_box(buf.dual_chase(0, 1, 10_000))),
-        );
+        group.bench_with_input(BenchmarkId::new("dual_chase", slots), &slots, |b, _| {
+            b.iter(|| bench::harness::black_box(buf.dual_chase(0, 1, 10_000)))
+        });
     }
     group.finish();
 }

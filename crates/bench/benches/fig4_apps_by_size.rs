@@ -1,7 +1,8 @@
 //! Fig. 4 bench: all five applications swept over problem size in the
 //! three memory configurations (panels a–e).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use hybridmem::{AppSpec, SizeSweep};
 
 fn bench_fig4(c: &mut Criterion) {
@@ -15,12 +16,12 @@ fn bench_fig4(c: &mut Criterion) {
     for (name, app, sizes) in panels {
         let mut group = c.benchmark_group(name);
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(800));
         group.bench_with_input(BenchmarkId::new("sweep", "paper_sizes"), &app, |b, &app| {
             b.iter(|| {
                 let sweep = SizeSweep::paper(app, sizes.to_vec());
-                criterion::black_box(sweep.run())
+                bench::harness::black_box(sweep.run())
             })
         });
         group.finish();

@@ -1,7 +1,8 @@
 //! Fig. 5 bench: STREAM bandwidth under 1–4 hardware threads per core
 //! on DRAM and HBM.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use knl::{Machine, MemSetup};
 use simfabric::ByteSize;
 use workloads::stream::StreamBench;
@@ -20,14 +21,17 @@ fn bench_fig5(c: &mut Criterion) {
                 |b, &ht| {
                     b.iter(|| {
                         let mut m = Machine::knl7210(setup, 64 * ht).unwrap();
-                        criterion::black_box(bench.triad_bandwidth(&mut m).unwrap())
+                        bench::harness::black_box(bench.triad_bandwidth(&mut m).unwrap())
                     })
                 },
             );
         }
     }
     group.finish();
-    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::fig5()));
+    println!(
+        "{}",
+        hybridmem::report::render_figure(&hybridmem::figures::fig5())
+    );
 }
 
 criterion_group!(benches, bench_fig5);

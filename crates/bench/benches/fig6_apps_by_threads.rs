@@ -1,7 +1,8 @@
 //! Fig. 6 bench: thread-count sweeps for DGEMM, MiniFE, Graph500 and
 //! XSBench (panels a–d).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use hybridmem::{AppSpec, ThreadSweep};
 
 fn bench_fig6(c: &mut Criterion) {
@@ -14,12 +15,12 @@ fn bench_fig6(c: &mut Criterion) {
     for (name, app, size) in panels {
         let mut group = c.benchmark_group(name);
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(800));
         group.bench_with_input(BenchmarkId::new("sweep", "64-256"), &app, |b, &app| {
             b.iter(|| {
                 let sweep = ThreadSweep::paper(app, size);
-                criterion::black_box(sweep.run())
+                bench::harness::black_box(sweep.run())
             })
         });
         group.finish();

@@ -1,7 +1,8 @@
 //! Native-kernel benches: the real Rust implementations of the
 //! paper's workloads at laptop scale (wall-clock, not simulated).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::{BenchmarkId, Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use workloads::dgemm::matmul_blocked;
 use workloads::graph500::{Graph, Kronecker};
 use workloads::gups::GupsTable;
@@ -34,7 +35,7 @@ fn bench_dgemm(c: &mut Criterion) {
             b.iter(|| {
                 let mut cm = vec![0.0; n * n];
                 matmul_blocked(&a, &bm, &mut cm, n);
-                criterion::black_box(cm[0])
+                bench::harness::black_box(cm[0])
             })
         });
     }
@@ -52,7 +53,7 @@ fn bench_minife(c: &mut Criterion) {
     group.bench_function("cg_16cubed", |bch| {
         bch.iter(|| {
             let mut x = vec![0.0; n];
-            criterion::black_box(cg_solve(&a, &b_rhs, &mut x, 1e-6, 50))
+            bench::harness::black_box(cg_solve(&a, &b_rhs, &mut x, 1e-6, 50))
         })
     });
     group.finish();
@@ -66,7 +67,7 @@ fn bench_gups(c: &mut Criterion) {
     let mut t = GupsTable::new(1 << 16);
     group.throughput(Throughput::Elements(1 << 18));
     group.bench_function("updates_256k", |b| {
-        b.iter(|| criterion::black_box(t.run_updates(1 << 18, 42)))
+        b.iter(|| bench::harness::black_box(t.run_updates(1 << 18, 42)))
     });
     group.finish();
 }
@@ -82,7 +83,7 @@ fn bench_graph500(c: &mut Criterion) {
         .find(|&v| !g.neighbors_of(v).is_empty())
         .unwrap();
     group.bench_function("bfs_scale12", |b| {
-        b.iter(|| criterion::black_box(g.bfs(root)))
+        b.iter(|| bench::harness::black_box(g.bfs(root)))
     });
     group.finish();
 }
@@ -95,7 +96,7 @@ fn bench_xsbench(c: &mut Criterion) {
     let data = XsData::build(32, 500, 7);
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("lookups_10k", |b| {
-        b.iter(|| criterion::black_box(data.run_lookups(10_000, 3)))
+        b.iter(|| bench::harness::black_box(data.run_lookups(10_000, 3)))
     });
     group.finish();
 }

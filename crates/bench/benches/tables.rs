@@ -1,7 +1,8 @@
 //! Table I and Table II regeneration, plus the §IV-A latency point
 //! values.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use numamem::numactl::{hardware_report, table2_panel};
 use numamem::NumaTopology;
 
@@ -11,22 +12,28 @@ fn bench_tables(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     group.bench_function("table1_render", |b| {
-        b.iter(|| criterion::black_box(workloads::catalog::render_table1()))
+        b.iter(|| bench::harness::black_box(workloads::catalog::render_table1()))
     });
     group.bench_function("table2_render", |b| {
         b.iter(|| {
             let flat = table2_panel(&NumaTopology::knl_flat());
             let cache = table2_panel(&NumaTopology::knl_cache());
-            criterion::black_box((flat, cache))
+            bench::harness::black_box((flat, cache))
         })
     });
     group.bench_function("numactl_hardware", |b| {
-        b.iter(|| criterion::black_box(hardware_report(&NumaTopology::knl_flat())))
+        b.iter(|| bench::harness::black_box(hardware_report(&NumaTopology::knl_flat())))
     });
     group.finish();
 
-    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::table1()));
-    println!("{}", hybridmem::report::render_figure(&hybridmem::figures::table2()));
+    println!(
+        "{}",
+        hybridmem::report::render_figure(&hybridmem::figures::table1())
+    );
+    println!(
+        "{}",
+        hybridmem::report::render_figure(&hybridmem::figures::table2())
+    );
     let ddr = memdev::ddr4_knl();
     let hbm = memdev::mcdram_knl();
     println!(

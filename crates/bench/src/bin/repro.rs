@@ -70,7 +70,10 @@ fn main() {
             print!("{}", hybridmem::paper::render_comparison(&cmp));
         }
         "sensitivity" => {
-            print!("{}", hybridmem::sensitivity::render_scans(&hybridmem::all_scans()));
+            print!(
+                "{}",
+                hybridmem::sensitivity::render_scans(&hybridmem::all_scans())
+            );
         }
         "export" => {
             // repro export <path.json>
@@ -109,11 +112,7 @@ fn main() {
                 _ => workloads::AccessClass::Sequential,
             };
             let max_nodes: u32 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
-            let plan = hybridmem::decompose(
-                simfabric::ByteSize::gib_f(gb),
-                pattern,
-                max_nodes,
-            );
+            let plan = hybridmem::decompose(simfabric::ByteSize::gib_f(gb), pattern, max_nodes);
             println!(
                 "{} problem, {:?} access:\n  {} node(s) x {} each, {} per node\n  predicted per-node speedup vs single node: {:.2}x\n  {}",
                 plan.total, pattern, plan.nodes, plan.per_node, plan.setup.label(),

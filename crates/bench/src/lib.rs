@@ -1,4 +1,29 @@
-//! Benchmark harness crate: see `benches/` for the Criterion benches
-//! (one per paper table/figure plus native-kernel and ablation
-//! benches) and `src/bin/repro.rs` for the binary that regenerates
-//! every table and figure as text/CSV.
+//! Benchmark harness crate: see `benches/` for the benches (one per
+//! paper table/figure plus native-kernel and ablation benches),
+//! `src/harness.rs` for the in-tree fixed-iteration harness they run
+//! on, and `src/bin/repro.rs` for the binary that regenerates every
+//! table and figure as text/CSV.
+
+pub mod harness;
+
+/// Define a bench group function that runs each target against a
+/// default-configured [`harness::Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the named bench groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -4,13 +4,12 @@
 //! behaviour, dirty evictions and occupancy, not about values. Used for
 //! the KNL's 32-KB 8-way L1D and the 1-MB 16-way per-tile L2.
 
-use crate::replacement::{Replacer, ReplacementPolicy};
-use serde::{Deserialize, Serialize};
+use crate::replacement::{ReplacementPolicy, Replacer};
 use simfabric::stats::Counter;
 use simfabric::ByteSize;
 
 /// Read or write access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -40,7 +39,7 @@ impl AccessOutcome {
 }
 
 /// Static cache configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: ByteSize,
@@ -107,7 +106,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     /// Read hits.
     pub read_hits: Counter,
@@ -124,7 +123,9 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
-        self.read_hits.get() + self.read_misses.get() + self.write_hits.get()
+        self.read_hits.get()
+            + self.read_misses.get()
+            + self.write_hits.get()
             + self.write_misses.get()
     }
 
@@ -167,7 +168,9 @@ impl Cache {
     /// Build a cache; panics on invalid configuration (configurations
     /// are developer input, not user input).
     pub fn new(config: CacheConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("bad cache config: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("bad cache config: {e}"));
         let num_sets = config.num_sets();
         Cache {
             sets: vec![Way::default(); num_sets as usize * config.ways as usize],
@@ -192,7 +195,10 @@ impl Cache {
     #[inline]
     fn index(&self, addr: u64) -> (u32, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as u32, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as u32,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     #[inline]
@@ -228,7 +234,9 @@ impl Cache {
         }
         if kind == AccessKind::Write && !self.config.write_allocate {
             // Write-around: no fill, no eviction.
-            return AccessOutcome::Miss { evicted_dirty: None };
+            return AccessOutcome::Miss {
+                evicted_dirty: None,
+            };
         }
         // Prefer an invalid way before victimizing.
         let invalid = (0..ways).find(|&w| !self.sets[base + w as usize].valid);
@@ -346,7 +354,12 @@ mod tests {
         c.access(0x0000, AccessKind::Write);
         c.access(0x0100, AccessKind::Read);
         let out = c.access(0x0200, AccessKind::Read); // evicts dirty 0x0
-        assert_eq!(out, AccessOutcome::Miss { evicted_dirty: Some(0x0000) });
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: Some(0x0000)
+            }
+        );
         assert_eq!(c.stats().writebacks.get(), 1);
     }
 
@@ -356,7 +369,12 @@ mod tests {
         c.access(0x0000, AccessKind::Read);
         c.access(0x0100, AccessKind::Read);
         let out = c.access(0x0200, AccessKind::Read);
-        assert_eq!(out, AccessOutcome::Miss { evicted_dirty: None });
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
     }
 
     #[test]
@@ -423,8 +441,9 @@ mod tests {
         let addr = 0xABCD40;
         c.access(addr, AccessKind::Write);
         c.access(addr + 0x100, AccessKind::Read);
-        if let AccessOutcome::Miss { evicted_dirty: Some(wb) } =
-            c.access(addr + 0x200, AccessKind::Read)
+        if let AccessOutcome::Miss {
+            evicted_dirty: Some(wb),
+        } = c.access(addr + 0x200, AccessKind::Read)
         {
             assert_eq!(wb, addr & !63);
         } else {

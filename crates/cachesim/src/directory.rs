@@ -10,12 +10,11 @@
 //! it does not model the protocol message timing itself (the mesh crate
 //! charges hop latencies for the traversal).
 
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 use std::collections::HashMap;
 
 /// MESIF coherence states tracked by the directory for each line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoherenceState {
     /// Modified: exactly one owner, line dirty.
     Modified,
@@ -48,7 +47,7 @@ struct LineEntry {
 }
 
 /// Directory statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DirectoryStats {
     /// Requests served by cache-to-cache forwarding.
     pub forwards: Counter,
@@ -186,8 +185,12 @@ impl Directory {
             }
             Some(entry) => {
                 let held = entry.sharers.contains(&tile);
-                let others: Vec<u32> =
-                    entry.sharers.iter().copied().filter(|&t| t != tile).collect();
+                let others: Vec<u32> = entry
+                    .sharers
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != tile)
+                    .collect();
                 self.stats.invalidations.add(others.len() as u64);
                 if entry.state == CoherenceState::Modified && !held {
                     self.stats.dirty_writebacks.incr();
@@ -216,7 +219,10 @@ impl Directory {
             if entry.sharers.is_empty() {
                 self.lines.remove(&line);
             } else if entry.sharers.len() == 1
-                && matches!(entry.state, CoherenceState::Shared | CoherenceState::Forward)
+                && matches!(
+                    entry.state,
+                    CoherenceState::Shared | CoherenceState::Forward
+                )
             {
                 // Last sharer standing holds it Forward (clean).
                 entry.state = CoherenceState::Forward;

@@ -10,11 +10,10 @@
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::mcdram_cache::MemorySideCache;
 use crate::tlb::{Tlb, TlbConfig};
-use serde::{Deserialize, Serialize};
 use simfabric::{ByteSize, Duration};
 
 /// Which level served an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LevelHit {
     /// Per-core L1.
     L1,
@@ -27,7 +26,7 @@ pub enum LevelHit {
 }
 
 /// Configuration of a single-core hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchyConfig {
     /// L1 configuration.
     pub l1: CacheConfig,
@@ -113,7 +112,10 @@ impl Hierarchy {
         let (level, lat) = if self.l1.access(addr, kind).is_hit() {
             (LevelHit::L1, self.config.l1_latency)
         } else if self.l2.access(addr, kind).is_hit() {
-            (LevelHit::L2, self.config.l1_latency + self.config.l2_latency)
+            (
+                LevelHit::L2,
+                self.config.l1_latency + self.config.l2_latency,
+            )
         } else {
             let below_l2 = self.config.l1_latency + self.config.l2_latency;
             match &mut self.msc {

@@ -18,7 +18,6 @@
 //! slots, so conflict misses appear smoothly once the footprint exceeds
 //! about half the cache rather than as a step at 16 GB.
 
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 use simfabric::ByteSize;
 
@@ -67,7 +66,10 @@ impl MemorySideCache {
     pub fn new(capacity: ByteSize, line_bytes: u32) -> Self {
         assert!(line_bytes.is_power_of_two() && line_bytes > 0);
         let slots = capacity.as_u64() / line_bytes as u64;
-        assert!(slots > 0 && slots.is_power_of_two(), "slot count must be a power of two");
+        assert!(
+            slots > 0 && slots.is_power_of_two(),
+            "slot count must be a power of two"
+        );
         MemorySideCache {
             tags: vec![u64::MAX; slots as usize],
             dirty: vec![false; slots as usize],
@@ -125,7 +127,7 @@ impl MemorySideCache {
 ///   collision argument over quasi-random page placement);
 /// * uniform random access hits with probability `capacity/footprint`
 ///   (each slot is owned by the most recent of its contenders).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectMappedModel {
     /// Cache capacity.
     pub capacity: ByteSize,
@@ -230,12 +232,12 @@ mod tests {
 
     #[test]
     fn exact_random_hit_rate_matches_analytic() {
-        use rand::{Rng, SeedableRng};
+        use simfabric::prng::Rng;
         let cap = ByteSize::kib(64);
         let mut c = MemorySideCache::new(cap, 64);
         let model = DirectMappedModel { capacity: cap };
         let footprint = ByteSize::kib(256); // 4x capacity
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut hits = 0u64;
         let n = 200_000u64;
         // Warm up.

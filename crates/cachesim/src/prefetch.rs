@@ -13,11 +13,10 @@
 //! already-in-flight hits; the ablation bench measures the bandwidth
 //! collapse with the prefetcher disabled.
 
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 
 /// Prefetcher configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetcherConfig {
     /// Number of concurrent streams the table tracks.
     pub streams: usize,
@@ -124,13 +123,14 @@ impl Prefetcher {
         self.clock += 1;
         let line = (addr / self.config.line_bytes as u64) as i64;
         let region = addr >> 12; // 4-KB training regions
-        // Streams may span adjacent regions once trained; match on
-        // proximity to the predicted next line instead of exact region.
+                                 // Streams may span adjacent regions once trained; match on
+                                 // proximity to the predicted next line instead of exact region.
         let mut best: Option<usize> = None;
         for (i, e) in self.table.iter().enumerate() {
             let predicted = e.last_line + e.stride;
-            if e.region == region || (e.confidence >= self.config.train_threshold
-                && (line - predicted).abs() <= 2 * e.stride.abs().max(1))
+            if e.region == region
+                || (e.confidence >= self.config.train_threshold
+                    && (line - predicted).abs() <= 2 * e.stride.abs().max(1))
             {
                 best = Some(i);
                 break;
@@ -255,9 +255,9 @@ mod tests {
 
     #[test]
     fn random_accesses_never_train() {
-        use rand::{Rng, SeedableRng};
+        use simfabric::prng::Rng;
         let mut pf = Prefetcher::knl();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut covered = 0;
         for _ in 0..2000 {
             let addr = rng.gen_range(0u64..1 << 30) & !63;

@@ -4,10 +4,8 @@
 //! answers two questions: *which way do I victimize?* and *update on
 //! touch*. All policies are deterministic given the construction seed.
 
-use serde::{Deserialize, Serialize};
-
 /// Which replacement policy a cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// True least-recently-used (exact recency stack).
     Lru,
@@ -194,19 +192,14 @@ mod tests {
         }
         for touched in 0..8u16 {
             r.touch(0, touched);
-            assert_ne!(
-                r.victim(0),
-                touched,
-                "PLRU victimized the way just touched"
-            );
+            assert_ne!(r.victim(0), touched, "PLRU victimized the way just touched");
         }
     }
 
     #[test]
     fn plru_requires_pow2_ways() {
-        let result = std::panic::catch_unwind(|| {
-            Replacer::new(ReplacementPolicy::PseudoLru, 1, 6, 0)
-        });
+        let result =
+            std::panic::catch_unwind(|| Replacer::new(ReplacementPolicy::PseudoLru, 1, 6, 0));
         assert!(result.is_err());
     }
 

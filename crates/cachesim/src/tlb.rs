@@ -7,13 +7,12 @@
 //! two-level TLB exactly and provides the analytic miss-rate helper the
 //! latency model uses at paper scale.
 
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 use simfabric::{ByteSize, Duration};
 use std::collections::VecDeque;
 
 /// Supported page sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageSize {
     /// 4-KB base pages.
     Small,
@@ -32,7 +31,7 @@ impl PageSize {
 }
 
 /// TLB configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlbConfig {
     /// Page size translated by this TLB.
     pub page_size: PageSize,
@@ -271,14 +270,14 @@ mod tests {
 
     #[test]
     fn exact_random_miss_rate_tracks_analytic() {
-        use rand::{Rng, SeedableRng};
+        use simfabric::prng::Rng;
         let cfg = TlbConfig {
             l1_entries: 16,
             l2_entries: 16,
             ..TlbConfig::knl_4k()
         };
         let mut tlb = Tlb::new(cfg);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let pages = 128u64;
         for _ in 0..20_000 {
             tlb.translate(rng.gen_range(0..pages) * 4096);

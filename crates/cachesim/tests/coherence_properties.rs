@@ -1,8 +1,9 @@
 //! Property tests for the MESIF directory: protocol invariants under
-//! arbitrary interleavings of reads, writes and evictions.
+//! randomized interleavings of reads, writes and evictions, driven by
+//! seeded cases from the in-tree PRNG.
 
 use cachesim::directory::{CoherenceState, Directory};
-use proptest::prelude::*;
+use simfabric::prng::Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -11,53 +12,55 @@ enum Op {
     Evict { tile: u32, line: u64 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    (0u32..8, 0u64..16, 0u8..3).prop_map(|(tile, line, kind)| {
-        let addr = line * 64;
-        match kind {
-            0 => Op::Read { tile, line: addr },
-            1 => Op::Write { tile, line: addr },
-            _ => Op::Evict { tile, line: addr },
-        }
-    })
+fn random_op(rng: &mut Rng) -> Op {
+    let tile = rng.gen_range(0u32..8);
+    let line = rng.gen_range(0u64..16) * 64;
+    match rng.gen_range(0u8..3) {
+        0 => Op::Read { tile, line },
+        1 => Op::Write { tile, line },
+        _ => Op::Evict { tile, line },
+    }
 }
 
-fn check_invariants(d: &Directory, lines: &[u64]) -> Result<(), TestCaseError> {
+fn random_ops(rng: &mut Rng, max: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max);
+    (0..len).map(|_| random_op(rng)).collect()
+}
+
+fn check_invariants(d: &Directory, lines: &[u64]) {
     for &addr in lines {
         let state = d.state_of(addr);
         let sharers = d.sharers_of(addr);
         match state {
             CoherenceState::Invalid => {
-                prop_assert!(sharers.is_empty(), "invalid line with sharers");
+                assert!(sharers.is_empty(), "invalid line with sharers");
             }
             CoherenceState::Modified | CoherenceState::Exclusive => {
-                prop_assert_eq!(
+                assert_eq!(
                     sharers.len(),
                     1,
-                    "M/E line must have exactly one owner, got {:?}",
-                    sharers
+                    "M/E line must have exactly one owner, got {sharers:?}"
                 );
             }
             CoherenceState::Shared | CoherenceState::Forward => {
-                prop_assert!(!sharers.is_empty(), "S/F line with no sharers");
+                assert!(!sharers.is_empty(), "S/F line with no sharers");
             }
         }
         // No duplicate sharers ever.
         let mut sorted = sharers.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), sharers.len(), "duplicate sharer");
+        assert_eq!(sorted.len(), sharers.len(), "duplicate sharer");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// MESIF invariants hold after every operation, for any request
-    /// interleaving.
-    #[test]
-    fn directory_invariants_hold(ops in proptest::collection::vec(op(), 1..300)) {
+/// MESIF invariants hold after every operation, for any request
+/// interleaving.
+#[test]
+fn directory_invariants_hold() {
+    let mut rng = Rng::seed_from_u64(0xc0de_0001);
+    for case in 0..128 {
+        let ops = random_ops(&mut rng, 300);
         let mut d = Directory::new(36, 64);
         let lines: Vec<u64> = (0..16u64).map(|l| l * 64).collect();
         for o in &ops {
@@ -65,26 +68,30 @@ proptest! {
                 Op::Read { tile, line } => {
                     d.read(tile, line);
                     // After a read the reader is a sharer.
-                    prop_assert!(d.sharers_of(line).contains(&tile));
+                    assert!(d.sharers_of(line).contains(&tile), "case {case}");
                 }
                 Op::Write { tile, line } => {
                     d.write(tile, line);
                     // After a write the writer is the sole owner in M.
-                    prop_assert_eq!(d.state_of(line), CoherenceState::Modified);
-                    prop_assert_eq!(d.sharers_of(line), &[tile][..]);
+                    assert_eq!(d.state_of(line), CoherenceState::Modified, "case {case}");
+                    assert_eq!(d.sharers_of(line), &[tile][..], "case {case}");
                 }
                 Op::Evict { tile, line } => {
                     d.evict(tile, line);
-                    prop_assert!(!d.sharers_of(line).contains(&tile));
+                    assert!(!d.sharers_of(line).contains(&tile), "case {case}");
                 }
             }
-            check_invariants(&d, &lines)?;
+            check_invariants(&d, &lines);
         }
     }
+}
 
-    /// A full evict of every tile always untracks the line.
-    #[test]
-    fn full_eviction_untracks(ops in proptest::collection::vec(op(), 1..100)) {
+/// A full evict of every tile always untracks the line.
+#[test]
+fn full_eviction_untracks() {
+    let mut rng = Rng::seed_from_u64(0xc0de_0002);
+    for case in 0..128 {
+        let ops = random_ops(&mut rng, 100);
         let mut d = Directory::new(36, 64);
         for o in &ops {
             match *o {
@@ -102,20 +109,24 @@ proptest! {
             for t in 0..8 {
                 d.evict(t, addr);
             }
-            prop_assert_eq!(d.state_of(addr), CoherenceState::Invalid);
+            assert_eq!(d.state_of(addr), CoherenceState::Invalid, "case {case}");
         }
-        prop_assert_eq!(d.tracked_lines(), 0);
+        assert_eq!(d.tracked_lines(), 0, "case {case}");
     }
+}
 
-    /// Directory homes are stable and within range.
-    #[test]
-    fn homes_are_stable(addr in any::<u64>()) {
+/// Directory homes are stable and within range.
+#[test]
+fn homes_are_stable() {
+    let mut rng = Rng::seed_from_u64(0xc0de_0003);
+    for _ in 0..256 {
+        let addr: u64 = rng.gen();
         let d = Directory::new(36, 64);
         let h1 = d.home_of(addr);
         let h2 = d.home_of(addr);
-        prop_assert_eq!(h1, h2);
-        prop_assert!(h1 < 36);
+        assert_eq!(h1, h2);
+        assert!(h1 < 36);
         // All addresses in a line share a home.
-        prop_assert_eq!(d.home_of(addr & !63), h1);
+        assert_eq!(d.home_of(addr & !63), h1);
     }
 }

@@ -1,11 +1,12 @@
 //! Property tests validating the fast cache structures against naive
-//! reference implementations.
+//! reference implementations, on seeded random traces from the
+//! in-tree PRNG.
 
 use cachesim::cache::{AccessKind, Cache, CacheConfig};
 use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::replacement::ReplacementPolicy;
 use cachesim::tlb::{Tlb, TlbConfig};
-use proptest::prelude::*;
+use simfabric::prng::Rng;
 use simfabric::ByteSize;
 
 /// Naive LRU cache: vectors of (set, recency list).
@@ -46,13 +47,18 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_addrs(rng: &mut Rng, bound: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(0..bound)).collect()
+}
 
-    /// The production LRU cache produces the exact hit/miss sequence of
-    /// the naive reference on arbitrary traces.
-    #[test]
-    fn lru_cache_matches_reference(addrs in proptest::collection::vec(0u64..(1 << 16), 1..500)) {
+/// The production LRU cache produces the exact hit/miss sequence of
+/// the naive reference on arbitrary traces.
+#[test]
+fn lru_cache_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0001);
+    for case in 0..64 {
+        let addrs = random_addrs(&mut rng, 1 << 16, 500);
         let mut cache = Cache::new(CacheConfig {
             capacity: ByteSize::bytes(4096), // 16 sets x 4 ways x 64 B
             line_bytes: 64,
@@ -64,14 +70,18 @@ proptest! {
         for &a in &addrs {
             let got = cache.access(a, AccessKind::Read).is_hit();
             let want = reference.access(a);
-            prop_assert_eq!(got, want, "divergence at address {:#x}", a);
+            assert_eq!(got, want, "case {case}: divergence at address {a:#x}");
         }
     }
+}
 
-    /// The direct-mapped memory-side cache matches a trivial tag-array
-    /// reference.
-    #[test]
-    fn msc_matches_reference(addrs in proptest::collection::vec(0u64..(1 << 20), 1..500)) {
+/// The direct-mapped memory-side cache matches a trivial tag-array
+/// reference.
+#[test]
+fn msc_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0002);
+    for case in 0..64 {
+        let addrs = random_addrs(&mut rng, 1 << 20, 500);
         let slots = 64u64;
         let mut msc = MemorySideCache::new(ByteSize::bytes(slots * 64), 64);
         let mut tags = vec![u64::MAX; slots as usize];
@@ -82,38 +92,47 @@ proptest! {
             let want = tags[slot] == tag;
             tags[slot] = tag;
             let got = msc.access(a, false).is_hit();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
     }
+}
 
-    /// TLB conservation: every translation is exactly one of L1 hit,
-    /// L2 hit, or walk; and a repeat translation immediately after is
-    /// always an L1 hit.
-    #[test]
-    fn tlb_accounting_and_mru(addrs in proptest::collection::vec(0u64..(1u64 << 32), 1..300)) {
+/// TLB conservation: every translation is exactly one of L1 hit,
+/// L2 hit, or walk; and a repeat translation immediately after is
+/// always an L1 hit.
+#[test]
+fn tlb_accounting_and_mru() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0003);
+    for case in 0..64 {
+        let addrs = random_addrs(&mut rng, 1u64 << 32, 300);
         let mut tlb = Tlb::new(TlbConfig::knl_4k());
         for &a in &addrs {
             tlb.translate(a);
             let again = tlb.translate(a);
-            prop_assert_eq!(again, cachesim::tlb::TlbOutcome::L1Hit);
+            assert_eq!(again, cachesim::tlb::TlbOutcome::L1Hit, "case {case}");
         }
-        prop_assert_eq!(
+        assert_eq!(
             tlb.translations(),
-            tlb.l1_hits.get() + tlb.l2_hits.get() + tlb.walks.get()
+            tlb.l1_hits.get() + tlb.l2_hits.get() + tlb.walks.get(),
+            "case {case}"
         );
-        prop_assert_eq!(tlb.translations(), 2 * addrs.len() as u64);
+        assert_eq!(tlb.translations(), 2 * addrs.len() as u64, "case {case}");
     }
+}
 
-    /// Cache occupancy is monotone under fresh lines and capped by
-    /// capacity, regardless of policy.
-    #[test]
-    fn occupancy_caps(policy_idx in 0usize..4, n in 1u64..300) {
+/// Cache occupancy is monotone under fresh lines and capped by
+/// capacity, regardless of policy.
+#[test]
+fn occupancy_caps() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0004);
+    for case in 0..64 {
         let policy = [
             ReplacementPolicy::Lru,
             ReplacementPolicy::PseudoLru,
             ReplacementPolicy::Fifo,
             ReplacementPolicy::Random,
-        ][policy_idx];
+        ][rng.gen_range(0usize..4)];
+        let n = rng.gen_range(1u64..300);
         let mut cache = Cache::new(CacheConfig {
             capacity: ByteSize::bytes(8192),
             line_bytes: 64,
@@ -123,8 +142,12 @@ proptest! {
         });
         for i in 0..n {
             cache.access(i * 64, AccessKind::Read);
-            prop_assert!(cache.occupancy() <= 128);
-            prop_assert_eq!(cache.occupancy(), n.min(i + 1).min(128));
+            assert!(cache.occupancy() <= 128, "case {case}");
+            assert_eq!(
+                cache.occupancy(),
+                n.min(i + 1).min(128),
+                "case {case} ({policy:?})"
+            );
         }
     }
 }

@@ -6,14 +6,13 @@
 //! application profile goes in, a memory-configuration recommendation
 //! with a model-predicted speedup comes out.
 
-use knl::{Machine, MemSetup};
 use knl::access::{RandomOp, Region, Reuse, StreamOp};
-use serde::{Deserialize, Serialize};
+use knl::{Machine, MemSetup};
 use simfabric::ByteSize;
 use workloads::AccessClass;
 
 /// What the advisor needs to know about an application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Display name, used in the rationale.
     pub name: String,
@@ -27,7 +26,7 @@ pub struct AppProfile {
 }
 
 /// The advisor's verdict.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// Recommended memory configuration.
     pub setup: MemSetup,
@@ -60,9 +59,7 @@ fn proxy_rate(profile: &AppProfile, setup: MemSetup, threads: u32) -> Option<f64
             let d = machine.price_stream(&ops);
             region.size().as_u64() as f64 / d.as_secs()
         }
-        AccessClass::Random => {
-            machine.random_rate(&RandomOp::probes(&region, 1_000_000))
-        }
+        AccessClass::Random => machine.random_rate(&RandomOp::probes(&region, 1_000_000)),
     })
 }
 
@@ -90,8 +87,8 @@ pub fn advise(profile: &AppProfile) -> Recommendation {
     } else {
         &[64]
     };
-    let baseline = proxy_rate(profile, MemSetup::DramOnly, 64)
-        .expect("DRAM-only baseline must fit (96 GB)");
+    let baseline =
+        proxy_rate(profile, MemSetup::DramOnly, 64).expect("DRAM-only baseline must fit (96 GB)");
     let mut best: Option<(MemSetup, u32, f64)> = None;
     for setup in [MemSetup::DramOnly, MemSetup::HbmOnly, MemSetup::CacheMode] {
         for &t in threads_options {

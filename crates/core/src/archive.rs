@@ -6,12 +6,12 @@
 //! `repro diff old.json new.json` shows every figure point that moved
 //! by more than a tolerance.
 
-use crate::experiment::Series;
+use crate::experiment::{Measurement, Series};
 use crate::figures::FigureData;
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
 
 /// A saved set of figures plus provenance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Archive {
     /// Schema version for forward compatibility.
     pub version: u32,
@@ -36,19 +36,34 @@ impl Archive {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("archive serializes")
+        let figures = self.figures.iter().map(figure_to_json).collect();
+        Json::obj([
+            ("version", Json::Num(self.version as f64)),
+            ("description", Json::Str(self.description.clone())),
+            ("figures", Json::Arr(figures)),
+        ])
+        .to_pretty()
     }
 
     /// Parse from JSON.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        let a: Archive = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if a.version != ARCHIVE_VERSION {
+        let v = json::parse(s)?;
+        let version = v.num_field("version")? as u32;
+        if version != ARCHIVE_VERSION {
             return Err(format!(
-                "archive version {} unsupported (expected {ARCHIVE_VERSION})",
-                a.version
+                "archive version {version} unsupported (expected {ARCHIVE_VERSION})"
             ));
         }
-        Ok(a)
+        let figures = v
+            .arr_field("figures")?
+            .iter()
+            .map(figure_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Archive {
+            version,
+            description: v.str_field("description")?,
+            figures,
+        })
     }
 
     /// Find a figure by id.
@@ -58,7 +73,7 @@ impl Archive {
 }
 
 /// One difference between two archives.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Divergence {
     /// Figure id.
     pub figure: String,
@@ -76,6 +91,76 @@ pub struct Divergence {
 
 fn series_points(s: &Series) -> impl Iterator<Item = (f64, Option<f64>)> + '_ {
     s.points.iter().map(|p| (p.x, p.value))
+}
+
+fn figure_to_json(f: &FigureData) -> Json {
+    let series = f
+        .series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("x", Json::Num(p.x)),
+                        ("value", p.value.map_or(Json::Null, Json::Num)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("label", Json::Str(s.label.clone())),
+                ("points", Json::Arr(points)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::Str(f.id.clone())),
+        ("title", Json::Str(f.title.clone())),
+        ("x_label", Json::Str(f.x_label.clone())),
+        ("y_label", Json::Str(f.y_label.clone())),
+        ("series", Json::Arr(series)),
+        ("text", Json::Str(f.text.clone())),
+    ])
+}
+
+fn figure_from_json(v: &Json) -> Result<FigureData, String> {
+    let series = v
+        .arr_field("series")?
+        .iter()
+        .map(|s| {
+            let points = s
+                .arr_field("points")?
+                .iter()
+                .map(|p| {
+                    let value = match p.get("value") {
+                        Some(Json::Null) | None => None,
+                        Some(other) => Some(
+                            other
+                                .as_f64()
+                                .ok_or_else(|| "non-numeric point value".to_string())?,
+                        ),
+                    };
+                    Ok(Measurement {
+                        x: p.num_field("x")?,
+                        value,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Series {
+                label: s.str_field("label")?,
+                points,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(FigureData {
+        id: v.str_field("id")?,
+        title: v.str_field("title")?,
+        x_label: v.str_field("x_label")?,
+        y_label: v.str_field("y_label")?,
+        series,
+        text: v.str_field("text")?,
+    })
 }
 
 /// Compare two archives; returns every point whose relative change
@@ -111,7 +196,11 @@ pub fn diff(baseline: &Archive, candidate: &Archive, tolerance: f64) -> Vec<Dive
                 match (bv, cv) {
                     (Some(b), Some(c)) => {
                         let rel = if b == 0.0 {
-                            if c == 0.0 { 0.0 } else { f64::INFINITY }
+                            if c == 0.0 {
+                                0.0
+                            } else {
+                                f64::INFINITY
+                            }
                         } else {
                             (c - b).abs() / b.abs()
                         };

@@ -3,11 +3,10 @@
 //! A sweep is the paper's unit of evaluation: one application, one
 //! varying parameter (problem size or thread count), three memory
 //! configurations. Points are independent, so the runner evaluates
-//! them in parallel with Rayon.
+//! them in parallel on scoped threads.
 
 use knl::{Machine, MachineError, MemSetup};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use simfabric::par;
 use simfabric::ByteSize;
 use workloads::dgemm::Dgemm;
 use workloads::graph500::Graph500;
@@ -19,7 +18,7 @@ use workloads::PaperWorkload;
 
 /// Which application a sweep runs — the constructible mirror of the
 /// workload structs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppSpec {
     /// STREAM triad.
     Stream,
@@ -74,7 +73,7 @@ impl AppSpec {
 }
 
 /// One evaluated point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// X-coordinate (GB for size sweeps, threads for thread sweeps).
     pub x: f64,
@@ -85,7 +84,7 @@ pub struct Measurement {
 }
 
 /// A named series of measurements (one memory setup).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label ("DRAM", "HBM", "Cache Mode").
     pub label: String,
@@ -111,12 +110,7 @@ impl Series {
     }
 }
 
-fn run_point(
-    app: AppSpec,
-    footprint: ByteSize,
-    setup: MemSetup,
-    threads: u32,
-) -> Option<f64> {
+fn run_point(app: AppSpec, footprint: ByteSize, setup: MemSetup, threads: u32) -> Option<f64> {
     let workload = app.build(footprint);
     let mut machine = Machine::knl7210(setup, threads).ok()?;
     match workload.run_model(&mut machine) {
@@ -127,7 +121,7 @@ fn run_point(
 
 /// A sweep over problem size at fixed thread count (the Fig. 2/4
 /// shape).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeSweep {
     /// Application under test.
     pub app: AppSpec,
@@ -153,31 +147,19 @@ impl SizeSweep {
 
     /// Evaluate every (setup × size) point in parallel.
     pub fn run(&self) -> Vec<Series> {
-        self.setups
-            .par_iter()
-            .map(|&setup| Series {
-                label: setup.label().to_string(),
-                points: self
-                    .sizes_gb
-                    .par_iter()
-                    .map(|&gb| Measurement {
-                        x: gb,
-                        value: run_point(
-                            self.app,
-                            ByteSize::gib_f(gb),
-                            setup,
-                            self.threads,
-                        ),
-                    })
-                    .collect(),
-            })
-            .collect()
+        par::par_map(&self.setups, |&setup| Series {
+            label: setup.label().to_string(),
+            points: par::par_map(&self.sizes_gb, |&gb| Measurement {
+                x: gb,
+                value: run_point(self.app, ByteSize::gib_f(gb), setup, self.threads),
+            }),
+        })
     }
 }
 
 /// A sweep over thread count at fixed problem size (the Fig. 5/6
 /// shape).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadSweep {
     /// Application under test.
     pub app: AppSpec,
@@ -202,20 +184,13 @@ impl ThreadSweep {
 
     /// Evaluate every (setup × threads) point in parallel.
     pub fn run(&self) -> Vec<Series> {
-        self.setups
-            .par_iter()
-            .map(|&setup| Series {
-                label: setup.label().to_string(),
-                points: self
-                    .threads
-                    .par_iter()
-                    .map(|&t| Measurement {
-                        x: t as f64,
-                        value: run_point(self.app, ByteSize::gib_f(self.size_gb), setup, t),
-                    })
-                    .collect(),
-            })
-            .collect()
+        par::par_map(&self.setups, |&setup| Series {
+            label: setup.label().to_string(),
+            points: par::par_map(&self.threads, |&t| Measurement {
+                x: t as f64,
+                value: run_point(self.app, ByteSize::gib_f(self.size_gb), setup, t),
+            }),
+        })
     }
 }
 
@@ -276,9 +251,18 @@ mod tests {
         let s = Series {
             label: "X".into(),
             points: vec![
-                Measurement { x: 1.0, value: Some(5.0) },
-                Measurement { x: 2.0, value: None },
-                Measurement { x: 3.0, value: Some(9.0) },
+                Measurement {
+                    x: 1.0,
+                    value: Some(5.0),
+                },
+                Measurement {
+                    x: 2.0,
+                    value: None,
+                },
+                Measurement {
+                    x: 3.0,
+                    value: Some(9.0),
+                },
             ],
         };
         assert_eq!(s.value_at(1.0), Some(5.0));

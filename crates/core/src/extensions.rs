@@ -16,7 +16,6 @@ use crate::experiment::{Measurement, Series};
 use crate::figures::FigureData;
 use knl::access::Reuse;
 use knl::{Machine, MachineConfig, MemSetup, StreamOp};
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 use workloads::AccessClass;
 
@@ -44,10 +43,7 @@ pub fn ext_hybrid_stream() -> FigureData {
                 .iter()
                 .map(|&gb| Measurement {
                     x: gb,
-                    value: stream_bw(
-                        Machine::knl7210(setup, 64).unwrap(),
-                        ByteSize::gib_f(gb),
-                    ),
+                    value: stream_bw(Machine::knl7210(setup, 64).unwrap(), ByteSize::gib_f(gb)),
                 })
                 .collect(),
         });
@@ -95,10 +91,7 @@ pub fn ext_interleaved_stream() -> FigureData {
                 .iter()
                 .map(|&gb| Measurement {
                     x: gb,
-                    value: stream_bw(
-                        Machine::knl7210(setup, 64).unwrap(),
-                        ByteSize::gib_f(gb),
-                    ),
+                    value: stream_bw(Machine::knl7210(setup, 64).unwrap(), ByteSize::gib_f(gb)),
                 })
                 .collect(),
         });
@@ -153,7 +146,7 @@ pub fn ext_energy_stream() -> FigureData {
 }
 
 /// A multi-node decomposition plan (§IV-C turned into code).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecompositionPlan {
     /// Total problem size.
     pub total: ByteSize,
@@ -184,11 +177,15 @@ pub fn decompose(total: ByteSize, pattern: AccessClass, max_nodes: u32) -> Decom
     let target = ByteSize::bytes(hbm.as_u64() * 9 / 10);
     match pattern {
         AccessClass::Sequential => {
-            let nodes = (total.as_u64().div_ceil(target.as_u64()) as u32)
-                .clamp(1, max_nodes.max(1));
+            let nodes =
+                (total.as_u64().div_ceil(target.as_u64()) as u32).clamp(1, max_nodes.max(1));
             let per_node = ByteSize::bytes(total.as_u64() / nodes as u64);
             let fits_hbm = per_node <= hbm;
-            let setup = if fits_hbm { MemSetup::HbmOnly } else { MemSetup::CacheMode };
+            let setup = if fits_hbm {
+                MemSetup::HbmOnly
+            } else {
+                MemSetup::CacheMode
+            };
             // Per-node rate with the decomposition vs the whole problem
             // on one node (best feasible single-node config).
             let rate_decomposed =
@@ -219,8 +216,7 @@ pub fn decompose(total: ByteSize, pattern: AccessClass, max_nodes: u32) -> Decom
         AccessClass::Random => {
             // Latency-bound work gains nothing from MCDRAM; nodes are
             // only needed for capacity.
-            let nodes =
-                (total.as_u64().div_ceil(ddr.as_u64()) as u32).clamp(1, max_nodes.max(1));
+            let nodes = (total.as_u64().div_ceil(ddr.as_u64()) as u32).clamp(1, max_nodes.max(1));
             let per_node = ByteSize::bytes(total.as_u64() / nodes as u64);
             DecompositionPlan {
                 total,
@@ -258,7 +254,10 @@ mod tests {
         let cache = at("Cache Mode", 30.0);
         for pct in [25, 50] {
             let h = at(&format!("Hybrid ({pct}% cache)"), 30.0);
-            assert!(h > dram && h > cache, "{pct}%: {h} vs dram {dram} cache {cache}");
+            assert!(
+                h > dram && h > cache,
+                "{pct}%: {h} vs dram {dram} cache {cache}"
+            );
         }
         let h75 = at("Hybrid (75% cache)", 30.0);
         assert!(h75 > cache, "75%: {h75} vs cache {cache}");
@@ -307,7 +306,11 @@ mod tests {
         assert!(plan.nodes >= 9 && plan.nodes <= 11, "nodes {}", plan.nodes);
         assert!(plan.per_node <= ByteSize::gib(16));
         assert_eq!(plan.setup, MemSetup::HbmOnly);
-        assert!(plan.speedup_vs_single_node > 2.0, "{}", plan.speedup_vs_single_node);
+        assert!(
+            plan.speedup_vs_single_node > 2.0,
+            "{}",
+            plan.speedup_vs_single_node
+        );
     }
 
     #[test]

@@ -7,11 +7,10 @@ use knl::{calib, MemSetup};
 use memdev::{ddr4_knl, mcdram_knl};
 use numamem::numactl::table2_panel;
 use numamem::NumaTopology;
-use serde::{Deserialize, Serialize};
 use workloads::catalog::render_table1;
 
 /// One reproduced figure (or numeric table panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Identifier matching the paper ("fig2", "fig4a", "table2", …).
     pub id: String,
@@ -73,8 +72,8 @@ pub fn table2() -> FigureData {
 /// configurations.
 pub fn fig2() -> FigureData {
     let sizes = vec![
-        2.0, 4.0, 6.0, 8.0, 10.0, 11.4, 12.0, 14.0, 16.0, 18.0, 20.0, 22.8, 24.0, 28.0, 32.0,
-        36.0, 40.0, 44.0,
+        2.0, 4.0, 6.0, 8.0, 10.0, 11.4, 12.0, 14.0, 16.0, 18.0, 20.0, 22.8, 24.0, 28.0, 32.0, 36.0,
+        40.0, 44.0,
     ];
     let series = SizeSweep::paper(AppSpec::Stream, sizes).run();
     FigureData::plot(
@@ -115,9 +114,18 @@ pub fn fig3() -> FigureData {
         "Block Size (MiB)",
         "Latency (ns) / Gap (%)",
         vec![
-            Series { label: "DRAM".into(), points: mk(&ddr) },
-            Series { label: "HBM".into(), points: mk(&hbm) },
-            Series { label: "Performance Gap (%)".into(), points: gap },
+            Series {
+                label: "DRAM".into(),
+                points: mk(&ddr),
+            },
+            Series {
+                label: "HBM".into(),
+                points: mk(&hbm),
+            },
+            Series {
+                label: "Performance Gap (%)".into(),
+                points: gap,
+            },
         ],
     )
 }
@@ -138,7 +146,10 @@ pub fn fig4b() -> FigureData {
         .iter()
         .map(|&s| out.iter().find(|x| x.label == "DRAM").unwrap().value_at(s))
         .collect();
-    for (label, src) in [("Speedup by HBM w.r.t. DRAM", "HBM"), ("Speedup by Cache w.r.t. DRAM", "Cache Mode")] {
+    for (label, src) in [
+        ("Speedup by HBM w.r.t. DRAM", "HBM"),
+        ("Speedup by Cache w.r.t. DRAM", "Cache Mode"),
+    ] {
         let pts = sizes
             .iter()
             .enumerate()
@@ -153,7 +164,10 @@ pub fn fig4b() -> FigureData {
                     .map(|(v, d)| v / d),
             })
             .collect();
-        out.push(Series { label: label.into(), points: pts });
+        out.push(Series {
+            label: label.into(),
+            points: pts,
+        });
     }
     FigureData::plot("fig4b", "MiniFE", "Matrix Size (GB)", "CG MFLOPS", out)
 }
@@ -166,15 +180,13 @@ pub fn fig4c() -> FigureData {
 
 /// Fig. 4d: Graph500 TEPS vs graph size.
 pub fn fig4d() -> FigureData {
-    let series =
-        SizeSweep::paper(AppSpec::Graph500, vec![1.1, 2.2, 4.4, 8.8, 17.5, 35.0]).run();
+    let series = SizeSweep::paper(AppSpec::Graph500, vec![1.1, 2.2, 4.4, 8.8, 17.5, 35.0]).run();
     FigureData::plot("fig4d", "Graph500", "Graph Size (GB)", "TEPS", series)
 }
 
 /// Fig. 4e: XSBench lookups/s vs problem size.
 pub fn fig4e() -> FigureData {
-    let series =
-        SizeSweep::paper(AppSpec::XsBench, vec![5.6, 11.3, 22.5, 45.0, 90.0]).run();
+    let series = SizeSweep::paper(AppSpec::XsBench, vec![5.6, 11.3, 22.5, 45.0, 90.0]).run();
     FigureData::plot("fig4e", "XSBench", "Problem Size (GB)", "Lookups/s", series)
 }
 
@@ -209,13 +221,7 @@ pub fn fig5() -> FigureData {
 
 fn fig6(app: AppSpec, size_gb: f64, id: &str, y: &str) -> FigureData {
     let series = ThreadSweep::paper(app, size_gb).run();
-    FigureData::plot(
-        id,
-        app.name(),
-        "No. of Threads",
-        y,
-        series,
-    )
+    FigureData::plot(id, app.name(), "No. of Threads", y, series)
 }
 
 /// Fig. 6a: DGEMM vs thread count (256-thread runs fail, as in the
@@ -296,7 +302,10 @@ mod tests {
     fn fig4b_includes_speedup_lines() {
         let f = fig4b();
         assert!(f.series.iter().any(|s| s.label.contains("Speedup by HBM")));
-        assert!(f.series.iter().any(|s| s.label.contains("Speedup by Cache")));
+        assert!(f
+            .series
+            .iter()
+            .any(|s| s.label.contains("Speedup by Cache")));
         let hbm_speedup = f
             .series
             .iter()

@@ -15,6 +15,7 @@ pub mod archive;
 pub mod experiment;
 pub mod extensions;
 pub mod figures;
+pub mod json;
 pub mod paper;
 pub mod report;
 pub mod sensitivity;
@@ -22,8 +23,8 @@ pub mod validate;
 
 pub use advisor::{advise, AppProfile, Recommendation};
 pub use archive::{diff, Archive, Divergence};
-pub use extensions::{decompose, DecompositionPlan};
 pub use experiment::{AppSpec, Measurement, Series, SizeSweep, ThreadSweep};
+pub use extensions::{decompose, DecompositionPlan};
 pub use figures::{all_figures, FigureData};
 pub use paper::{compare_with_model, paper_reference};
 pub use report::{render_figure, series_csv};

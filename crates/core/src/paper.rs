@@ -9,10 +9,9 @@
 //! this output.
 
 use crate::figures;
-use serde::Serialize;
 
 /// Where a transcribed value comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Provenance {
     /// Stated numerically in the paper's text.
     Stated,
@@ -21,7 +20,7 @@ pub enum Provenance {
 }
 
 /// One transcribed reference point.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PaperPoint {
     /// Figure/table the value comes from.
     pub figure: &'static str,
@@ -44,39 +43,179 @@ pub fn paper_reference() -> Vec<PaperPoint> {
     use Provenance::*;
     vec![
         // §IV-A stated values.
-        PaperPoint { figure: "latency", series: "DRAM", x: f64::NAN, paper_value: 130.4, provenance: Stated, what: "idle latency (ns)" },
-        PaperPoint { figure: "latency", series: "HBM", x: f64::NAN, paper_value: 154.0, provenance: Stated, what: "idle latency (ns)" },
+        PaperPoint {
+            figure: "latency",
+            series: "DRAM",
+            x: f64::NAN,
+            paper_value: 130.4,
+            provenance: Stated,
+            what: "idle latency (ns)",
+        },
+        PaperPoint {
+            figure: "latency",
+            series: "HBM",
+            x: f64::NAN,
+            paper_value: 154.0,
+            provenance: Stated,
+            what: "idle latency (ns)",
+        },
         // Fig. 2 stated values.
-        PaperPoint { figure: "fig2", series: "DRAM", x: 8.0, paper_value: 77.0, provenance: Stated, what: "STREAM triad (GB/s)" },
-        PaperPoint { figure: "fig2", series: "HBM", x: 8.0, paper_value: 330.0, provenance: Stated, what: "STREAM triad (GB/s)" },
-        PaperPoint { figure: "fig2", series: "Cache Mode", x: 8.0, paper_value: 260.0, provenance: Stated, what: "STREAM triad (GB/s)" },
-        PaperPoint { figure: "fig2", series: "Cache Mode", x: 11.4, paper_value: 125.0, provenance: Stated, what: "STREAM triad (GB/s)" },
+        PaperPoint {
+            figure: "fig2",
+            series: "DRAM",
+            x: 8.0,
+            paper_value: 77.0,
+            provenance: Stated,
+            what: "STREAM triad (GB/s)",
+        },
+        PaperPoint {
+            figure: "fig2",
+            series: "HBM",
+            x: 8.0,
+            paper_value: 330.0,
+            provenance: Stated,
+            what: "STREAM triad (GB/s)",
+        },
+        PaperPoint {
+            figure: "fig2",
+            series: "Cache Mode",
+            x: 8.0,
+            paper_value: 260.0,
+            provenance: Stated,
+            what: "STREAM triad (GB/s)",
+        },
+        PaperPoint {
+            figure: "fig2",
+            series: "Cache Mode",
+            x: 11.4,
+            paper_value: 125.0,
+            provenance: Stated,
+            what: "STREAM triad (GB/s)",
+        },
         // Fig. 5 stated.
-        PaperPoint { figure: "fig5", series: "HBM ht2/ht1", x: f64::NAN, paper_value: 1.27, provenance: Stated, what: "bandwidth ratio" },
-        PaperPoint { figure: "fig5", series: "HBM max", x: f64::NAN, paper_value: 420.0, provenance: Stated, what: "bandwidth (GB/s)" },
+        PaperPoint {
+            figure: "fig5",
+            series: "HBM ht2/ht1",
+            x: f64::NAN,
+            paper_value: 1.27,
+            provenance: Stated,
+            what: "bandwidth ratio",
+        },
+        PaperPoint {
+            figure: "fig5",
+            series: "HBM max",
+            x: f64::NAN,
+            paper_value: 420.0,
+            provenance: Stated,
+            what: "bandwidth (GB/s)",
+        },
         // Fig. 4a read off the figure.
-        PaperPoint { figure: "fig4a", series: "DRAM", x: 24.0, paper_value: 300.0, provenance: FromFigure, what: "GFLOPS" },
-        PaperPoint { figure: "fig4a", series: "HBM", x: 6.0, paper_value: 600.0, provenance: FromFigure, what: "GFLOPS" },
-        PaperPoint { figure: "fig4a", series: "HBM/DRAM", x: 6.0, paper_value: 2.0, provenance: Stated, what: "speedup" },
+        PaperPoint {
+            figure: "fig4a",
+            series: "DRAM",
+            x: 24.0,
+            paper_value: 300.0,
+            provenance: FromFigure,
+            what: "GFLOPS",
+        },
+        PaperPoint {
+            figure: "fig4a",
+            series: "HBM",
+            x: 6.0,
+            paper_value: 600.0,
+            provenance: FromFigure,
+            what: "GFLOPS",
+        },
+        PaperPoint {
+            figure: "fig4a",
+            series: "HBM/DRAM",
+            x: 6.0,
+            paper_value: 2.0,
+            provenance: Stated,
+            what: "speedup",
+        },
         // Fig. 4b.
-        PaperPoint { figure: "fig4b", series: "HBM/DRAM", x: 7.2, paper_value: 3.0, provenance: Stated, what: "speedup" },
-        PaperPoint { figure: "fig4b", series: "Cache/DRAM", x: 28.8, paper_value: 1.05, provenance: Stated, what: "speedup" },
+        PaperPoint {
+            figure: "fig4b",
+            series: "HBM/DRAM",
+            x: 7.2,
+            paper_value: 3.0,
+            provenance: Stated,
+            what: "speedup",
+        },
+        PaperPoint {
+            figure: "fig4b",
+            series: "Cache/DRAM",
+            x: 28.8,
+            paper_value: 1.05,
+            provenance: Stated,
+            what: "speedup",
+        },
         // Fig. 4c.
-        PaperPoint { figure: "fig4c", series: "DRAM", x: 8.0, paper_value: 1.08e-2, provenance: FromFigure, what: "GUPS" },
+        PaperPoint {
+            figure: "fig4c",
+            series: "DRAM",
+            x: 8.0,
+            paper_value: 1.08e-2,
+            provenance: FromFigure,
+            what: "GUPS",
+        },
         // Fig. 4d.
-        PaperPoint { figure: "fig4d", series: "DRAM", x: 8.8, paper_value: 1.7e8, provenance: FromFigure, what: "TEPS" },
-        PaperPoint { figure: "fig4d", series: "DRAM/Cache", x: 35.0, paper_value: 1.3, provenance: Stated, what: "speedup" },
+        PaperPoint {
+            figure: "fig4d",
+            series: "DRAM",
+            x: 8.8,
+            paper_value: 1.7e8,
+            provenance: FromFigure,
+            what: "TEPS",
+        },
+        PaperPoint {
+            figure: "fig4d",
+            series: "DRAM/Cache",
+            x: 35.0,
+            paper_value: 1.3,
+            provenance: Stated,
+            what: "speedup",
+        },
         // Fig. 4e.
-        PaperPoint { figure: "fig4e", series: "DRAM", x: 5.6, paper_value: 2.8e6, provenance: FromFigure, what: "lookups/s" },
+        PaperPoint {
+            figure: "fig4e",
+            series: "DRAM",
+            x: 5.6,
+            paper_value: 2.8e6,
+            provenance: FromFigure,
+            what: "lookups/s",
+        },
         // Fig. 6 stated ratios.
-        PaperPoint { figure: "fig6a", series: "HBM 192/64", x: f64::NAN, paper_value: 1.7, provenance: Stated, what: "speedup" },
-        PaperPoint { figure: "fig6d", series: "HBM 256/64", x: f64::NAN, paper_value: 2.5, provenance: Stated, what: "speedup" },
-        PaperPoint { figure: "fig6d", series: "DRAM 256/64", x: f64::NAN, paper_value: 1.5, provenance: Stated, what: "speedup" },
+        PaperPoint {
+            figure: "fig6a",
+            series: "HBM 192/64",
+            x: f64::NAN,
+            paper_value: 1.7,
+            provenance: Stated,
+            what: "speedup",
+        },
+        PaperPoint {
+            figure: "fig6d",
+            series: "HBM 256/64",
+            x: f64::NAN,
+            paper_value: 2.5,
+            provenance: Stated,
+            what: "speedup",
+        },
+        PaperPoint {
+            figure: "fig6d",
+            series: "DRAM 256/64",
+            x: f64::NAN,
+            paper_value: 1.5,
+            provenance: Stated,
+            what: "speedup",
+        },
     ]
 }
 
 /// A compared point.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// The reference point.
     pub point: PaperPoint,
@@ -109,22 +248,20 @@ pub fn compare_with_model() -> Vec<Comparison> {
             ("latency", "DRAM") => Some(memdev::ddr4_knl().idle_latency.as_ns()),
             ("latency", "HBM") => Some(memdev::mcdram_knl().idle_latency.as_ns()),
             ("fig2", s) => series_value(&fig2, s, p.x),
-            ("fig4a", "HBM/DRAM") => Some(
-                series_value(&fig4a, "HBM", p.x)? / series_value(&fig4a, "DRAM", p.x)?,
-            ),
+            ("fig4a", "HBM/DRAM") => {
+                Some(series_value(&fig4a, "HBM", p.x)? / series_value(&fig4a, "DRAM", p.x)?)
+            }
             ("fig4a", s) => series_value(&fig4a, s, p.x),
-            ("fig4b", "HBM/DRAM") => Some(
-                series_value(&fig4b, "HBM", p.x)? / series_value(&fig4b, "DRAM", p.x)?,
-            ),
-            ("fig4b", "Cache/DRAM") => Some(
-                series_value(&fig4b, "Cache Mode", p.x)?
-                    / series_value(&fig4b, "DRAM", p.x)?,
-            ),
+            ("fig4b", "HBM/DRAM") => {
+                Some(series_value(&fig4b, "HBM", p.x)? / series_value(&fig4b, "DRAM", p.x)?)
+            }
+            ("fig4b", "Cache/DRAM") => {
+                Some(series_value(&fig4b, "Cache Mode", p.x)? / series_value(&fig4b, "DRAM", p.x)?)
+            }
             ("fig4c", s) => series_value(&fig4c, s, p.x),
-            ("fig4d", "DRAM/Cache") => Some(
-                series_value(&fig4d, "DRAM", p.x)?
-                    / series_value(&fig4d, "Cache Mode", p.x)?,
-            ),
+            ("fig4d", "DRAM/Cache") => {
+                Some(series_value(&fig4d, "DRAM", p.x)? / series_value(&fig4d, "Cache Mode", p.x)?)
+            }
             ("fig4d", s) => series_value(&fig4d, s, p.x),
             ("fig4e", s) => series_value(&fig4e, s, p.x),
             ("fig5", "HBM ht2/ht1") => Some(
@@ -132,15 +269,15 @@ pub fn compare_with_model() -> Vec<Comparison> {
                     / series_value(&fig5, "HBM (ht = 1)", 6.0)?,
             ),
             ("fig5", "HBM max") => series_value(&fig5, "HBM (ht = 2)", 6.0),
-            ("fig6a", "HBM 192/64") => Some(
-                series_value(&fig6a, "HBM", 192.0)? / series_value(&fig6a, "HBM", 64.0)?,
-            ),
-            ("fig6d", "HBM 256/64") => Some(
-                series_value(&fig6d, "HBM", 256.0)? / series_value(&fig6d, "HBM", 64.0)?,
-            ),
-            ("fig6d", "DRAM 256/64") => Some(
-                series_value(&fig6d, "DRAM", 256.0)? / series_value(&fig6d, "DRAM", 64.0)?,
-            ),
+            ("fig6a", "HBM 192/64") => {
+                Some(series_value(&fig6a, "HBM", 192.0)? / series_value(&fig6a, "HBM", 64.0)?)
+            }
+            ("fig6d", "HBM 256/64") => {
+                Some(series_value(&fig6d, "HBM", 256.0)? / series_value(&fig6d, "HBM", 64.0)?)
+            }
+            ("fig6d", "DRAM 256/64") => {
+                Some(series_value(&fig6d, "DRAM", 256.0)? / series_value(&fig6d, "DRAM", 64.0)?)
+            }
             _ => None,
         }
     };
@@ -160,9 +297,8 @@ pub fn compare_with_model() -> Vec<Comparison> {
 
 /// Render the comparison as an aligned table.
 pub fn render_comparison(comparisons: &[Comparison]) -> String {
-    let mut out = String::from(
-        "figure   series            x        paper        model     dev    source\n",
-    );
+    let mut out =
+        String::from("figure   series            x        paper        model     dev    source\n");
     for c in comparisons {
         let x = if c.point.x.is_nan() {
             "-".to_string()

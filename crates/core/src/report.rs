@@ -90,15 +90,27 @@ mod tests {
             Series {
                 label: "DRAM".into(),
                 points: vec![
-                    Measurement { x: 1.0, value: Some(77.0) },
-                    Measurement { x: 2.0, value: Some(77.5) },
+                    Measurement {
+                        x: 1.0,
+                        value: Some(77.0),
+                    },
+                    Measurement {
+                        x: 2.0,
+                        value: Some(77.5),
+                    },
                 ],
             },
             Series {
                 label: "HBM".into(),
                 points: vec![
-                    Measurement { x: 1.0, value: Some(330.0) },
-                    Measurement { x: 2.0, value: None },
+                    Measurement {
+                        x: 1.0,
+                        value: Some(330.0),
+                    },
+                    Measurement {
+                        x: 2.0,
+                        value: None,
+                    },
                 ],
             },
         ]

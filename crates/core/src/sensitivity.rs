@@ -11,14 +11,13 @@
 use crate::experiment::Measurement;
 use knl::{Machine, MachineConfig, MemSetup};
 use memdev::presets;
-use serde::{Deserialize, Serialize};
 use simfabric::{ByteSize, Duration};
 use workloads::gups::Gups;
 use workloads::minife::MiniFe;
 use workloads::stream::StreamBench;
 
 /// One scan over a device parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityScan {
     /// The varied parameter.
     pub parameter: String,
@@ -56,8 +55,7 @@ pub fn scan_latency_penalty() -> SensitivityScan {
     let mut points = Vec::new();
     for penalty in [0.85, 0.95, 1.0, 1.05, 1.1, 1.18, 1.3, 1.5] {
         let mut cfg_h = MachineConfig::knl7210(MemSetup::HbmOnly, 64);
-        cfg_h.mcdram.idle_latency =
-            Duration::from_ns(presets::DDR_IDLE_LATENCY_NS * penalty);
+        cfg_h.mcdram.idle_latency = Duration::from_ns(presets::DDR_IDLE_LATENCY_NS * penalty);
         let gups = Gups::new(ByteSize::gib(8));
         let h = Machine::new(cfg_h)
             .ok()
@@ -232,7 +230,13 @@ mod tests {
         // footprint already wins on hit ratio.
         assert!(flip > 16.0 && flip < 34.0, "flip at {flip}");
         // And a 48-GB cache clearly beats DRAM.
-        let big = s.points.iter().find(|p| p.x == 48.0).unwrap().value.unwrap();
+        let big = s
+            .points
+            .iter()
+            .find(|p| p.x == 48.0)
+            .unwrap()
+            .value
+            .unwrap();
         assert!(big > 1.5, "48 GiB cache ratio {big}");
     }
 

@@ -8,10 +8,9 @@
 
 use crate::experiment::Series;
 use crate::figures;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one shape check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapeCheck {
     /// Which figure the check belongs to.
     pub figure: String,
@@ -79,14 +78,20 @@ pub fn validate_fig2() -> Vec<ShapeCheck> {
         "fig2",
         "cache mode beats DRAM between 16 and 24 GB",
         c18 > dram.value_at(18.0).unwrap(),
-        format!("cache {c18:.1} vs DRAM {:.1} at 18 GB", dram.value_at(18.0).unwrap()),
+        format!(
+            "cache {c18:.1} vs DRAM {:.1} at 18 GB",
+            dram.value_at(18.0).unwrap()
+        ),
     ));
     let c28 = cache.value_at(28.0).unwrap();
     out.push(check(
         "fig2",
         "cache mode falls below DRAM beyond ~24 GB",
         c28 < dram.value_at(28.0).unwrap(),
-        format!("cache {c28:.1} vs DRAM {:.1} at 28 GB", dram.value_at(28.0).unwrap()),
+        format!(
+            "cache {c28:.1} vs DRAM {:.1} at 28 GB",
+            dram.value_at(28.0).unwrap()
+        ),
     ));
     out.push(check(
         "fig2",
@@ -123,7 +128,10 @@ pub fn validate_fig3() -> Vec<ShapeCheck> {
         "fig3",
         "latency keeps climbing beyond 128 MB",
         big > dram.value_at(128.0).unwrap() + 20.0,
-        format!("1 GiB {big:.1} ns vs 128 MiB {:.1} ns", dram.value_at(128.0).unwrap()),
+        format!(
+            "1 GiB {big:.1} ns vs 128 MiB {:.1} ns",
+            dram.value_at(128.0).unwrap()
+        ),
     ));
     let gaps: Vec<f64> = gap
         .points

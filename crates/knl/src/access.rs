@@ -7,12 +7,11 @@
 //! would have on the real machine.
 
 use memkind_sim::Block;
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 
 /// A named allocated region with a placement decided at allocation
 /// time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Region {
     /// Human-readable label ("matrix", "table", "xs_grid", …).
     pub label: String,
@@ -38,7 +37,7 @@ impl Region {
 /// How often a streamed region re-visits the same lines — determines
 /// which MCDRAM-cache hit-ratio model applies and how much of the
 /// traffic the L2 absorbs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Reuse {
     /// Sequential sweeps that revisit the footprint every pass
     /// (STREAM arrays, CG vectors, DGEMM panels).
@@ -51,7 +50,7 @@ pub enum Reuse {
 }
 
 /// One streaming term of a phase: `bytes` of traffic against `region`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamOp {
     /// Region the traffic targets.
     pub region: Region,
@@ -91,7 +90,7 @@ impl StreamOp {
 }
 
 /// A random-access term of a phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomOp {
     /// Region the accesses fall in (uniformly).
     pub region: Region,

@@ -199,7 +199,10 @@ mod tests {
         let bw = CORES as f64 * STREAM_MLP_PER_CORE_1T * LINE_BYTES as f64
             / (presets::MCDRAM_IDLE_LATENCY_NS * 1e-9)
             / 1e9;
-        assert!((bw - presets::MCDRAM_SUSTAINED_1T_GBS).abs() < 10.0, "bw {bw}");
+        assert!(
+            (bw - presets::MCDRAM_SUSTAINED_1T_GBS).abs() < 10.0,
+            "bw {bw}"
+        );
     }
 
     #[test]

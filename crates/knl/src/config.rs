@@ -3,12 +3,11 @@
 use memdev::{ddr4_knl, mcdram_knl, MemDeviceSpec};
 use mesh::ClusterMode;
 use numamem::NumaTopology;
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 
 /// The three memory configurations compared throughout the paper
 /// (§III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSetup {
     /// Flat mode, `numactl --membind=0`: everything in DDR.
     DramOnly,
@@ -75,7 +74,7 @@ fn hybrid_topology(cache_fraction: f64) -> NumaTopology {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Memory setup under test.
     pub setup: MemSetup,
@@ -153,8 +152,7 @@ impl MachineConfig {
         match self.setup {
             MemSetup::CacheMode => ByteSize::ZERO,
             MemSetup::Hybrid => ByteSize::bytes(
-                (self.mcdram.capacity.as_u64() as f64 * (1.0 - self.hybrid_cache_fraction))
-                    as u64
+                (self.mcdram.capacity.as_u64() as f64 * (1.0 - self.hybrid_cache_fraction)) as u64
                     & !4095,
             ),
             _ => self.mcdram.capacity,
@@ -213,15 +211,28 @@ mod tests {
     fn threads_per_core_mapping() {
         let c = MachineConfig::knl7210(MemSetup::DramOnly, 64);
         assert_eq!(c.threads_per_core(), 1);
-        assert_eq!(MachineConfig::knl7210(MemSetup::DramOnly, 65).threads_per_core(), 2);
-        assert_eq!(MachineConfig::knl7210(MemSetup::DramOnly, 256).threads_per_core(), 4);
-        assert_eq!(MachineConfig::knl7210(MemSetup::DramOnly, 32).active_cores(), 32);
+        assert_eq!(
+            MachineConfig::knl7210(MemSetup::DramOnly, 65).threads_per_core(),
+            2
+        );
+        assert_eq!(
+            MachineConfig::knl7210(MemSetup::DramOnly, 256).threads_per_core(),
+            4
+        );
+        assert_eq!(
+            MachineConfig::knl7210(MemSetup::DramOnly, 32).active_cores(),
+            32
+        );
     }
 
     #[test]
     fn too_many_threads_rejected() {
-        assert!(MachineConfig::knl7210(MemSetup::DramOnly, 257).validate().is_err());
-        assert!(MachineConfig::knl7210(MemSetup::DramOnly, 0).validate().is_err());
+        assert!(MachineConfig::knl7210(MemSetup::DramOnly, 257)
+            .validate()
+            .is_err());
+        assert!(MachineConfig::knl7210(MemSetup::DramOnly, 0)
+            .validate()
+            .is_err());
     }
 
     #[test]

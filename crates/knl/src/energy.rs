@@ -16,10 +16,8 @@
 //! generation, not calibrated to the paper (which does not measure
 //! energy).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-bit access energies (pJ/bit).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// DDR4 end-to-end access energy.
     pub ddr_pj_per_bit: f64,
@@ -44,7 +42,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy attributed to a run's memory traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Joules spent on DDR traffic.
     pub ddr_joules: f64,

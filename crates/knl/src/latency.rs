@@ -65,8 +65,7 @@ pub fn dual_random_read_latency(
     // tables live in DDR regardless of the application's membind, so
     // this term is device-independent — which is why the Fig. 3 gap
     // *shrinks* toward 15 % at GB-scale blocks.
-    let walk_extra_ns =
-        walk_memory_trips(block) * memdev::presets::DDR_IDLE_LATENCY_NS * 0.75;
+    let walk_extra_ns = walk_memory_trips(block) * memdev::presets::DDR_IDLE_LATENCY_NS * 0.75;
     let ns = l2_frac * l2_ns + (1.0 - l2_frac) * (mem_ns + tlb_ns + walk_extra_ns);
     Duration::from_ns(ns)
 }
@@ -124,10 +123,7 @@ mod tests {
     fn dram_is_15_to_20_percent_faster_beyond_l2() {
         for mib in [2u64, 8, 32, 128, 512, 1024] {
             let gap = latency_gap_percent(&ddr4_knl(), &mcdram_knl(), ByteSize::mib(mib), &tlb());
-            assert!(
-                (10.0..=22.0).contains(&gap),
-                "gap at {mib} MiB = {gap:.1}%"
-            );
+            assert!((10.0..=22.0).contains(&gap), "gap at {mib} MiB = {gap:.1}%");
         }
     }
 

@@ -39,7 +39,6 @@ use cachesim::tlb::TlbConfig;
 use memdev::bank::{DramGeometry, DramTiming};
 use memdev::MemDeviceSpec;
 use memkind_sim::{HeapError, Kind, MemkindHeap};
-use serde::{Deserialize, Serialize};
 use simfabric::{ByteSize, Duration};
 use std::fmt;
 
@@ -65,7 +64,7 @@ impl fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 /// Aggregate counters for a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
     /// Bytes priced through `stream`.
     pub stream_bytes: u64,
@@ -256,8 +255,7 @@ impl Machine {
     pub(crate) fn flat_stream_bw(&self, dev: Dev) -> f64 {
         let spec = self.spec(dev);
         let conc = self.cfg.active_cores() as f64 * self.per_core_stream_mlp();
-        let littles =
-            conc * spec.line_bytes as f64 / spec.idle_latency.as_secs() / 1e9;
+        let littles = conc * spec.line_bytes as f64 / spec.idle_latency.as_secs() / 1e9;
         littles.min(spec.sustained_bw_gbs)
     }
 
@@ -321,8 +319,7 @@ impl Machine {
             let ddr_footprint = ByteSize::bytes(
                 ops.iter()
                     .map(|op| {
-                        (op.region.size().as_u64() as f64 * (1.0 - op.region.hbm_fraction))
-                            as u64
+                        (op.region.size().as_u64() as f64 * (1.0 - op.region.hbm_fraction)) as u64
                     })
                     .sum::<u64>(),
             );
@@ -368,9 +365,7 @@ impl Machine {
     pub fn effective_stream_bw(&self, region: &Region, reuse: Reuse) -> f64 {
         if self.cfg.setup.has_mcdram_cache() {
             let f = region.hbm_fraction;
-            let ddr_fp = ByteSize::bytes(
-                (region.size().as_u64() as f64 * (1.0 - f)) as u64,
-            );
+            let ddr_fp = ByteSize::bytes((region.size().as_u64() as f64 * (1.0 - f)) as u64);
             let cache_bw = self.cache_mode_stream_bw(ddr_fp, reuse);
             let hbm_bw = self.flat_stream_bw(Dev::Hbm);
             1.0 / (f / hbm_bw + (1.0 - f) / cache_bw)
@@ -436,11 +431,10 @@ impl Machine {
         // modes) or through the MCDRAM cache partition (cache/hybrid).
         let (ddr_side_lat, ddr_cost) = match &self.msc {
             Some(msc) => {
-                let ddr_fp =
-                    ByteSize::bytes((footprint.as_u64() as f64 * (1.0 - f)) as u64);
+                let ddr_fp = ByteSize::bytes((footprint.as_u64() as f64 * (1.0 - f)) as u64);
                 let h = msc.random_hit_ratio(ddr_fp);
-                let miss = calib::CACHE_MISS_TAG_NS
-                    + self.device_random_latency_ns(Dev::Ddr, footprint);
+                let miss =
+                    calib::CACHE_MISS_TAG_NS + self.device_random_latency_ns(Dev::Ddr, footprint);
                 // DDR line ops per application access: the miss fetch,
                 // plus a dirty writeback for updates evicted later.
                 let cost = (1.0 - h) * (1.0 + if op.updates { 1.0 } else { 0.3 });
@@ -489,8 +483,7 @@ impl Machine {
         let unit_ns_per_thread = chain_ns / mlp + op.cpu_ns_per_unit;
         let latency_rate = self.cfg.threads as f64 / (unit_ns_per_thread * 1e-9);
         // Device-side cap: random line rate ÷ lines per unit.
-        let lines_per_unit =
-            op.dependent_depth.max(1) as f64 + if op.updates { 1.0 } else { 0.0 };
+        let lines_per_unit = op.dependent_depth.max(1) as f64 + if op.updates { 1.0 } else { 0.0 };
         // Device-side line-rate cap: the flat-MCDRAM share draws on
         // MCDRAM's random rate; the DDR share on DDR's, derated by the
         // cache-mode fill/writeback cost when the MCDRAM cache fronts
@@ -547,7 +540,11 @@ impl Machine {
     /// 2 flops/cycle/core × active cores, derated below 2 threads/core
     /// (single-thread KNL cores cannot fill the pipeline).
     pub fn scalar_roof_gflops(&self) -> f64 {
-        let per_core = if self.cfg.threads_per_core() >= 2 { 2.0 } else { 1.4 };
+        let per_core = if self.cfg.threads_per_core() >= 2 {
+            2.0
+        } else {
+            1.4
+        };
         self.cfg.active_cores() as f64 * calib::CORE_GHZ * per_core
     }
 }
@@ -612,7 +609,10 @@ mod tests {
         let b114 = bw_at(11.4);
         assert!((b114 - 125.0).abs() < 25.0, "cache mode at 11.4GB: {b114}");
         let b30 = bw_at(30.0);
-        assert!(b30 < 77.0, "cache mode at 30GB should dip below DRAM: {b30}");
+        assert!(
+            b30 < 77.0,
+            "cache mode at 30GB should dip below DRAM: {b30}"
+        );
         // And between DRAM and HBM in the 16–24 GB window.
         let b18 = bw_at(18.0);
         assert!(b18 > 77.0 && b18 < 330.0, "cache mode at 18GB: {b18}");
@@ -693,7 +693,11 @@ mod tests {
         // A 12-GB allocation: 8 GB lands in the flat partition, the
         // rest spills to DDR (HBW_PREFERRED semantics).
         let r = m.alloc("x", ByteSize::gib(12)).unwrap();
-        assert!((r.hbm_fraction - 8.0 / 12.0).abs() < 0.01, "{}", r.hbm_fraction);
+        assert!(
+            (r.hbm_fraction - 8.0 / 12.0).abs() < 0.01,
+            "{}",
+            r.hbm_fraction
+        );
     }
 
     #[test]
@@ -707,9 +711,8 @@ mod tests {
             let d = m.price_stream(&[StreamOp::read_all(&r)]);
             r.size().as_u64() as f64 / 1e9 / d.as_secs()
         };
-        let hybrid = stream_bw(
-            Machine::new(crate::config::MachineConfig::knl7210_hybrid(0.5, 64)).unwrap(),
-        );
+        let hybrid =
+            stream_bw(Machine::new(crate::config::MachineConfig::knl7210_hybrid(0.5, 64)).unwrap());
         let cache = stream_bw(Machine::knl7210(MemSetup::CacheMode, 64).unwrap());
         let dram = stream_bw(Machine::knl7210(MemSetup::DramOnly, 64).unwrap());
         assert!(

@@ -16,11 +16,10 @@ use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
 use memdev::bank::DramModel;
 use mesh::MeshModel;
-use serde::{Deserialize, Serialize};
 use simfabric::{ByteSize, Duration, SimTime};
 
 /// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceAccess {
     /// Issuing core (0-based; mapped onto tiles round-robin).
     pub core: u32,
@@ -63,7 +62,7 @@ impl TraceAccess {
 
 /// Where trace addresses live (the trace path does not use the heap;
 /// placement is supplied explicitly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TracePlacement {
     /// Everything on DDR.
     AllDdr,
@@ -84,7 +83,7 @@ impl TracePlacement {
 }
 
 /// Simulation report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceSimReport {
     /// Completion time of the last access.
     pub makespan: Duration,
@@ -190,7 +189,11 @@ impl TraceSim {
         let tiles = self.mesh.topology().num_tiles();
         let tile = (core as u32 / 2) % tiles;
         let mut issue = self.core_clock[core];
-        let kind = if t.write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if t.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
         let mut done = issue + sram_lat;
         let mut merged = false;
@@ -366,8 +369,18 @@ mod tests {
         // Full 64-core machine: DDR is bus-bound, HBM is concurrency-
         // bound, reproducing the Fig. 2 ordering at trace level.
         let trace = stream_trace(64, 1_000);
-        let mut ddr = TraceSim::new(&cfg(MemSetup::DramOnly), 64, TracePlacement::AllDdr, ByteSize::mib(1));
-        let mut hbm = TraceSim::new(&cfg(MemSetup::HbmOnly), 64, TracePlacement::AllHbm, ByteSize::mib(1));
+        let mut ddr = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            64,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let mut hbm = TraceSim::new(
+            &cfg(MemSetup::HbmOnly),
+            64,
+            TracePlacement::AllHbm,
+            ByteSize::mib(1),
+        );
         let rd = ddr.run(&trace);
         let rh = hbm.run(&trace);
         assert!(
@@ -388,8 +401,18 @@ mod tests {
     fn ddr_chases_faster_than_hbm() {
         // Large-stride dependent chase: pure latency.
         let trace = chase_trace(0, 3_000, 4 * 1024 * 1024 + 64);
-        let mut ddr = TraceSim::new(&cfg(MemSetup::DramOnly), 1, TracePlacement::AllDdr, ByteSize::mib(1));
-        let mut hbm = TraceSim::new(&cfg(MemSetup::HbmOnly), 1, TracePlacement::AllHbm, ByteSize::mib(1));
+        let mut ddr = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let mut hbm = TraceSim::new(
+            &cfg(MemSetup::HbmOnly),
+            1,
+            TracePlacement::AllHbm,
+            ByteSize::mib(1),
+        );
         let rd = ddr.run(&trace);
         let rh = hbm.run(&trace);
         assert!(
@@ -420,10 +443,7 @@ mod tests {
             ByteSize::mib(8),
         );
         let r = sim.run(&trace);
-        assert!(
-            r.mcdram_cache_hits > lines / 2,
-            "too few MSC hits: {r:?}"
-        );
+        assert!(r.mcdram_cache_hits > lines / 2, "too few MSC hits: {r:?}");
     }
 
     #[test]
@@ -443,7 +463,11 @@ mod tests {
         let r = sim.run(&trace);
         assert_eq!(r.accesses, 4096);
         // Only the first pass misses.
-        assert!(r.memory_accesses <= 1024, "memory accesses {}", r.memory_accesses);
+        assert!(
+            r.memory_accesses <= 1024,
+            "memory accesses {}",
+            r.memory_accesses
+        );
     }
 
     #[test]
@@ -465,7 +489,10 @@ impl TraceSim {
     /// Debug introspection for the DDR model.
     #[doc(hidden)]
     pub fn debug_ddr(&self) -> (Vec<f64>, f64) {
-        (self.ddr.debug_bus_busy_ns(), self.ddr.debug_max_bank_ready_ns())
+        (
+            self.ddr.debug_bus_busy_ns(),
+            self.ddr.debug_max_bank_ready_ns(),
+        )
     }
 }
 
@@ -490,7 +517,11 @@ impl TraceSim {
         let tile = (core as u32 / 2) % tiles;
         let mut issue = self.core_clock[core];
         let orig_issue = issue;
-        let kind = if t.write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if t.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
         let mut bd = AccessBreakdown::default();
         let mut done = issue + sram_lat;
@@ -538,7 +569,12 @@ impl TraceSim {
                 self.ddr.access(t.addr, arrive)
             };
             bd.served_ps = served.as_ps();
-            done = served + if is_hbm_target { self.resp_half_hbm } else { self.resp_half_ddr };
+            done = served
+                + if is_hbm_target {
+                    self.resp_half_hbm
+                } else {
+                    self.resp_half_ddr
+                };
             self.mshrs[core].complete_at(t.addr & !(self.line_bytes - 1), done);
         }
         bd.done_ps = done.as_ps();

@@ -8,13 +8,12 @@
 //! analytic path, and that random access degenerates to latency-bound
 //! behaviour.
 
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 use simfabric::{Duration, SimTime};
 
 /// Core DRAM timing parameters (per bank), in nanoseconds at the
 /// module's I/O clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
     /// Row activate → column access (tRCD).
     pub t_rcd: Duration,
@@ -79,7 +78,7 @@ impl DramTiming {
 
 /// Geometry of the device: how a physical line address is split into
 /// channel, bank and row indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramGeometry {
     /// Number of channels.
     pub channels: u32,
@@ -138,7 +137,7 @@ struct Bank {
 }
 
 /// Aggregated access statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DramStats {
     /// Row-buffer hits.
     pub row_hits: Counter,
@@ -282,7 +281,10 @@ impl DramModel {
     /// Debug introspection: latest bank-ready time (ns).
     #[doc(hidden)]
     pub fn debug_max_bank_ready_ns(&self) -> f64 {
-        self.banks.iter().map(|b| b.ready.as_ns()).fold(0.0, f64::max)
+        self.banks
+            .iter()
+            .map(|b| b.ready.as_ns())
+            .fold(0.0, f64::max)
     }
 }
 

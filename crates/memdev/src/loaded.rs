@@ -13,11 +13,10 @@
 //! (McCalpin's KNL latency study [18] and Chang et al. [25]): latency
 //! roughly doubles near saturation.
 
-use serde::{Deserialize, Serialize};
 use simfabric::Duration;
 
 /// Parameters of the loaded-latency curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadedLatencyCurve {
     /// Queueing sensitivity `k`; larger means latency climbs earlier.
     pub queue_factor: f64,

@@ -74,9 +74,7 @@ pub fn mcdram_knl() -> MemDeviceSpec {
 pub fn custom_hbm(capacity: ByteSize, bw_scale: f64, latency_scale: f64) -> MemDeviceSpec {
     let base = mcdram_knl();
     MemDeviceSpec {
-        name: format!(
-            "HBM custom ({capacity}, {bw_scale:.2}x bw, {latency_scale:.2}x lat)"
-        ),
+        name: format!("HBM custom ({capacity}, {bw_scale:.2}x bw, {latency_scale:.2}x lat)"),
         kind: DeviceKind::Custom,
         capacity,
         peak_bw_gbs: base.peak_bw_gbs * bw_scale,

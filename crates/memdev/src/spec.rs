@@ -6,12 +6,11 @@
 //! documentation says so.
 
 use crate::loaded::LoadedLatencyCurve;
-use serde::{Deserialize, Serialize};
 use simfabric::{ByteSize, Duration};
 
 /// Which technology a device models. Determines defaults and how the
 /// KNL machine model wires it up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Conventional off-package DDR4.
     Ddr4,
@@ -22,7 +21,7 @@ pub enum DeviceKind {
 }
 
 /// Calibrated analytic description of a memory device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemDeviceSpec {
     /// Human-readable name used in reports (e.g. `"DDR4-2133 x6"`).
     pub name: String,

@@ -9,12 +9,11 @@ use crate::arena::Arena;
 use crate::kind::Kind;
 use numamem::system::PAGE_BYTES;
 use numamem::{Allocation, NodeId, NumaSystem, NumaTopology, PolicyError};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Errors returned by heap operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +49,7 @@ impl From<PolicyError> for HeapError {
 }
 
 /// A live heap block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Start virtual address (page-aligned).
     pub addr: u64,
@@ -73,7 +72,7 @@ impl Block {
 }
 
 /// Per-kind allocation statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapStats {
     /// Successful allocations.
     pub allocs: u64,
@@ -141,12 +140,12 @@ impl MemkindHeap {
 
     /// The topology this heap allocates over.
     pub fn topology(&self) -> NumaTopology {
-        self.inner.lock().system.topology().clone()
+        self.inner.lock().unwrap().system.topology().clone()
     }
 
     /// `memkind_malloc(kind, size)`.
     pub fn malloc(&self, kind: Kind, size: ByteSize) -> Result<Block, HeapError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let policy = kind
             .to_policy(inner.system.topology())
             .ok_or(HeapError::KindUnavailable(kind))?;
@@ -174,12 +173,12 @@ impl MemkindHeap {
 
     /// `hbw_check_available()` for `kind`.
     pub fn check_available(&self, kind: Kind) -> bool {
-        kind.available(self.inner.lock().system.topology())
+        kind.available(self.inner.lock().unwrap().system.topology())
     }
 
     /// Free a block.
     pub fn free(&self, block: &Block) -> Result<(), HeapError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let record = inner
             .blocks
             .remove(&block.addr)
@@ -197,7 +196,7 @@ impl MemkindHeap {
     /// (`memkind`-rebalancing / `move_pages(2)`); returns the number of
     /// pages moved. Partial moves happen when the target is tight.
     pub fn migrate(&self, block: &Block, target: NodeId) -> Result<u64, HeapError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let record = inner
             .blocks
             .get_mut(&block.addr)
@@ -219,7 +218,7 @@ impl MemkindHeap {
     /// The NUMA node backing the page containing `addr`, or `None` for
     /// addresses outside any live block.
     pub fn node_of(&self, addr: u64) -> Option<NodeId> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let (&start, record) = inner.blocks.range(..=addr).next_back()?;
         let rec_end = start + record.allocation.pages() * PAGE_BYTES;
         if addr >= rec_end {
@@ -230,7 +229,7 @@ impl MemkindHeap {
 
     /// Fraction of a block's pages on `node`.
     pub fn fraction_on(&self, block: &Block, node: NodeId) -> f64 {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner
             .blocks
             .get(&block.addr)
@@ -240,13 +239,14 @@ impl MemkindHeap {
 
     /// Free bytes remaining on `node`.
     pub fn free_on(&self, node: NodeId) -> ByteSize {
-        self.inner.lock().system.free_on(node)
+        self.inner.lock().unwrap().system.free_on(node)
     }
 
     /// Statistics for `kind`.
     pub fn stats(&self, kind: Kind) -> HeapStats {
         self.inner
             .lock()
+            .unwrap()
             .stats
             .get(&kind)
             .copied()
@@ -255,7 +255,13 @@ impl MemkindHeap {
 
     /// Total live bytes across kinds.
     pub fn live_bytes(&self) -> u64 {
-        self.inner.lock().stats.values().map(|s| s.live_bytes).sum()
+        self.inner
+            .lock()
+            .unwrap()
+            .stats
+            .values()
+            .map(|s| s.live_bytes)
+            .sum()
     }
 }
 
@@ -281,7 +287,10 @@ mod tests {
         let h = heap();
         let _a = h.hbw_malloc(ByteSize::gib(16)).unwrap();
         let err = h.hbw_malloc(ByteSize::kib(4)).unwrap_err();
-        assert!(matches!(err, HeapError::Policy(PolicyError::OutOfMemory { .. })));
+        assert!(matches!(
+            err,
+            HeapError::Policy(PolicyError::OutOfMemory { .. })
+        ));
     }
 
     #[test]

@@ -1,13 +1,10 @@
 //! Allocation kinds, mirroring the memkind library's public kinds.
 
 use numamem::{MemPolicy, NumaTopology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A memory kind, in the sense of `memkind_malloc(kind, size)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Kind {
     /// `MEMKIND_DEFAULT` — the OS default policy (local DRAM node).
     #[default]
@@ -63,9 +60,9 @@ impl Kind {
                     Some(MemPolicy::Interleave(hbm))
                 }
             }
-            Kind::Interleave => {
-                Some(MemPolicy::Interleave((0..topo.num_nodes() as u32).collect()))
-            }
+            Kind::Interleave => Some(MemPolicy::Interleave(
+                (0..topo.num_nodes() as u32).collect(),
+            )),
             Kind::Regular => {
                 if dram.is_empty() {
                     None

@@ -14,10 +14,9 @@
 //!   nodes (not used by the paper; included for ablations).
 
 use crate::topology::{Coord, MemPort, Topology};
-use serde::{Deserialize, Serialize};
 
 /// The KNL cluster mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ClusterMode {
     /// No CHA/port affinity.
     AllToAll,

@@ -9,13 +9,12 @@
 
 use crate::cluster::ClusterMode;
 use crate::topology::{Coord, MemPort, Topology};
-use serde::{Deserialize, Serialize};
 use simfabric::stats::Counter;
 use simfabric::{Duration, SimTime};
 use std::collections::HashMap;
 
 /// Statistics for the mesh.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MeshStats {
     /// Messages routed.
     pub messages: Counter,

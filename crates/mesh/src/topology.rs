@@ -8,10 +8,8 @@
 //! four sites unused, which preserves the average hop distances that
 //! matter to the timing model.
 
-use serde::{Deserialize, Serialize};
-
 /// A grid coordinate (column, row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column (0 = west edge).
     pub x: u8,
@@ -27,7 +25,7 @@ impl Coord {
 }
 
 /// A memory port on the mesh edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemPort {
     /// One of the eight MCDRAM embedded DRAM controllers.
     Edc(u8),
@@ -36,7 +34,7 @@ pub enum MemPort {
 }
 
 /// The mesh topology: active tiles and memory-port positions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     /// Grid width in tile columns.
     pub cols: u8,

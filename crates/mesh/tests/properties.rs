@@ -1,72 +1,101 @@
-//! Property tests for the mesh model.
+//! Property tests for the mesh model, driven by seeded random cases
+//! from the in-tree PRNG.
 
 use mesh::{ClusterMode, Coord, MeshModel, Topology};
-use proptest::prelude::*;
+use simfabric::prng::Rng;
 use simfabric::SimTime;
 
-fn coord() -> impl Strategy<Value = Coord> {
-    (0u8..6, 0u8..6).prop_map(|(x, y)| Coord { x, y })
+fn coord(rng: &mut Rng) -> Coord {
+    Coord {
+        x: rng.gen_range(0u8..6),
+        y: rng.gen_range(0u8..6),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Route length always equals the Manhattan distance, routes are
-    /// duplicate-free, and each step moves by exactly one hop.
-    #[test]
-    fn routes_are_minimal_xy_paths(a in coord(), b in coord()) {
+/// Route length always equals the Manhattan distance, routes are
+/// duplicate-free, and each step moves by exactly one hop.
+#[test]
+fn routes_are_minimal_xy_paths() {
+    let mut rng = Rng::seed_from_u64(0x3e54_0001);
+    for case in 0..128 {
+        let a = coord(&mut rng);
+        let b = coord(&mut rng);
         let route = MeshModel::route(a, b);
-        prop_assert_eq!(route.len() as u32, a.hops_to(b));
+        assert_eq!(route.len() as u32, a.hops_to(b), "case {case}");
         let mut prev = a;
         for &c in &route {
-            prop_assert_eq!(prev.hops_to(c), 1, "non-unit step {:?} -> {:?}", prev, c);
+            assert_eq!(
+                prev.hops_to(c),
+                1,
+                "case {case}: non-unit step {prev:?} -> {c:?}"
+            );
             prev = c;
         }
         if !route.is_empty() {
-            prop_assert_eq!(*route.last().unwrap(), b);
+            assert_eq!(*route.last().unwrap(), b, "case {case}");
         }
     }
+}
 
-    /// Uncontended send latency is exactly hops x hop-latency, and
-    /// sending never returns earlier than it started.
-    #[test]
-    fn send_latency_is_hops(a in coord(), b in coord()) {
+/// Uncontended send latency is exactly hops x hop-latency, and
+/// sending never returns earlier than it started.
+#[test]
+fn send_latency_is_hops() {
+    let mut rng = Rng::seed_from_u64(0x3e54_0002);
+    for case in 0..128 {
+        let a = coord(&mut rng);
+        let b = coord(&mut rng);
         let mut m = MeshModel::knl(ClusterMode::Quadrant);
         let t = m.send(a, b, SimTime::ZERO);
         let expect = a.hops_to(b) as f64 * 1.2;
-        prop_assert!((t.as_ns() - expect).abs() < 1e-9);
+        assert!((t.as_ns() - expect).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// CHA selection is deterministic and respects the cluster-mode
-    /// affinity constraint for every address.
-    #[test]
-    fn cha_respects_mode_constraints(addr in 0u64..(1u64 << 40), is_mcdram in any::<bool>()) {
+/// CHA selection is deterministic and respects the cluster-mode
+/// affinity constraint for every address.
+#[test]
+fn cha_respects_mode_constraints() {
+    let mut rng = Rng::seed_from_u64(0x3e54_0003);
+    for case in 0..128 {
+        let addr = rng.gen_range(0u64..(1u64 << 40));
+        let is_mcdram: bool = rng.gen();
         let topo = Topology::knl7210();
-        for mode in [ClusterMode::Quadrant, ClusterMode::Hemisphere, ClusterMode::AllToAll] {
+        for mode in [
+            ClusterMode::Quadrant,
+            ClusterMode::Hemisphere,
+            ClusterMode::AllToAll,
+        ] {
             let port = mode.port_for(&topo, addr, is_mcdram);
             let cha1 = mode.cha_for(&topo, addr, port);
             let cha2 = mode.cha_for(&topo, addr, port);
-            prop_assert_eq!(cha1, cha2, "non-deterministic CHA");
+            assert_eq!(cha1, cha2, "case {case}: non-deterministic CHA");
             match mode {
-                ClusterMode::Quadrant => prop_assert_eq!(
+                ClusterMode::Quadrant => assert_eq!(
                     topo.quadrant_of(cha1),
-                    topo.quadrant_of(topo.port(port))
+                    topo.quadrant_of(topo.port(port)),
+                    "case {case}"
                 ),
-                ClusterMode::Hemisphere => prop_assert_eq!(
+                ClusterMode::Hemisphere => assert_eq!(
                     topo.hemisphere_of(cha1),
-                    topo.hemisphere_of(topo.port(port))
+                    topo.hemisphere_of(topo.port(port)),
+                    "case {case}"
                 ),
                 _ => {}
             }
             // The CHA is always an active tile.
-            prop_assert!(topo.tiles.contains(&cha1));
+            assert!(topo.tiles.contains(&cha1), "case {case}");
         }
     }
+}
 
-    /// Messages through one link are separated by at least the link
-    /// service time (rate limiting holds under load).
-    #[test]
-    fn link_rate_is_enforced(n in 2usize..40) {
+/// Messages through one link are separated by at least the link
+/// service time (rate limiting holds under load).
+#[test]
+fn link_rate_is_enforced() {
+    let mut rng = Rng::seed_from_u64(0x3e54_0004);
+    for case in 0..128 {
+        let n = rng.gen_range(2usize..40);
         let mut m = MeshModel::knl(ClusterMode::Quadrant);
         let a = Coord { x: 0, y: 0 };
         let b = Coord { x: 5, y: 0 };
@@ -75,7 +104,7 @@ proptest! {
             .collect();
         arrivals.sort_by(|x, y| x.partial_cmp(y).unwrap());
         for w in arrivals.windows(2) {
-            prop_assert!(w[1] - w[0] > 0.39, "arrivals too close: {:?}", w);
+            assert!(w[1] - w[0] > 0.39, "case {case}: arrivals too close: {w:?}");
         }
     }
 }

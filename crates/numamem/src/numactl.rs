@@ -37,7 +37,11 @@ fn parse_nodes(s: &str, topo: &NumaTopology) -> Result<Vec<NodeId>, String> {
             }
             nodes.extend(a..=b);
         } else {
-            nodes.push(part.trim().parse().map_err(|_| format!("bad node {part:?}"))?);
+            nodes.push(
+                part.trim()
+                    .parse()
+                    .map_err(|_| format!("bad node {part:?}"))?,
+            );
         }
     }
     if nodes.is_empty() {

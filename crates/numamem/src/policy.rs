@@ -1,12 +1,11 @@
 //! Memory allocation policies, mirroring Linux `set_mempolicy(2)`.
 
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 use std::fmt;
 
 /// An allocation policy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum MemPolicy {
     /// Allocate on the faulting CPU's local node, falling back by
     /// distance when full (Linux default).
@@ -61,7 +60,10 @@ pub enum PolicyError {
 impl fmt::Display for PolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PolicyError::OutOfMemory { requested, available } => write!(
+            PolicyError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "mbind: cannot allocate {requested} (only {available} available on allowed nodes)"
             ),

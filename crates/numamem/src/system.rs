@@ -8,7 +8,6 @@
 
 use crate::policy::{MemPolicy, PolicyError};
 use crate::topology::{NodeId, NumaTopology};
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 
 /// Default page size used for placement accounting (4 KiB).
@@ -16,7 +15,7 @@ pub const PAGE_BYTES: u64 = 4096;
 
 /// The outcome of an allocation: contiguous runs of pages per node, in
 /// virtual order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allocation {
     /// Allocation id.
     pub id: u64,
@@ -110,7 +109,11 @@ impl NumaSystem {
     }
 
     /// Allocate `size` under `policy`.
-    pub fn allocate(&mut self, size: ByteSize, policy: &MemPolicy) -> Result<Allocation, PolicyError> {
+    pub fn allocate(
+        &mut self,
+        size: ByteSize,
+        policy: &MemPolicy,
+    ) -> Result<Allocation, PolicyError> {
         let pages = size.pages(PAGE_BYTES).max(1);
         let runs = match policy {
             MemPolicy::Default => {
@@ -125,12 +128,10 @@ impl NumaSystem {
                 // force DRAM-only and HBM-only runs.
                 self.take_from_set(pages, nodes)?
             }
-            MemPolicy::Preferred(node) => {
-                match self.take_from_set(pages, &[*node]) {
-                    Ok(runs) => runs,
-                    Err(_) => self.take_with_fallback(pages, *node)?,
-                }
-            }
+            MemPolicy::Preferred(node) => match self.take_from_set(pages, &[*node]) {
+                Ok(runs) => runs,
+                Err(_) => self.take_with_fallback(pages, *node)?,
+            },
             MemPolicy::Interleave(nodes) => self.take_interleaved(pages, nodes)?,
         };
         let id = self.next_id;
@@ -195,7 +196,11 @@ impl NumaSystem {
         }
     }
 
-    fn take_from_set(&mut self, pages: u64, nodes: &[NodeId]) -> Result<Vec<(NodeId, u64)>, PolicyError> {
+    fn take_from_set(
+        &mut self,
+        pages: u64,
+        nodes: &[NodeId],
+    ) -> Result<Vec<(NodeId, u64)>, PolicyError> {
         if nodes.is_empty() {
             return Err(PolicyError::EmptyNodeSet);
         }
@@ -228,7 +233,11 @@ impl NumaSystem {
         Ok(runs)
     }
 
-    fn take_with_fallback(&mut self, pages: u64, first: NodeId) -> Result<Vec<(NodeId, u64)>, PolicyError> {
+    fn take_with_fallback(
+        &mut self,
+        pages: u64,
+        first: NodeId,
+    ) -> Result<Vec<(NodeId, u64)>, PolicyError> {
         let mut order: Vec<NodeId> = vec![first];
         // Fall back by increasing distance from `first`, then id.
         let mut rest: Vec<NodeId> = (0..self.topology.num_nodes() as NodeId)
@@ -239,7 +248,11 @@ impl NumaSystem {
         self.take_from_set(pages, &order)
     }
 
-    fn take_interleaved(&mut self, pages: u64, nodes: &[NodeId]) -> Result<Vec<(NodeId, u64)>, PolicyError> {
+    fn take_interleaved(
+        &mut self,
+        pages: u64,
+        nodes: &[NodeId],
+    ) -> Result<Vec<(NodeId, u64)>, PolicyError> {
         if nodes.is_empty() {
             return Err(PolicyError::EmptyNodeSet);
         }
@@ -299,7 +312,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PolicyError::OutOfMemory { .. }));
         // 8 GB can.
-        let a = s.allocate(ByteSize::gib(8), &MemPolicy::Bind(vec![1])).unwrap();
+        let a = s
+            .allocate(ByteSize::gib(8), &MemPolicy::Bind(vec![1]))
+            .unwrap();
         assert_eq!(a.runs, vec![(1, ByteSize::gib(8).as_u64() / PAGE_BYTES)]);
         assert_eq!(s.free_on(1), ByteSize::gib(8));
     }
@@ -326,7 +341,10 @@ mod tests {
     fn interleave_alternates_pages() {
         let mut s = sys();
         let a = s
-            .allocate(ByteSize::bytes(8 * PAGE_BYTES), &MemPolicy::Interleave(vec![0, 1]))
+            .allocate(
+                ByteSize::bytes(8 * PAGE_BYTES),
+                &MemPolicy::Interleave(vec![0, 1]),
+            )
             .unwrap();
         assert_eq!(a.pages(), 8);
         assert!((a.fraction_on(0) - 0.5).abs() < 1e-12);
@@ -343,9 +361,13 @@ mod tests {
     fn interleave_skips_exhausted_nodes() {
         let mut s = sys();
         // Exhaust HBM.
-        s.allocate(ByteSize::gib(16), &MemPolicy::Bind(vec![1])).unwrap();
+        s.allocate(ByteSize::gib(16), &MemPolicy::Bind(vec![1]))
+            .unwrap();
         let a = s
-            .allocate(ByteSize::bytes(4 * PAGE_BYTES), &MemPolicy::Interleave(vec![0, 1]))
+            .allocate(
+                ByteSize::bytes(4 * PAGE_BYTES),
+                &MemPolicy::Interleave(vec![0, 1]),
+            )
             .unwrap();
         assert_eq!(a.fraction_on(0), 1.0);
     }
@@ -353,7 +375,9 @@ mod tests {
     #[test]
     fn free_returns_pages() {
         let mut s = sys();
-        let a = s.allocate(ByteSize::gib(16), &MemPolicy::Bind(vec![1])).unwrap();
+        let a = s
+            .allocate(ByteSize::gib(16), &MemPolicy::Bind(vec![1]))
+            .unwrap();
         assert_eq!(s.free_on(1), ByteSize::ZERO);
         s.free(&a);
         assert_eq!(s.free_on(1), ByteSize::gib(16));
@@ -404,7 +428,9 @@ mod tests {
     fn migrate_is_partial_when_target_is_tight() {
         let mut s = sys();
         // Leave only 2 GB free on HBM.
-        let _hog = s.allocate(ByteSize::gib(14), &MemPolicy::Bind(vec![1])).unwrap();
+        let _hog = s
+            .allocate(ByteSize::gib(14), &MemPolicy::Bind(vec![1]))
+            .unwrap();
         let mut a = s.allocate(ByteSize::gib(8), &MemPolicy::Default).unwrap();
         let moved = s.migrate(&mut a, 1).unwrap();
         assert_eq!(moved, ByteSize::gib(2).as_u64() / PAGE_BYTES);
@@ -419,7 +445,10 @@ mod tests {
         let mut s = sys();
         let mut a = s.allocate(ByteSize::gib(1), &MemPolicy::Default).unwrap();
         assert_eq!(s.migrate(&mut a, 0).unwrap(), 0);
-        assert!(matches!(s.migrate(&mut a, 9), Err(PolicyError::UnknownNode(9))));
+        assert!(matches!(
+            s.migrate(&mut a, 9),
+            Err(PolicyError::UnknownNode(9))
+        ));
     }
 
     #[test]

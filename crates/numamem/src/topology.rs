@@ -1,13 +1,12 @@
 //! NUMA nodes and distances.
 
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 
 /// Identifier of a NUMA node (the OS-visible index).
 pub type NodeId = u32;
 
 /// What backs a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// Conventional DRAM with CPUs attached.
     Dram,
@@ -16,7 +15,7 @@ pub enum NodeKind {
 }
 
 /// One NUMA node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaNode {
     /// OS-visible node index.
     pub id: NodeId,
@@ -30,7 +29,7 @@ pub struct NumaNode {
 
 /// A NUMA topology: nodes plus the distance matrix reported by
 /// `numactl --hardware`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaTopology {
     /// Nodes, indexed by `NodeId`.
     pub nodes: Vec<NumaNode>,
@@ -176,7 +175,10 @@ impl NumaTopology {
                 return Err(format!("distance row {i} has wrong length"));
             }
             if row[i] != 10 {
-                return Err(format!("self-distance of node {i} is {} (expect 10)", row[i]));
+                return Err(format!(
+                    "self-distance of node {i} is {} (expect 10)",
+                    row[i]
+                ));
             }
             for (j, &d) in row.iter().enumerate() {
                 if self.distances[j][i] != d {
@@ -222,8 +224,18 @@ mod tests {
         assert_eq!(t.num_nodes(), 8);
         assert_eq!(t.hbm_nodes(), vec![4, 5, 6, 7]);
         // Capacities still sum to the die totals.
-        let ddr: u64 = t.nodes.iter().filter(|n| n.kind == NodeKind::Dram).map(|n| n.size.as_u64()).sum();
-        let hbm: u64 = t.nodes.iter().filter(|n| n.kind == NodeKind::Hbm).map(|n| n.size.as_u64()).sum();
+        let ddr: u64 = t
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Dram)
+            .map(|n| n.size.as_u64())
+            .sum();
+        let hbm: u64 = t
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Hbm)
+            .map(|n| n.size.as_u64())
+            .sum();
         assert_eq!(ddr, ByteSize::gib(96).as_u64());
         assert_eq!(hbm, ByteSize::gib(16).as_u64());
         // Local HBM is closer than cross-quadrant HBM.

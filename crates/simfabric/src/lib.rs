@@ -40,6 +40,8 @@
 
 pub mod error;
 pub mod event;
+pub mod par;
+pub mod prng;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -47,6 +49,7 @@ pub mod units;
 
 pub use error::SimError;
 pub use event::{EventQueue, Simulator};
+pub use prng::Rng;
 pub use rng::RngPool;
 pub use stats::{BandwidthMeter, Counter, Histogram, OnlineStats};
 pub use time::{Duration, SimTime};

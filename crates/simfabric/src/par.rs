@@ -1,0 +1,274 @@
+//! In-tree data parallelism over `std::thread::scope`.
+//!
+//! Replaces the `rayon` dependency for the handful of shapes the
+//! testbed actually uses: element-wise updates over slices, chunked
+//! owner-computes loops, parallel reductions, and ordered map /
+//! flat-map. Work is split into one contiguous range per worker, so
+//! results are deterministic regardless of scheduling.
+//!
+//! Thread counts come from [`num_threads`]; a caller that needs a
+//! specific parallelism level (the native measurement harness) wraps
+//! its region in [`with_threads`], which scopes an override to the
+//! calling thread.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Mutex;
+use std::thread;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count for parallel regions started from this thread: the
+/// innermost [`with_threads`] override, or the machine's available
+/// parallelism.
+pub fn num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Run `f` with parallel regions on this thread capped at `threads`
+/// workers (the stand-in for installing a sized rayon pool).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let threads = threads.max(1);
+    THREAD_OVERRIDE.with(|o| {
+        let prev = o.replace(Some(threads));
+        let out = f();
+        o.set(prev);
+        out
+    })
+}
+
+/// Split `0..len` into at most `workers` contiguous ranges covering it.
+fn split_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let chunk = len.div_ceil(workers);
+    (0..len)
+        .step_by(chunk.max(1))
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
+/// Run `f` over contiguous sub-ranges of `0..len` on scoped threads;
+/// per-range results come back in range order.
+fn run_ranges<R: Send>(len: usize, f: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    let ranges = split_ranges(len, num_threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || f(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// `data[i] = f(i, data[i])` in parallel (the `par_iter_mut` shape).
+pub fn par_update<T: Send>(data: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let len = data.len();
+    let workers = num_threads().clamp(1, len.max(1));
+    let chunk = len.div_ceil(workers).max(1);
+    if workers <= 1 || len <= 1 {
+        for (i, x) in data.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    thread::scope(|s| {
+        for (w, ch) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = w * chunk;
+                for (i, x) in ch.iter_mut().enumerate() {
+                    f(base + i, x);
+                }
+            });
+        }
+    });
+}
+
+/// Run `f(chunk_index, chunk)` over `chunk_len`-sized pieces of `data`
+/// in parallel (the `par_chunks_mut` shape). Chunks are handed to a
+/// bounded worker set through a shared queue, so a long slice never
+/// spawns more than [`num_threads`] threads.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "par_chunks_mut: zero chunk length");
+    let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let workers = num_threads().clamp(1, chunks.len().max(1));
+    if workers <= 1 {
+        for (i, ch) in chunks {
+            f(i, ch);
+        }
+        return;
+    }
+    let queue = Mutex::new(chunks.drain(..).collect::<Vec<_>>());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let (queue, f) = (&queue, &f);
+            s.spawn(move || loop {
+                let item = queue.lock().unwrap().pop();
+                match item {
+                    Some((i, ch)) => f(i, ch),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Parallel sum of `f(i)` for `i in 0..len`.
+pub fn par_sum(len: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    run_ranges(len, |r| r.map(&f).sum::<f64>())
+        .into_iter()
+        .sum()
+}
+
+/// Parallel ordered map over a slice.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let nested = run_ranges(items.len(), |r| items[r].iter().map(&f).collect::<Vec<U>>());
+    nested.into_iter().flatten().collect()
+}
+
+/// Parallel ordered map over an index range.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    run_ranges(n, |r| r.map(&f).collect::<Vec<U>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel flat-map over a slice: `f` pushes any number of outputs
+/// per item; outputs keep item order within and across workers.
+pub fn par_flat_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T, &mut Vec<U>) + Sync) -> Vec<U> {
+    let nested = run_ranges(items.len(), |r| {
+        let mut out = Vec::new();
+        for item in &items[r] {
+            f(item, &mut out);
+        }
+        out
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Parallel flat-map over an index range.
+pub fn par_flat_map_range<U: Send>(n: usize, f: impl Fn(usize, &mut Vec<U>) + Sync) -> Vec<U> {
+    let nested = run_ranges(n, |r| {
+        let mut out = Vec::new();
+        for i in r {
+            f(i, &mut out);
+        }
+        out
+    });
+    nested.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(len, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, len.max(0));
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_update_matches_serial() {
+        let mut a: Vec<u64> = (0..1000).collect();
+        par_update(&mut a, |i, x| *x += i as u64);
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut a = vec![0u32; 103];
+        par_chunks_mut(&mut a, 10, |ci, ch| {
+            for x in ch.iter_mut() {
+                *x += ci as u32 + 1;
+            }
+        });
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn par_sum_matches_serial() {
+        let s = par_sum(10_000, |i| i as f64);
+        assert_eq!(s, (9999.0 * 10_000.0) / 2.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..500).collect();
+        assert_eq!(
+            par_map(&v, |&x| x * 2),
+            (0..500).map(|x| x * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(par_map_range(500, |i| i + 1), (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_flat_map_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out = par_flat_map(&v, |&x, out| {
+            if x % 2 == 0 {
+                out.push(x);
+                out.push(x);
+            }
+        });
+        let expect: Vec<usize> = (0..100)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| [x, x])
+            .collect();
+        assert_eq!(out, expect);
+        assert_eq!(
+            par_flat_map_range(10, |i, out| out.push(i * i)),
+            (0..10).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        with_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_threads(1, || assert_eq!(num_threads(), 1));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_update(&mut empty, |_, _| unreachable!());
+        assert_eq!(par_sum(0, |_| 1.0), 0.0);
+        assert!(par_map_range(0, |i| i).is_empty());
+    }
+}

@@ -5,8 +5,7 @@
 //! consumer never perturbs the draws seen by existing ones — the key
 //! property for reproducible experiments.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::prng::Rng;
 
 /// FNV-1a 64-bit hash of a byte string; tiny, stable, and good enough
 /// for deriving stream seeds (not for cryptography).
@@ -20,11 +19,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix64 finalizer — decorrelates the combined seed bits.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
+fn splitmix64(z: u64) -> u64 {
+    let mut state = z;
+    crate::prng::splitmix64_next(&mut state)
 }
 
 /// A factory for deterministic named RNG streams.
@@ -57,50 +54,74 @@ impl RngPool {
     }
 
     /// A fast RNG for the named stream.
-    pub fn stream(&self, name: &str) -> SmallRng {
-        SmallRng::seed_from_u64(self.seed_for(name))
+    pub fn stream(&self, name: &str) -> Rng {
+        Rng::seed_from_u64(self.seed_for(name))
     }
 
     /// A fast RNG for the named, indexed stream.
-    pub fn stream_indexed(&self, name: &str, index: u64) -> SmallRng {
-        SmallRng::seed_from_u64(self.seed_for_indexed(name, index))
+    pub fn stream_indexed(&self, name: &str, index: u64) -> Rng {
+        Rng::seed_from_u64(self.seed_for_indexed(name, index))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_name_same_stream() {
         let pool = RngPool::new(42);
-        let a: Vec<u64> = pool.stream("gups").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = pool.stream("gups").sample_iter(rand::distributions::Standard).take(8).collect();
+        let mut sa = pool.stream("gups");
+        let mut sb = pool.stream("gups");
+        let a: Vec<u64> = (0..8).map(|_| sa.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| sb.next_u64()).collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_names_differ() {
         let pool = RngPool::new(42);
-        let a: u64 = pool.stream("gups").gen();
-        let b: u64 = pool.stream("graph500").gen();
+        let a: u64 = pool.stream("gups").next_u64();
+        let b: u64 = pool.stream("graph500").next_u64();
         assert_ne!(a, b);
     }
 
     #[test]
+    fn named_streams_are_decorrelated() {
+        // Pairwise-distinct draws across a batch of named streams, and
+        // no bitwise correlation between two sibling streams' outputs.
+        let pool = RngPool::new(2017);
+        let names = ["gups", "graph500", "xsbench", "tlb", "prefetch", "dgemm"];
+        let firsts: Vec<u64> = names.iter().map(|n| pool.stream(n).next_u64()).collect();
+        for i in 0..firsts.len() {
+            for j in i + 1..firsts.len() {
+                assert_ne!(firsts[i], firsts[j], "{} vs {}", names[i], names[j]);
+            }
+        }
+        let mut a = pool.stream("gups");
+        let mut b = pool.stream("graph500");
+        let mut agree = 0u32;
+        for _ in 0..1024 {
+            agree += (a.next_u64() ^ b.next_u64()).count_zeros();
+        }
+        // 1024 draws × 64 bits: expected agreement 50%, tolerance 2%.
+        let frac = agree as f64 / (1024.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit agreement {frac}");
+    }
+
+    #[test]
     fn different_master_seeds_differ() {
-        let a: u64 = RngPool::new(1).stream("x").gen();
-        let b: u64 = RngPool::new(2).stream("x").gen();
+        let a: u64 = RngPool::new(1).stream("x").next_u64();
+        let b: u64 = RngPool::new(2).stream("x").next_u64();
         assert_ne!(a, b);
     }
 
     #[test]
     fn indexed_streams_are_distinct_and_stable() {
         let pool = RngPool::new(7);
-        let s0: u64 = pool.stream_indexed("thread", 0).gen();
-        let s1: u64 = pool.stream_indexed("thread", 1).gen();
-        let s0b: u64 = pool.stream_indexed("thread", 0).gen();
+        let s0: u64 = pool.stream_indexed("thread", 0).next_u64();
+        let s1: u64 = pool.stream_indexed("thread", 1).next_u64();
+        let s0b: u64 = pool.stream_indexed("thread", 0).next_u64();
         assert_ne!(s0, s1);
         assert_eq!(s0, s0b);
     }

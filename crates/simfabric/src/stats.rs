@@ -5,10 +5,9 @@
 //! models and the experiment harness assemble their reports.
 
 use crate::time::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A simple monotonically increasing event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -54,7 +53,7 @@ impl Counter {
 /// (latencies in picoseconds, sizes in bytes, queue depths…).
 ///
 /// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -83,7 +82,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let bucket = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum += value as u128;
@@ -128,7 +131,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+                return Some(if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                });
             }
         }
         Some(self.max)
@@ -159,7 +166,7 @@ impl Histogram {
 }
 
 /// Accumulates bytes moved over simulated time and reports bandwidth.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BandwidthMeter {
     bytes: u64,
     start: Option<SimTime>,
@@ -208,7 +215,7 @@ impl BandwidthMeter {
 }
 
 /// Online mean / variance via Welford's algorithm.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

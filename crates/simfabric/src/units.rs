@@ -1,7 +1,6 @@
 //! Byte-size units and a small helper type for pretty-printing and
 //! parsing data sizes, used throughout experiment configuration.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -14,10 +13,7 @@ pub const GIB: u64 = 1 << 30;
 
 /// A size in bytes with human-friendly constructors, formatting and
 /// parsing (`"16GiB"`, `"1.5 MB"`, `"4096"`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -160,9 +156,7 @@ impl FromStr for ByteSize {
             .find(|c: char| !(c.is_ascii_digit() || c == '.'))
             .unwrap_or(t.len());
         let (num, unit) = t.split_at(split);
-        let value: f64 = num
-            .parse()
-            .map_err(|_| ParseByteSizeError(s.to_string()))?;
+        let value: f64 = num.parse().map_err(|_| ParseByteSizeError(s.to_string()))?;
         let unit = unit.trim().to_ascii_lowercase();
         let mult = match unit.as_str() {
             "" | "b" => 1.0,
@@ -219,6 +213,9 @@ mod tests {
         assert_eq!(a, ByteSize::mib(2));
         assert_eq!(a - ByteSize::mib(1), ByteSize::mib(1));
         assert_eq!(ByteSize::kib(1) * 4, ByteSize::kib(4));
-        assert_eq!(ByteSize::kib(1).saturating_sub(ByteSize::mib(1)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::kib(1).saturating_sub(ByteSize::mib(1)),
+            ByteSize::ZERO
+        );
     }
 }

@@ -1,10 +1,9 @@
 //! Table I of the paper: the evaluated applications.
 
-use serde::{Deserialize, Serialize};
 use simfabric::ByteSize;
 
 /// Coarse access-pattern classes used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessClass {
     /// Regular, prefetcher-friendly sweeps — bandwidth-bound.
     Sequential,
@@ -23,7 +22,7 @@ impl AccessClass {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatalogEntry {
     /// Application name.
     pub application: &'static str,
@@ -115,7 +114,10 @@ mod tests {
 
     #[test]
     fn max_scales_match_table1() {
-        let sizes: Vec<u64> = catalog().iter().map(|e| e.max_scale.as_u64() >> 30).collect();
+        let sizes: Vec<u64> = catalog()
+            .iter()
+            .map(|e| e.max_scale.as_u64() >> 30)
+            .collect();
         assert_eq!(sizes, [24, 30, 32, 35, 90]);
     }
 

@@ -14,7 +14,7 @@
 use crate::PaperWorkload;
 use knl::access::Reuse;
 use knl::{calib, Machine, MachineError, StreamOp};
-use rayon::prelude::*;
+use simfabric::par;
 use simfabric::ByteSize;
 
 /// A DGEMM problem: C (m×n) += A (m×k) × B (k×n), square in the paper.
@@ -82,11 +82,8 @@ impl Dgemm {
             MachineError::Invalid(format!("DGEMM does not complete at {threads} threads"))
         })?;
         let third = ByteSize::bytes(self.n * self.n * 8);
-        let mut regions = machine.alloc_many(&[
-            ("dgemm_a", third),
-            ("dgemm_b", third),
-            ("dgemm_c", third),
-        ])?;
+        let mut regions =
+            machine.alloc_many(&[("dgemm_a", third), ("dgemm_b", third), ("dgemm_c", third)])?;
         let c = regions.pop().expect("three regions");
         let b = regions.pop().expect("three regions");
         let a = regions.pop().expect("three regions");
@@ -165,41 +162,38 @@ pub fn matmul_blocked(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
     assert_eq!(b.len(), n * n);
     assert_eq!(c.len(), n * n);
     // Parallelize over row-blocks of C; each task owns its C rows.
-    c.par_chunks_mut(BLOCK * n)
-        .enumerate()
-        .for_each(|(bi, c_rows)| {
-            let i0 = bi * BLOCK;
-            let i_max = (i0 + BLOCK).min(n) - i0;
-            for l0 in (0..n).step_by(BLOCK) {
-                let l_max = (l0 + BLOCK).min(n);
-                for j0 in (0..n).step_by(BLOCK) {
-                    let j_max = (j0 + BLOCK).min(n);
-                    for i in 0..i_max {
-                        for l in l0..l_max {
-                            let av = a[(i0 + i) * n + l];
-                            let brow = &b[l * n + j0..l * n + j_max];
-                            let crow = &mut c_rows[i * n + j0..i * n + j_max];
-                            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                                *cj += av * bj;
-                            }
+    par::par_chunks_mut(c, BLOCK * n, |bi, c_rows| {
+        let i0 = bi * BLOCK;
+        let i_max = (i0 + BLOCK).min(n) - i0;
+        for l0 in (0..n).step_by(BLOCK) {
+            let l_max = (l0 + BLOCK).min(n);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j_max = (j0 + BLOCK).min(n);
+                for i in 0..i_max {
+                    for l in l0..l_max {
+                        let av = a[(i0 + i) * n + l];
+                        let brow = &b[l * n + j0..l * n + j_max];
+                        let crow = &mut c_rows[i * n + j0..i * n + j_max];
+                        for (cj, &bj) in crow.iter_mut().zip(brow) {
+                            *cj += av * bj;
                         }
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use knl::MemSetup;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use simfabric::prng::Rng;
 
     #[test]
     fn blocked_matches_reference() {
         let n = 97; // not a multiple of BLOCK: exercises edge blocks
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut c_ref = vec![0.0; n * n];
@@ -238,7 +232,10 @@ mod tests {
         assert!((g_dram - 300.0).abs() < 30.0, "DRAM 24GB: {g_dram}");
         // 24 GB does not fit HBM.
         let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
-        assert!(matches!(d.model_gflops(&mut hbm), Err(MachineError::Alloc(_))));
+        assert!(matches!(
+            d.model_gflops(&mut hbm),
+            Err(MachineError::Alloc(_))
+        ));
         // 6 GB fits: HBM is compute-roofed at ~600.
         let d6 = Dgemm::with_footprint(ByteSize::gib(6));
         let mut hbm = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();

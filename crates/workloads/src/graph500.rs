@@ -15,9 +15,8 @@
 use crate::PaperWorkload;
 use knl::access::RandomOp;
 use knl::{calib, Machine, MachineError};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use simfabric::par;
+use simfabric::prng::Rng;
 use simfabric::ByteSize;
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -119,7 +118,7 @@ impl Kronecker {
     /// Generate the edge list (directed pairs; the CSR builder
     /// symmetrizes).
     pub fn generate(&self) -> Vec<(u32, u32)> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let m = self.vertices() * self.edge_factor as u64;
         let mut edges = Vec::with_capacity(m as usize);
         for _ in 0..m {
@@ -222,23 +221,17 @@ impl Graph {
         let mut frontier = vec![root];
         while !frontier.is_empty() {
             let parents_ref = &parents;
-            frontier = frontier
-                .par_iter()
-                .flat_map_iter(|&u| {
-                    self.neighbors_of(u).iter().filter_map(move |&v| {
-                        // Claim v for parent u; only one thread wins.
-                        parents_ref[v as usize]
-                            .compare_exchange(
-                                -1,
-                                u as i64,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            )
-                            .ok()
-                            .map(|_| v)
-                    })
-                })
-                .collect();
+            frontier = par::par_flat_map(&frontier, |&u, next| {
+                for &v in self.neighbors_of(u) {
+                    // Claim v for parent u; only one thread wins.
+                    if parents_ref[v as usize]
+                        .compare_exchange(-1, u as i64, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        next.push(v);
+                    }
+                }
+            });
         }
         parents.into_iter().map(AtomicI64::into_inner).collect()
     }
@@ -258,10 +251,7 @@ impl Graph {
         let mut in_frontier = vec![false; n];
         in_frontier[root as usize] = true;
         while !frontier.is_empty() {
-            let frontier_edges: usize = frontier
-                .iter()
-                .map(|&v| self.neighbors_of(v).len())
-                .sum();
+            let frontier_edges: usize = frontier.iter().map(|&v| self.neighbors_of(v).len()).sum();
             let unexplored_edges: usize = (0..n)
                 .filter(|&v| parents[v] < 0)
                 .map(|v| self.neighbors_of(v as u32).len())
@@ -271,22 +261,24 @@ impl Graph {
                 // neighbours for a frontier member.
                 let parents_ro = &parents;
                 let in_frontier_ro = &in_frontier;
-                (0..n as u32)
-                    .into_par_iter()
-                    .filter(|&v| parents_ro[v as usize] < 0)
-                    .filter_map(|v| {
-                        self.neighbors_of(v)
+                par::par_flat_map_range(n, |v, out: &mut Vec<(u32, u32)>| {
+                    let v = v as u32;
+                    if parents_ro[v as usize] < 0 {
+                        if let Some(&w) = self
+                            .neighbors_of(v)
                             .iter()
                             .find(|&&w| in_frontier_ro[w as usize])
-                            .map(|&w| (v, w))
-                    })
-                    .collect::<Vec<(u32, u32)>>()
-                    .into_iter()
-                    .map(|(v, w)| {
-                        parents[v as usize] = w as i64;
-                        v
-                    })
-                    .collect()
+                        {
+                            out.push((v, w));
+                        }
+                    }
+                })
+                .into_iter()
+                .map(|(v, w)| {
+                    parents[v as usize] = w as i64;
+                    v
+                })
+                .collect()
             } else {
                 // Top-down (serial claim loop; the atomic variant is
                 // `bfs`).
@@ -537,7 +529,10 @@ mod tests {
         let t192 = run(192);
         let t256 = run(256);
         assert!(t128 > t64, "no gain at 128");
-        assert!(t128 >= t192 && t128 >= t256, "peak not at 128: {t64} {t128} {t192} {t256}");
+        assert!(
+            t128 >= t192 && t128 >= t256,
+            "peak not at 128: {t64} {t128} {t192} {t256}"
+        );
         let gain = t128 / t64;
         assert!(gain > 1.3 && gain < 1.8, "gain at 128 threads {gain}");
     }

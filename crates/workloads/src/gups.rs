@@ -90,7 +90,10 @@ pub struct GupsTable {
 impl GupsTable {
     /// Allocate a table of `entries` (power of two) words.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "HPCC requires a power-of-two table");
+        assert!(
+            entries.is_power_of_two(),
+            "HPCC requires a power-of-two table"
+        );
         GupsTable {
             table: (0..entries as u64).collect(),
         }
@@ -141,7 +144,12 @@ mod tests {
         // up changed; assert a loose statistical bound.
         let mut t = GupsTable::new(1 << 10);
         t.run_updates(1 << 12, 7);
-        let changed = t.table.iter().enumerate().filter(|&(i, &v)| v != i as u64).count();
+        let changed = t
+            .table
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| v != i as u64)
+            .count();
         assert!(changed > 256, "only {changed} entries changed");
     }
 
@@ -214,7 +222,10 @@ mod tests {
         let cache = run(MemSetup::CacheMode);
         let hbm = run(MemSetup::HbmOnly);
         // At 8 GB the table fits the MCDRAM cache: cache ≈ HBM < DRAM.
-        assert!((cache - hbm).abs() / hbm < 0.15, "cache {cache} vs hbm {hbm}");
+        assert!(
+            (cache - hbm).abs() / hbm < 0.15,
+            "cache {cache} vs hbm {hbm}"
+        );
         assert!(dram > cache);
     }
 }

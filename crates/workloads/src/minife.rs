@@ -12,7 +12,7 @@
 use crate::PaperWorkload;
 use knl::access::Reuse;
 use knl::{calib, Machine, MachineError, StreamOp};
-use rayon::prelude::*;
+use simfabric::par;
 use simfabric::ByteSize;
 
 /// Approximate bytes of footprint per matrix row (CSR + CG vectors).
@@ -153,7 +153,7 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.rows());
         assert_eq!(y.len(), self.rows());
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        par::par_update(y, |i, yi| {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.vals[k] * x[self.cols[k] as usize];
@@ -179,8 +179,7 @@ pub fn assemble_27pt(nx: usize) -> Csr {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -205,7 +204,11 @@ pub fn assemble_27pt(nx: usize) -> Csr {
             }
         }
     }
-    Csr { row_ptr, cols, vals }
+    Csr {
+        row_ptr,
+        cols,
+        vals,
+    }
 }
 
 /// Result of a CG solve.
@@ -220,7 +223,7 @@ pub struct CgResult {
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+    par::par_sum(a.len(), |i| a[i] * b[i])
 }
 
 /// Conjugate gradient: solve A·x = b to `tol` or `max_iters`.
@@ -230,7 +233,7 @@ pub fn cg_solve(a: &Csr, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -
     let mut ap = vec![0.0; n];
     // r = b - A·x
     a.spmv(x, &mut ap);
-    r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= api);
+    par::par_update(&mut r, |i, ri| *ri -= ap[i]);
     let mut p = r.clone();
     let mut rsq = dot(&r, &r);
     let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
@@ -238,11 +241,11 @@ pub fn cg_solve(a: &Csr, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -
     while iterations < max_iters && rsq.sqrt() / b_norm > tol {
         a.spmv(&p, &mut ap);
         let alpha = rsq / dot(&p, &ap);
-        x.par_iter_mut().zip(p.par_iter()).for_each(|(xi, &pi)| *xi += alpha * pi);
-        r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= alpha * api);
+        par::par_update(x, |i, xi| *xi += alpha * p[i]);
+        par::par_update(&mut r, |i, ri| *ri -= alpha * ap[i]);
         let rsq_new = dot(&r, &r);
         let beta = rsq_new / rsq;
-        p.par_iter_mut().zip(r.par_iter()).for_each(|(pi, &ri)| *pi = ri + beta * *pi);
+        par::par_update(&mut p, |i, pi| *pi = r[i] + beta * *pi);
         rsq = rsq_new;
         iterations += 1;
     }
@@ -304,7 +307,11 @@ mod tests {
         a.spmv(&x_true, &mut b);
         let mut x = vec![0.0; n];
         let res = cg_solve(&a, &b, &mut x, 1e-10, 500);
-        assert!(res.iterations < 200, "CG took {} iterations", res.iterations);
+        assert!(
+            res.iterations < 200,
+            "CG took {} iterations",
+            res.iterations
+        );
         let err: f64 = x
             .iter()
             .zip(&x_true)
@@ -334,7 +341,10 @@ mod tests {
         let dram = run(MemSetup::DramOnly);
         let hbm = run(MemSetup::HbmOnly);
         let cache = run(MemSetup::CacheMode);
-        assert!(hbm > cache && cache > dram, "hbm {hbm} cache {cache} dram {dram}");
+        assert!(
+            hbm > cache && cache > dram,
+            "hbm {hbm} cache {cache} dram {dram}"
+        );
         let ratio = hbm / dram;
         assert!(ratio > 2.6 && ratio < 3.8, "HBM/DRAM {ratio}");
     }

@@ -14,12 +14,11 @@ use crate::gups::GupsTable;
 use crate::minife::{assemble_27pt, cg_solve};
 use crate::stream::StreamArrays;
 use crate::xsbench::XsData;
-use rayon::prelude::*;
-use serde::Serialize;
+use simfabric::par;
 use std::time::Instant;
 
 /// One native measurement.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NativeMeasurement {
     /// Workload name.
     pub workload: &'static str,
@@ -29,16 +28,12 @@ pub struct NativeMeasurement {
     pub value: f64,
     /// Wall-clock seconds spent in the timed section.
     pub seconds: f64,
-    /// Rayon threads used.
+    /// Worker threads used.
     pub threads: usize,
 }
 
 fn in_pool<F: FnOnce() -> NativeMeasurement + Send>(threads: usize, f: F) -> NativeMeasurement {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool");
-    let mut m = pool.install(f);
+    let mut m = par::with_threads(threads, f);
     m.threads = threads;
     m
 }
@@ -107,18 +102,17 @@ pub fn measure_minife(threads: usize, nx: usize, iters: usize) -> NativeMeasurem
 pub fn measure_gups(threads: usize, log2_entries: u32) -> NativeMeasurement {
     in_pool(threads, || {
         // The HPCC kernel is serial per stream; run one stream per
-        // thread over disjoint seeds via rayon scope.
+        // thread over disjoint seeds via scoped threads.
         let entries = 1usize << log2_entries;
         let updates_per_stream = 4 * entries as u64;
-        let n_streams = rayon::current_num_threads().max(1);
+        let n_streams = par::num_threads().max(1);
         let t = Instant::now();
-        let total: u64 = (0..n_streams)
-            .into_par_iter()
-            .map(|i| {
-                let mut table = GupsTable::new(entries);
-                table.run_updates(updates_per_stream, i as u64 + 1)
-            })
-            .sum();
+        let total: u64 = par::par_map_range(n_streams, |i| {
+            let mut table = GupsTable::new(entries);
+            table.run_updates(updates_per_stream, i as u64 + 1)
+        })
+        .into_iter()
+        .sum();
         let secs = t.elapsed().as_secs_f64();
         NativeMeasurement {
             workload: "GUPS",
@@ -165,16 +159,21 @@ pub fn measure_graph500(threads: usize, scale: u32, roots: usize) -> NativeMeasu
 }
 
 /// XSBench lookups over a generated data set.
-pub fn measure_xsbench(threads: usize, nuclides: usize, gridpoints: usize, lookups: u64) -> NativeMeasurement {
+pub fn measure_xsbench(
+    threads: usize,
+    nuclides: usize,
+    gridpoints: usize,
+    lookups: u64,
+) -> NativeMeasurement {
     in_pool(threads, || {
         let data = XsData::build(nuclides, gridpoints, 7);
-        let n_chunks = rayon::current_num_threads().max(1) as u64;
+        let n_chunks = par::num_threads().max(1) as u64;
         let per_chunk = lookups / n_chunks;
         let t = Instant::now();
-        let (sum, count) = (0..n_chunks)
-            .into_par_iter()
-            .map(|i| data.run_lookups(per_chunk, i))
-            .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        let (sum, count) =
+            par::par_map_range(n_chunks as usize, |i| data.run_lookups(per_chunk, i as u64))
+                .into_iter()
+                .fold((0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         let secs = t.elapsed().as_secs_f64();
         assert!(sum.is_finite());
         NativeMeasurement {
@@ -263,10 +262,7 @@ mod tests {
     #[test]
     fn suite_covers_all_workloads_and_renders() {
         // Tiny configuration so the test stays fast.
-        let results = vec![
-            measure_stream(1, 1 << 12, 1),
-            measure_gups(1, 8),
-        ];
+        let results = vec![measure_stream(1, 1 << 12, 1), measure_gups(1, 8)];
         let table = render_native(&results);
         assert!(table.contains("STREAM"));
         assert!(table.contains("GUPS"));

@@ -10,7 +10,7 @@
 
 use crate::PaperWorkload;
 use knl::{Machine, MachineError, StreamOp};
-use rayon::prelude::*;
+use simfabric::par;
 use simfabric::ByteSize;
 
 /// STREAM configured for a total array footprint (all three arrays).
@@ -114,31 +114,25 @@ impl StreamArrays {
     /// `c = a`.
     pub fn copy(&mut self) {
         let a = &self.a;
-        self.c.par_iter_mut().zip(a.par_iter()).for_each(|(c, &a)| *c = a);
+        par::par_update(&mut self.c, |i, c| *c = a[i]);
     }
 
     /// `b = s * c`.
     pub fn scale(&mut self, s: f64) {
         let c = &self.c;
-        self.b.par_iter_mut().zip(c.par_iter()).for_each(|(b, &c)| *b = s * c);
+        par::par_update(&mut self.b, |i, b| *b = s * c[i]);
     }
 
     /// `c = a + b`.
     pub fn add(&mut self) {
         let (a, b) = (&self.a, &self.b);
-        self.c
-            .par_iter_mut()
-            .zip(a.par_iter().zip(b.par_iter()))
-            .for_each(|(c, (&a, &b))| *c = a + b);
+        par::par_update(&mut self.c, |i, c| *c = a[i] + b[i]);
     }
 
     /// `a = b + s * c`.
     pub fn triad(&mut self, s: f64) {
         let (b, c) = (&self.b, &self.c);
-        self.a
-            .par_iter_mut()
-            .zip(b.par_iter().zip(c.par_iter()))
-            .for_each(|(a, (&b, &c))| *a = b + s * c);
+        par::par_update(&mut self.a, |i, a| *a = b[i] + s * c[i]);
     }
 
     /// Run the full STREAM sequence once and verify against the
@@ -179,7 +173,9 @@ mod tests {
     fn native_triad_matches_formula_elementwise() {
         let mut s = StreamArrays::new(257); // odd size exercises tails
         s.b.iter_mut().enumerate().for_each(|(i, b)| *b = i as f64);
-        s.c.iter_mut().enumerate().for_each(|(i, c)| *c = 2.0 * i as f64);
+        s.c.iter_mut()
+            .enumerate()
+            .for_each(|(i, c)| *c = 2.0 * i as f64);
         s.triad(0.5);
         for i in 0..257 {
             assert_eq!(s.a[i], i as f64 + 0.5 * 2.0 * i as f64);
@@ -226,12 +222,18 @@ mod tests {
     #[test]
     fn repeated_passes_price_identically() {
         let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
-        let one = StreamBench { total_size: ByteSize::gib(3), passes: 1 }
-            .triad_bandwidth(&mut m)
-            .unwrap();
-        let ten = StreamBench { total_size: ByteSize::gib(3), passes: 10 }
-            .triad_bandwidth(&mut m)
-            .unwrap();
+        let one = StreamBench {
+            total_size: ByteSize::gib(3),
+            passes: 1,
+        }
+        .triad_bandwidth(&mut m)
+        .unwrap();
+        let ten = StreamBench {
+            total_size: ByteSize::gib(3),
+            passes: 10,
+        }
+        .triad_bandwidth(&mut m)
+        .unwrap();
         assert!((one - ten).abs() < 1e-6);
     }
 }

@@ -7,8 +7,7 @@
 //! model path evaluates [`knl::dual_random_read_latency`].
 
 use knl::{Machine, MachineError};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simfabric::prng::Rng;
 use simfabric::ByteSize;
 
 /// The block sizes Fig. 3 sweeps (128 KB … 1 GB, powers of two).
@@ -56,7 +55,7 @@ impl ChaseBuffer {
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "need at least two slots");
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Sattolo: single cycle.
         for i in (1..n).rev() {
             let j = rng.gen_range(0..i);

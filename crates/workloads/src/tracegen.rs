@@ -9,8 +9,7 @@
 //! (`tests/trace_crosscheck.rs`).
 
 use knl::tracesim::TraceAccess;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simfabric::prng::Rng;
 
 /// De-aliased per-core base addresses (physically scattered pages
 /// never alias all cores onto one DRAM bank; synthetic traces must
@@ -39,11 +38,16 @@ pub fn stream_trace(cores: u32, lines_per_core: u64, passes: u32) -> Vec<TraceAc
 }
 
 /// GUPS: independent random read-modify-writes over a shared table.
-pub fn gups_trace(cores: u32, table_bytes: u64, updates_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+pub fn gups_trace(
+    cores: u32,
+    table_bytes: u64,
+    updates_per_core: u64,
+    seed: u64,
+) -> Vec<TraceAccess> {
     let mut t = Vec::with_capacity((cores as u64 * updates_per_core * 2) as usize);
     let lines = (table_bytes / 64).max(1);
-    let mut rngs: Vec<SmallRng> = (0..cores)
-        .map(|c| SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+    let mut rngs: Vec<Rng> = (0..cores)
+        .map(|c| Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
         .collect();
     for _ in 0..updates_per_core {
         for c in 0..cores {
@@ -60,7 +64,7 @@ pub fn gups_trace(cores: u32, table_bytes: u64, updates_per_core: u64, seed: u64
 /// interleaved chains on one core, as the dual-read benchmark runs).
 pub fn chase_trace(block_bytes: u64, steps: u64, seed: u64) -> Vec<TraceAccess> {
     let lines = (block_bytes / 64).max(2);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t = Vec::with_capacity(steps as usize);
     let mut a = 0u64;
     let mut b = lines / 2;
@@ -89,8 +93,10 @@ pub fn xsbench_trace(
     seed: u64,
 ) -> Vec<TraceAccess> {
     let lines = (grid_bytes / 64).max(deps_per_lookup as u64 + 1);
-    let mut rngs: Vec<SmallRng> = (0..cores)
-        .map(|c| SmallRng::seed_from_u64(seed ^ (0xA11CEu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+    let mut rngs: Vec<Rng> = (0..cores)
+        .map(|c| {
+            Rng::seed_from_u64(seed ^ (0xA11CEu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        })
         .collect();
     let mut t = Vec::new();
     for _ in 0..lookups_per_core {
@@ -113,8 +119,8 @@ pub fn xsbench_trace(
 /// random probe of the visited structure (write when claiming).
 pub fn bfs_trace(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -> Vec<TraceAccess> {
     let lines = (graph_bytes / 64).max(2);
-    let mut rngs: Vec<SmallRng> = (0..cores)
-        .map(|c| SmallRng::seed_from_u64(seed ^ (0xB5Fu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+    let mut rngs: Vec<Rng> = (0..cores)
+        .map(|c| Rng::seed_from_u64(seed ^ (0xB5Fu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
         .collect();
     let mut csr_cursor: Vec<u64> = (0..cores).map(|c| core_base(c) / 64 % lines).collect();
     let mut t = Vec::new();

@@ -16,8 +16,7 @@
 use crate::PaperWorkload;
 use knl::access::RandomOp;
 use knl::{calib, Machine, MachineError};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simfabric::prng::Rng;
 use simfabric::ByteSize;
 
 // ---------------------------------------------------------------------
@@ -45,8 +44,9 @@ impl XsBench {
     /// Dependent uncached accesses per nuclide micro-lookup at this
     /// problem size.
     pub fn deps_per_nuclide(&self) -> f64 {
-        let doublings =
-            (self.footprint_bytes as f64 / calib::XSBENCH_REFERENCE_BYTES).log2().max(0.0);
+        let doublings = (self.footprint_bytes as f64 / calib::XSBENCH_REFERENCE_BYTES)
+            .log2()
+            .max(0.0);
         calib::XSBENCH_DEPS_BASE + calib::XSBENCH_DEPS_PER_DOUBLING * doublings
     }
 
@@ -132,10 +132,12 @@ impl XsData {
     /// Build a data set with `n_nuclides` nuclides of `grid_points`
     /// points each, and a few materials of varying nuclide counts.
     pub fn build(n_nuclides: usize, grid_points: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut nuclides = Vec::with_capacity(n_nuclides);
         for _ in 0..n_nuclides {
-            let mut energy: Vec<f64> = (0..grid_points).map(|_| rng.gen_range(1e-11..1.0)).collect();
+            let mut energy: Vec<f64> = (0..grid_points)
+                .map(|_| rng.gen_range(1e-11..1.0))
+                .collect();
             energy.sort_by(|a, b| a.partial_cmp(b).unwrap());
             energy.dedup();
             let xs = energy
@@ -151,7 +153,10 @@ impl XsData {
             nuclides.push(NuclideGrid { energy, xs });
         }
         // Unionized grid = sorted union of all energies.
-        let mut unionized: Vec<f64> = nuclides.iter().flat_map(|n| n.energy.iter().copied()).collect();
+        let mut unionized: Vec<f64> = nuclides
+            .iter()
+            .flat_map(|n| n.energy.iter().copied())
+            .collect();
         unionized.sort_by(|a, b| a.partial_cmp(b).unwrap());
         unionized.dedup();
         // Index vectors.
@@ -207,7 +212,11 @@ impl XsData {
             return nuc.xs[lo];
         }
         let (e0, e1) = (nuc.energy[lo], nuc.energy[hi]);
-        let f = if e1 > e0 { ((e - e0) / (e1 - e0)).clamp(0.0, 1.0) } else { 0.0 };
+        let f = if e1 > e0 {
+            ((e - e0) / (e1 - e0)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let (a, b) = (nuc.xs[lo], nuc.xs[hi]);
         XsVector {
             total: a.total + f * (b.total - a.total),
@@ -240,7 +249,7 @@ impl XsData {
     /// Run `n` random lookups; returns a checksum (so the work cannot
     /// be optimized away) and the count performed.
     pub fn run_lookups(&self, n: u64, seed: u64) -> (f64, u64) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut checksum = 0.0;
         for _ in 0..n {
             let e: f64 = rng.gen_range(1e-11..1.0);
@@ -387,6 +396,9 @@ mod tests {
         assert!((1.1..=1.9).contains(&d_gain), "DRAM gain {d_gain}");
         assert!((2.0..=3.2).contains(&h_gain), "HBM gain {h_gain}");
         assert!(h256 > d256, "HBM should overtake DRAM at 256 threads");
-        assert!(c256 > d256, "cache mode should overtake DRAM at 256 threads");
+        assert!(
+            c256 > d256,
+            "cache mode should overtake DRAM at 256 threads"
+        );
     }
 }

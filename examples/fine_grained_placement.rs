@@ -77,7 +77,11 @@ fn main() {
     let placements: [(&str, Kind, Kind); 4] = [
         ("all DRAM      (membind=0)", Kind::Regular, Kind::Regular),
         ("all HBM       (membind=1)", Kind::Hbw, Kind::Hbw),
-        ("matrix HBM-preferred, vectors DRAM", Kind::HbwPreferred, Kind::Regular),
+        (
+            "matrix HBM-preferred, vectors DRAM",
+            Kind::HbwPreferred,
+            Kind::Regular,
+        ),
         ("matrix DRAM, vectors HBW", Kind::Regular, Kind::Hbw),
     ];
 

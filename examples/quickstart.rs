@@ -14,7 +14,11 @@ fn main() {
     for setup in [MemSetup::DramOnly, MemSetup::CacheMode] {
         println!(
             "numactl --hardware with MCDRAM in {} mode:\n{}",
-            if setup == MemSetup::CacheMode { "cache" } else { "flat" },
+            if setup == MemSetup::CacheMode {
+                "cache"
+            } else {
+                "flat"
+            },
             hardware_report(&setup.topology())
         );
     }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the whole workspace must build, test, and stay
+# formatted with ZERO network access — every dependency is in-tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+
+echo "ci: ok"

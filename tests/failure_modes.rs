@@ -6,8 +6,7 @@ use knl::{Machine, MachineConfig, MachineError, MemSetup};
 use knl_hybrid_memory::prelude::*;
 use memkind_sim::{HeapError, MemkindHeap};
 use numamem::numactl::parse_numactl;
-use numamem::{MemPolicy, NumaSystem, NumaTopology, PolicyError};
-use workloads::PaperWorkload;
+use numamem::{NumaSystem, NumaTopology, PolicyError};
 
 #[test]
 fn every_oversized_workload_fails_cleanly_on_hbm() {
@@ -25,7 +24,10 @@ fn every_oversized_workload_fails_cleanly_on_hbm() {
         let mut machine = Machine::knl7210(MemSetup::HbmOnly, 64).unwrap();
         match workload.run_model(&mut machine) {
             Err(MachineError::Alloc(_)) => {}
-            other => panic!("{} at {gb} GB on HBM: expected Alloc error, got {other:?}", app.name()),
+            other => panic!(
+                "{} at {gb} GB on HBM: expected Alloc error, got {other:?}",
+                app.name()
+            ),
         }
         // The failed allocation must not leak HBM pages.
         assert_eq!(
@@ -79,10 +81,7 @@ fn numactl_rejections_match_real_tool_semantics() {
         vec!["--preferred=0,1"],
         vec!["--interleave=5-2"],
     ] {
-        assert!(
-            parse_numactl(&bad, &topo).is_err(),
-            "accepted {bad:?}"
-        );
+        assert!(parse_numactl(&bad, &topo).is_err(), "accepted {bad:?}");
     }
     // Binding to a node that exists in the *other* mode's topology.
     let cache_topo = NumaTopology::knl_cache();
@@ -148,7 +147,7 @@ fn hybrid_extremes_degenerate_sensibly() {
     let mut m = Machine::new(cfg).unwrap();
     let r = m.alloc("x", ByteSize::gib(8)).unwrap();
     assert_eq!(r.hbm_fraction, 1.0); // HBW_PREFERRED fills the flat part
-    // fraction = 1: hbw_malloc-style allocation has nowhere to go...
+                                     // fraction = 1: hbw_malloc-style allocation has nowhere to go...
     let cfg = MachineConfig::knl7210_hybrid(1.0, 64);
     assert_eq!(cfg.allocatable_mcdram(), ByteSize::ZERO);
     let mut m = Machine::new(cfg).unwrap();

@@ -37,8 +37,7 @@ fn both_paths_agree_streams_prefer_hbm() {
     let cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
     let mut sim_ddr = TraceSim::new(&cfg, 64, TracePlacement::AllDdr, ByteSize::mib(1));
     let mut sim_hbm = TraceSim::new(&cfg, 64, TracePlacement::AllHbm, ByteSize::mib(1));
-    let trace_ratio =
-        sim_hbm.run(&trace).bandwidth_gbs / sim_ddr.run(&trace).bandwidth_gbs;
+    let trace_ratio = sim_hbm.run(&trace).bandwidth_gbs / sim_ddr.run(&trace).bandwidth_gbs;
 
     // Analytic path.
     let model_bw = |setup| {

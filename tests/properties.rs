@@ -1,5 +1,6 @@
-//! Cross-crate property-based tests (proptest) on the invariants the
-//! simulator's correctness rests on.
+//! Cross-crate property tests on the invariants the simulator's
+//! correctness rests on, driven by seeded random cases from the
+//! in-tree PRNG (deterministic across runs).
 
 use cachesim::cache::{AccessKind, Cache, CacheConfig};
 use cachesim::replacement::ReplacementPolicy;
@@ -7,17 +8,20 @@ use knl_hybrid_memory::prelude::*;
 use memkind_sim::{Arena, MemkindHeap};
 use numamem::system::PAGE_BYTES;
 use numamem::{MemPolicy, NumaSystem, NumaTopology};
-use proptest::prelude::*;
+use simfabric::prng::Rng;
 use workloads::graph500::Graph;
 use workloads::tinymembench::ChaseBuffer;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The arena never double-allocates: live extents are disjoint,
-    /// and live + free bytes always equals the span.
-    #[test]
-    fn arena_conservation(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..60)) {
+/// The arena never double-allocates: live extents are disjoint,
+/// and live + free bytes always equals the span.
+#[test]
+fn arena_conservation() {
+    let mut rng = Rng::seed_from_u64(0x1007_0001);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..60);
+        let ops: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..64), rng.gen()))
+            .collect();
         let mut arena = Arena::new(0, 256 * PAGE_BYTES);
         let mut live: Vec<u64> = Vec::new();
         for (size_pages, free_instead) in ops {
@@ -25,19 +29,28 @@ proptest! {
                 let addr = live.swap_remove((size_pages as usize) % live.len());
                 arena.free(addr);
             } else if let Some(addr) = arena.alloc(size_pages * PAGE_BYTES) {
-                prop_assert_eq!(addr % PAGE_BYTES, 0);
-                prop_assert!(!live.contains(&addr));
+                assert_eq!(addr % PAGE_BYTES, 0, "case {case}");
+                assert!(!live.contains(&addr), "case {case}");
                 live.push(addr);
             }
-            prop_assert_eq!(arena.live_bytes() + arena.free_bytes(), 256 * PAGE_BYTES);
-            prop_assert_eq!(arena.live_count(), live.len());
+            assert_eq!(
+                arena.live_bytes() + arena.free_bytes(),
+                256 * PAGE_BYTES,
+                "case {case}"
+            );
+            assert_eq!(arena.live_count(), live.len(), "case {case}");
         }
     }
+}
 
-    /// NUMA allocation conservation: free pages decrease by exactly the
-    /// pages allocated, and freeing restores them.
-    #[test]
-    fn numa_system_conservation(sizes in proptest::collection::vec(1u64..4096, 1..20)) {
+/// NUMA allocation conservation: free pages decrease by exactly the
+/// pages allocated, and freeing restores them.
+#[test]
+fn numa_system_conservation() {
+    let mut rng = Rng::seed_from_u64(0x1007_0002);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..20);
+        let sizes: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..4096)).collect();
         let mut sys = NumaSystem::new(NumaTopology::knl_flat());
         let total_before = sys.free_on(0).as_u64() + sys.free_on(1).as_u64();
         let mut allocs = Vec::new();
@@ -52,25 +65,36 @@ proptest! {
             }
         }
         let held: u64 = allocs.iter().map(|a| a.pages() * PAGE_BYTES).sum();
-        prop_assert_eq!(
+        assert_eq!(
             sys.free_on(0).as_u64() + sys.free_on(1).as_u64(),
-            total_before - held
+            total_before - held,
+            "case {case}"
         );
         for a in &allocs {
             sys.free(a);
         }
-        prop_assert_eq!(sys.free_on(0).as_u64() + sys.free_on(1).as_u64(), total_before);
+        assert_eq!(
+            sys.free_on(0).as_u64() + sys.free_on(1).as_u64(),
+            total_before,
+            "case {case}"
+        );
     }
+}
 
-    /// Cache inclusion-of-reference: immediately after any access, a
-    /// probe of the same address hits (for allocate-on-miss configs),
-    /// and occupancy never exceeds capacity.
-    #[test]
-    fn cache_probe_after_access(
-        addrs in proptest::collection::vec(0u64..(1 << 20), 1..200),
-        policy_idx in 0usize..3,
-    ) {
-        let policy = [ReplacementPolicy::Lru, ReplacementPolicy::PseudoLru, ReplacementPolicy::Fifo][policy_idx];
+/// Cache inclusion-of-reference: immediately after any access, a
+/// probe of the same address hits (for allocate-on-miss configs),
+/// and occupancy never exceeds capacity.
+#[test]
+fn cache_probe_after_access() {
+    let mut rng = Rng::seed_from_u64(0x1007_0003);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..200);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..(1 << 20))).collect();
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::PseudoLru,
+            ReplacementPolicy::Fifo,
+        ][rng.gen_range(0usize..3)];
         let mut cache = Cache::new(CacheConfig {
             capacity: ByteSize::kib(4),
             line_bytes: 64,
@@ -80,17 +104,25 @@ proptest! {
         });
         for &a in &addrs {
             cache.access(a, AccessKind::Read);
-            prop_assert!(cache.probe(a), "line absent right after access");
-            prop_assert!(cache.occupancy() <= 64);
+            assert!(
+                cache.probe(a),
+                "case {case}: line absent right after access"
+            );
+            assert!(cache.occupancy() <= 64, "case {case}");
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        assert_eq!(s.accesses(), addrs.len() as u64, "case {case}");
     }
+}
 
-    /// The heap's address→node map is consistent with the reported
-    /// placement fractions.
-    #[test]
-    fn heap_node_of_matches_fractions(sizes_kib in proptest::collection::vec(4u64..512, 1..12)) {
+/// The heap's address→node map is consistent with the reported
+/// placement fractions.
+#[test]
+fn heap_node_of_matches_fractions() {
+    let mut rng = Rng::seed_from_u64(0x1007_0004);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..12);
+        let sizes_kib: Vec<u64> = (0..len).map(|_| rng.gen_range(4u64..512)).collect();
         let heap = MemkindHeap::new(NumaTopology::knl_flat());
         for (i, kib) in sizes_kib.iter().enumerate() {
             let kind = [Kind::Default, Kind::Hbw, Kind::Interleave][i % 3];
@@ -103,47 +135,69 @@ proptest! {
                 }
             }
             let frac = on_hbm as f64 / pages as f64;
-            prop_assert!((frac - heap.fraction_on(&block, 1)).abs() < 1e-9);
+            assert!(
+                (frac - heap.fraction_on(&block, 1)).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Sattolo chase buffers are always a single full cycle.
-    #[test]
-    fn chase_buffer_single_cycle(n in 2usize..512, seed in any::<u64>()) {
+/// Sattolo chase buffers are always a single full cycle.
+#[test]
+fn chase_buffer_single_cycle() {
+    let mut rng = Rng::seed_from_u64(0x1007_0005);
+    for case in 0..64 {
+        let n = rng.gen_range(2usize..512);
+        let seed: u64 = rng.gen();
         let c = ChaseBuffer::new(n, seed);
-        prop_assert!(c.is_single_cycle());
+        assert!(c.is_single_cycle(), "case {case}: n={n} seed={seed}");
     }
+}
 
-    /// BFS parent trees always validate, for arbitrary edge lists.
-    #[test]
-    fn bfs_always_validates(
-        edges in proptest::collection::vec((0u32..64, 0u32..64), 0..200),
-        root in 0u32..64,
-    ) {
+/// BFS parent trees always validate, for arbitrary edge lists.
+#[test]
+fn bfs_always_validates() {
+    let mut rng = Rng::seed_from_u64(0x1007_0006);
+    for case in 0..64 {
+        let len = rng.gen_range(0usize..200);
+        let edges: Vec<(u32, u32)> = (0..len)
+            .map(|_| (rng.gen_range(0u32..64), rng.gen_range(0u32..64)))
+            .collect();
+        let root = rng.gen_range(0u32..64);
         let g = Graph::from_edges(64, &edges);
         let parents = g.bfs(root);
-        prop_assert!(g.validate_bfs(root, &parents).is_ok());
-        // Reached set is closed: no unreached vertex adjacent to... the
-        // converse: every neighbour of a reached vertex is reached.
+        assert!(g.validate_bfs(root, &parents).is_ok(), "case {case}");
+        // Reached set is closed: every neighbour of a reached vertex
+        // is reached.
         for v in 0..64u32 {
             if parents[v as usize] >= 0 {
                 for &w in g.neighbors_of(v) {
-                    prop_assert!(parents[w as usize] >= 0, "frontier leaked {w}");
+                    assert!(parents[w as usize] >= 0, "case {case}: frontier leaked {w}");
                 }
             }
         }
     }
+}
 
-    /// Machine pricing is deterministic and monotone in bytes.
-    #[test]
-    fn stream_pricing_monotone(gib in 1u64..12, extra in 1u64..4) {
+/// Machine pricing is deterministic and monotone in bytes.
+#[test]
+fn stream_pricing_monotone() {
+    let mut rng = Rng::seed_from_u64(0x1007_0007);
+    for case in 0..64 {
+        let gib = rng.gen_range(1u64..12);
+        let extra = rng.gen_range(1u64..4);
         let mut m = Machine::knl7210(MemSetup::DramOnly, 64).unwrap();
         let small = m.alloc("s", ByteSize::gib(gib)).unwrap();
         let large = m.alloc("l", ByteSize::gib(gib + extra)).unwrap();
         let t_small = m.price_stream(&[knl::StreamOp::read_all(&small)]);
         let t_large = m.price_stream(&[knl::StreamOp::read_all(&large)]);
-        prop_assert!(t_large > t_small);
+        assert!(t_large > t_small, "case {case}");
         // Deterministic.
-        prop_assert_eq!(t_small, m.price_stream(&[knl::StreamOp::read_all(&small)]));
+        assert_eq!(
+            t_small,
+            m.price_stream(&[knl::StreamOp::read_all(&small)]),
+            "case {case}"
+        );
     }
 }

@@ -61,7 +61,10 @@ fn fig6_thread_application_shapes_hold() {
 fn full_suite_has_expected_coverage() {
     let checks = validate_all();
     // Every figure is covered by at least one check.
-    for fig in ["fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig5", "fig6a", "fig6b", "fig6c", "fig6d"] {
+    for fig in [
+        "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig5", "fig6a", "fig6b",
+        "fig6c", "fig6d",
+    ] {
         assert!(
             checks.iter().any(|c| c.figure == fig),
             "no shape check covers {fig}"

@@ -89,7 +89,12 @@ fn bfs_trace_mixed_pattern_lands_between() {
     pure_stream_sim.run(&tracegen::stream_trace(8, 800, 1));
     let stream_hits = pure_stream_sim.ddr_stats().hit_rate();
     let mut pure_rand_sim = sim(MemSetup::DramOnly, 8, TracePlacement::AllDdr);
-    pure_rand_sim.run(&tracegen::gups_trace(8, ByteSize::mib(256).as_u64(), 800, 3));
+    pure_rand_sim.run(&tracegen::gups_trace(
+        8,
+        ByteSize::mib(256).as_u64(),
+        800,
+        3,
+    ));
     let rand_hits = pure_rand_sim.ddr_stats().hit_rate();
     let mut bfs_sim = sim(MemSetup::DramOnly, 8, TracePlacement::AllDdr);
     bfs_sim.run(&bfs);

@@ -3,7 +3,9 @@
 
 use bench::harness::{BenchmarkId, Criterion};
 use bench::{criterion_group, criterion_main};
-use hybridmem::{AppSpec, SizeSweep};
+use hybridmem::{AppSpec, SizeSweep, TraceSweep};
+use knl::MemSetup;
+use workloads::tracegen::TraceKind;
 
 fn bench_fig4(c: &mut Criterion) {
     let panels: [(&str, AppSpec, &[f64]); 5] = [
@@ -26,6 +28,31 @@ fn bench_fig4(c: &mut Criterion) {
         });
         group.finish();
     }
+    // Trace-level counterpart: the fig-4 apps with trace generators,
+    // replayed through the sharded parallel engine.
+    let mut group = c.benchmark_group("fig4_trace_replay");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for kind in [TraceKind::Gups, TraceKind::XsBench, TraceKind::Bfs] {
+        group.bench_with_input(
+            BenchmarkId::new("run_parallel", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let sweep = TraceSweep {
+                        kinds: vec![kind],
+                        cores: 16,
+                        accesses_per_core: 1_000,
+                        seed: 0xF14,
+                        setups: vec![MemSetup::DramOnly, MemSetup::HbmOnly],
+                    };
+                    bench::harness::black_box(sweep.run())
+                })
+            },
+        );
+    }
+    group.finish();
     for fig in [
         hybridmem::figures::fig4a(),
         hybridmem::figures::fig4b(),

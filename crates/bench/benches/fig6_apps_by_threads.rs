@@ -3,7 +3,10 @@
 
 use bench::harness::{BenchmarkId, Criterion};
 use bench::{criterion_group, criterion_main};
-use hybridmem::{AppSpec, ThreadSweep};
+use hybridmem::{AppSpec, ThreadSweep, TraceSweep};
+use knl::MemSetup;
+use simfabric::par;
+use workloads::tracegen::TraceKind;
 
 fn bench_fig6(c: &mut Criterion) {
     let panels: [(&str, AppSpec, f64); 4] = [
@@ -25,6 +28,33 @@ fn bench_fig6(c: &mut Criterion) {
         });
         group.finish();
     }
+    // Trace-level counterpart: per-app trace replay at 1 and 8 replay
+    // workers (identical output, different wall-clock).
+    let mut group = c.benchmark_group("fig6_trace_replay_workers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for kind in [TraceKind::Gups, TraceKind::XsBench, TraceKind::Bfs] {
+        for workers in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("workers{workers}")),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        let sweep = TraceSweep {
+                            kinds: vec![kind],
+                            cores: 16,
+                            accesses_per_core: 1_000,
+                            seed: 0xF16,
+                            setups: vec![MemSetup::DramOnly],
+                        };
+                        par::with_threads(workers, || bench::harness::black_box(sweep.run()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
     for fig in [
         hybridmem::figures::fig6a(),
         hybridmem::figures::fig6b(),

@@ -65,6 +65,17 @@ fn main() {
             }
         }
         "latency" => print!("{}", latency_report()),
+        "trace" => {
+            // repro trace [cores] [accesses_per_core]
+            let cores: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+            let per_core: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2_000);
+            let rows = hybridmem::TraceSweep::paper(cores, per_core, 0xC0FFEE).run();
+            print!("{}", hybridmem::render_trace_replays(&rows));
+            println!(
+                "(replayed with {} worker thread(s); set TRACESIM_THREADS to change)",
+                knl::tracesim::worker_threads()
+            );
+        }
         "compare" => {
             let cmp = hybridmem::compare_with_model();
             print!("{}", hybridmem::paper::render_comparison(&cmp));
@@ -129,7 +140,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, compare, sensitivity, export, diff, decompose, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
                 );
                 std::process::exit(2);
             }

@@ -5,7 +5,8 @@
 //! configurations. Points are independent, so the runner evaluates
 //! them in parallel on scoped threads.
 
-use knl::{Machine, MachineError, MemSetup};
+use knl::tracesim::{TracePlacement, TraceSim, TraceSimReport};
+use knl::{Machine, MachineConfig, MachineError, MemSetup};
 use simfabric::par;
 use simfabric::ByteSize;
 use workloads::dgemm::Dgemm;
@@ -13,6 +14,7 @@ use workloads::graph500::Graph500;
 use workloads::gups::Gups;
 use workloads::minife::MiniFe;
 use workloads::stream::StreamBench;
+use workloads::tracegen::TraceKind;
 use workloads::xsbench::XsBench;
 use workloads::PaperWorkload;
 
@@ -194,6 +196,80 @@ impl ThreadSweep {
     }
 }
 
+/// One replayed (trace generator × memory setup) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceReplay {
+    /// Which generator produced the trace.
+    pub kind: TraceKind,
+    /// The memory setup it was replayed under.
+    pub setup: MemSetup,
+    /// The trace simulator's report.
+    pub report: TraceSimReport,
+}
+
+/// A sweep replaying workload-shaped traces through the line-accurate
+/// trace simulator — the trace-level complement of the analytic
+/// [`SizeSweep`]/[`ThreadSweep`]. Replays run on the sharded parallel
+/// engine ([`TraceSim::run_parallel`]), whose worker count comes from
+/// `TRACESIM_THREADS` (or the ambient [`par`] override) and whose
+/// output is bit-identical to the sequential reference at any setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSweep {
+    /// Trace generators to replay.
+    pub kinds: Vec<TraceKind>,
+    /// Simulated (and trace-emitting) core count.
+    pub cores: u32,
+    /// Approximate per-core trace length.
+    pub accesses_per_core: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Memory setups to compare.
+    pub setups: Vec<MemSetup>,
+}
+
+impl TraceSweep {
+    /// All five generators over the paper's three memory setups.
+    pub fn paper(cores: u32, accesses_per_core: u64, seed: u64) -> Self {
+        TraceSweep {
+            kinds: TraceKind::ALL.to_vec(),
+            cores,
+            accesses_per_core,
+            seed,
+            setups: MemSetup::PAPER_SETUPS.to_vec(),
+        }
+    }
+
+    fn placement(setup: MemSetup) -> TracePlacement {
+        match setup {
+            MemSetup::HbmOnly => TracePlacement::AllHbm,
+            _ => TracePlacement::AllDdr,
+        }
+    }
+
+    /// Replay every (kind × setup) point. Each trace is generated once
+    /// and replayed through a fresh simulator per setup; the replays
+    /// themselves are internally parallel, so points run in sequence
+    /// rather than oversubscribing the worker pool.
+    pub fn run(&self) -> Vec<TraceReplay> {
+        let mut out = Vec::with_capacity(self.kinds.len() * self.setups.len());
+        for &kind in &self.kinds {
+            let trace = kind.generate(self.cores, self.accesses_per_core, self.seed);
+            for &setup in &self.setups {
+                let cfg = MachineConfig::knl7210(setup, 64);
+                let mut sim =
+                    TraceSim::new(&cfg, self.cores, Self::placement(setup), ByteSize::mib(8));
+                let report = sim.run_parallel(&trace);
+                out.push(TraceReplay {
+                    kind,
+                    setup,
+                    report,
+                });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +319,24 @@ mod tests {
             assert!(!app.metric().is_empty());
             let w = app.build(ByteSize::gib(1));
             assert_eq!(w.name(), app.name());
+        }
+    }
+
+    #[test]
+    fn trace_sweep_covers_kinds_by_setups_and_is_worker_independent() {
+        let sweep = TraceSweep {
+            kinds: vec![TraceKind::Stream, TraceKind::Gups],
+            cores: 4,
+            accesses_per_core: 200,
+            seed: 42,
+            setups: vec![MemSetup::DramOnly, MemSetup::HbmOnly],
+        };
+        let one = par::with_threads(1, || sweep.run());
+        let eight = par::with_threads(8, || sweep.run());
+        assert_eq!(one.len(), 4);
+        assert_eq!(one, eight, "replay must not depend on worker count");
+        for r in &one {
+            assert!(r.report.accesses > 0, "{:?}", r);
         }
     }
 

@@ -23,10 +23,12 @@ pub mod validate;
 
 pub use advisor::{advise, AppProfile, Recommendation};
 pub use archive::{diff, Archive, Divergence};
-pub use experiment::{AppSpec, Measurement, Series, SizeSweep, ThreadSweep};
+pub use experiment::{
+    AppSpec, Measurement, Series, SizeSweep, ThreadSweep, TraceReplay, TraceSweep,
+};
 pub use extensions::{decompose, DecompositionPlan};
 pub use figures::{all_figures, FigureData};
 pub use paper::{compare_with_model, paper_reference};
-pub use report::{render_figure, series_csv};
+pub use report::{render_figure, render_trace_replays, series_csv};
 pub use sensitivity::{all_scans, SensitivityScan};
 pub use validate::{validate_all, ShapeCheck};

@@ -1,6 +1,6 @@
 //! Reporters: render figures as aligned text tables and CSV.
 
-use crate::experiment::Series;
+use crate::experiment::{Series, TraceReplay};
 use crate::figures::FigureData;
 use std::fmt::Write as _;
 
@@ -53,6 +53,28 @@ pub fn render_figure(fig: &FigureData) -> String {
         }
     }
     let _ = writeln!(out, "({})", fig.y_label);
+    out
+}
+
+/// Render trace-replay results as an aligned text table (one row per
+/// generator × setup).
+pub fn render_trace_replays(rows: &[TraceReplay]) -> String {
+    let mut out = String::from(
+        "== Trace replay (sharded parallel engine) ==\n\
+         workload    setup       accesses  mem-acc  avg-lat(ns)  bandwidth(GB/s)\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10}  {:<10}  {:>8}  {:>7}  {:>11.1}  {:>15.2}",
+            r.kind.name(),
+            r.setup.label(),
+            r.report.accesses,
+            r.report.memory_accesses,
+            r.report.avg_latency.as_ns(),
+            r.report.bandwidth_gbs,
+        );
+    }
     out
 }
 

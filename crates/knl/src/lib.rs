@@ -36,4 +36,4 @@ pub use config::{MachineConfig, MemSetup};
 pub use energy::{EnergyModel, EnergyReport};
 pub use latency::dual_random_read_latency;
 pub use machine::{Machine, MachineError, RunStats};
-pub use tracesim::{TraceAccess, TraceSim, TraceSimReport};
+pub use tracesim::{ShardTotals, TraceAccess, TracePlacement, TraceSim, TraceSimReport};

@@ -8,15 +8,39 @@
 //! integration tests check that both paths agree on ordering (HBM
 //! beats DDR for streams, DDR beats HBM for chases) and roughly on
 //! magnitude.
+//!
+//! # Sequential and sharded-parallel replay
+//!
+//! [`TraceSim::run`] is the sequential reference implementation.
+//! [`TraceSim::run_parallel`] produces **bit-identical** reports and
+//! device statistics by exploiting a structural property of the model:
+//! the private cache hierarchy (L1/L2/TLB, and the memory-side-cache
+//! tags in cache mode) is *timing-independent* — which level serves an
+//! access depends only on that core's own address stream, never on the
+//! clock. Replay therefore splits into
+//!
+//! 1. a **classification phase** that partitions the trace by core and
+//!    drives each shard's private [`Hierarchy`] on a worker thread
+//!    (via [`simfabric::par`]), batching the per-shard outcomes, and
+//! 2. a **timing phase** that replays the classified batches through
+//!    the shared resources (MSHRs, mesh, DRAM bank models) in exactly
+//!    the earliest-clock order the sequential path uses.
+//!
+//! Per-shard totals are folded with [`ShardTotals::merge`], an
+//! order-independent (commutative, associative, integer-only)
+//! reduction, so worker count never leaks into results.
 
 use crate::config::{MachineConfig, MemSetup};
 use cachesim::cache::AccessKind;
 use cachesim::hierarchy::{Hierarchy, HierarchyConfig, LevelHit};
 use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
-use memdev::bank::DramModel;
+use memdev::bank::{DramModel, DramStats};
 use mesh::MeshModel;
+use simfabric::par;
 use simfabric::{ByteSize, Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +123,86 @@ pub struct TraceSimReport {
     pub bandwidth_gbs: f64,
 }
 
+/// Raw per-shard totals, in integer picoseconds and counts, from which
+/// a [`TraceSimReport`] is derived. Every field combines with a sum or
+/// a max, so [`merge`](Self::merge) is commutative and associative:
+/// shards reduce to identical totals in any order — the property that
+/// lets the parallel path match the sequential path bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTotals {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Accesses that reached a memory device.
+    pub memory_accesses: u64,
+    /// Accesses served by the MCDRAM cache (cache mode only).
+    pub mcdram_cache_hits: u64,
+    /// Sum of per-access latencies.
+    pub total_latency: Duration,
+    /// Completion time of the shard's last access.
+    pub makespan: Duration,
+}
+
+impl ShardTotals {
+    /// Combine two shards' totals (order-independent reduction).
+    pub fn merge(self, other: ShardTotals) -> ShardTotals {
+        ShardTotals {
+            accesses: self.accesses + other.accesses,
+            memory_accesses: self.memory_accesses + other.memory_accesses,
+            mcdram_cache_hits: self.mcdram_cache_hits + other.mcdram_cache_hits,
+            total_latency: self.total_latency + other.total_latency,
+            makespan: self.makespan.max(other.makespan),
+        }
+    }
+
+    /// Derive the user-facing report. An empty run (zero accesses)
+    /// yields an all-zero report — the average-latency and bandwidth
+    /// divisions are guarded, never performed on zero counts.
+    pub fn into_report(self, line_bytes: u64) -> TraceSimReport {
+        if self.accesses == 0 {
+            return TraceSimReport::default();
+        }
+        let avg_latency = Duration::from_ps(self.total_latency.as_ps() / self.accesses);
+        let secs = self.makespan.as_secs();
+        let bandwidth_gbs = if secs > 0.0 {
+            (self.memory_accesses * line_bytes) as f64 / 1e9 / secs
+        } else {
+            0.0
+        };
+        TraceSimReport {
+            makespan: self.makespan,
+            accesses: self.accesses,
+            memory_accesses: self.memory_accesses,
+            mcdram_cache_hits: self.mcdram_cache_hits,
+            avg_latency,
+            bandwidth_gbs,
+        }
+    }
+}
+
+/// Worker count for [`TraceSim::run_parallel`]: an explicit
+/// [`par::with_threads`] override wins, then the `TRACESIM_THREADS`
+/// environment variable, then the machine's available parallelism.
+pub fn worker_threads() -> usize {
+    par::thread_override()
+        .or_else(|| {
+            std::env::var("TRACESIM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(par::num_threads)
+}
+
+/// One access after the classification phase: the original record plus
+/// the level that serves it and the SRAM-side latency, both determined
+/// purely by the owning core's private hierarchy.
+#[derive(Debug, Clone, Copy)]
+struct Classified {
+    access: TraceAccess,
+    level: LevelHit,
+    sram_lat: Duration,
+}
+
 /// The trace-driven simulator.
 pub struct TraceSim {
     hierarchies: Vec<Hierarchy>,
@@ -116,8 +220,12 @@ pub struct TraceSim {
     /// Precomputed average response-path latencies (half a round trip).
     resp_half_ddr: Duration,
     resp_half_hbm: Duration,
-    report: TraceSimReport,
-    total_latency: Duration,
+    /// Round-trip hop counts for analytic mesh message accounting.
+    hops_ddr: u64,
+    hops_hbm: u64,
+    /// Per-core raw totals; the report is their order-independent
+    /// reduction.
+    core_totals: Vec<ShardTotals>,
 }
 
 impl TraceSim {
@@ -146,6 +254,8 @@ impl TraceSim {
         let mesh = MeshModel::knl(cfg.cluster);
         let resp_half_ddr = mesh.avg_memory_latency(false).scale(0.5);
         let resp_half_hbm = mesh.avg_memory_latency(true).scale(0.5);
+        let hops_ddr = mesh.avg_memory_hops(false);
+        let hops_hbm = mesh.avg_memory_hops(true);
         TraceSim {
             hierarchies: (0..cores).map(|_| Hierarchy::new(hier_cfg)).collect(),
             mshrs: (0..cores)
@@ -155,6 +265,8 @@ impl TraceSim {
             mesh,
             resp_half_ddr,
             resp_half_hbm,
+            hops_ddr,
+            hops_hbm,
             ddr: DramModel::ddr4_knl(),
             hbm: DramModel::mcdram_knl(),
             msc: cfg
@@ -163,19 +275,23 @@ impl TraceSim {
                 .then(|| MemorySideCache::new(msc_capacity, 64)),
             placement,
             line_bytes: 64,
-            report: TraceSimReport::default(),
-            total_latency: Duration::ZERO,
+            core_totals: vec![ShardTotals::default(); cores as usize],
         }
     }
 
     /// DDR bank-model statistics (row hits/misses/conflicts).
-    pub fn ddr_stats(&self) -> memdev::bank::DramStats {
+    pub fn ddr_stats(&self) -> DramStats {
         self.ddr.stats()
     }
 
     /// MCDRAM bank-model statistics.
-    pub fn hbm_stats(&self) -> memdev::bank::DramStats {
+    pub fn hbm_stats(&self) -> DramStats {
         self.hbm.stats()
+    }
+
+    /// Combined device statistics (DDR + MCDRAM, merged).
+    pub fn memory_stats(&self) -> DramStats {
+        self.ddr.stats().merge(self.hbm.stats())
     }
 
     /// Mesh statistics (messages, hops, contention).
@@ -183,18 +299,48 @@ impl TraceSim {
         self.mesh.stats()
     }
 
+    /// Raw per-core totals accumulated so far (one entry per simulated
+    /// core; shard `c` holds the contributions of accesses mapped to
+    /// core `c`).
+    pub fn per_core_totals(&self) -> &[ShardTotals] {
+        &self.core_totals
+    }
+
+    /// Totals merged over all shards.
+    pub fn totals(&self) -> ShardTotals {
+        self.core_totals
+            .iter()
+            .fold(ShardTotals::default(), |a, &b| a.merge(b))
+    }
+
     /// Replay one access; returns its latency.
     pub fn access(&mut self, t: TraceAccess) -> Duration {
         let core = t.core as usize % self.hierarchies.len();
-        let tiles = self.mesh.topology().num_tiles();
-        let tile = (core as u32 / 2) % tiles;
-        let mut issue = self.core_clock[core];
         let kind = if t.write {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
         let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
+        self.access_classified(Classified {
+            access: t,
+            level,
+            sram_lat,
+        })
+    }
+
+    /// The timing half of [`access`](Self::access): everything after
+    /// the (timing-independent) private-hierarchy lookup. Both the
+    /// sequential and the parallel path funnel through this one body,
+    /// so they cannot diverge.
+    fn access_classified(&mut self, cl: Classified) -> Duration {
+        let Classified {
+            access: t,
+            level,
+            sram_lat,
+        } = cl;
+        let core = t.core as usize % self.hierarchies.len();
+        let mut issue = self.core_clock[core];
         let mut done = issue + sram_lat;
         let mut merged = false;
         if level == LevelHit::Memory || level == LevelHit::McdramCache {
@@ -215,7 +361,7 @@ impl TraceSim {
         }
         if !merged && (level == LevelHit::Memory || level == LevelHit::McdramCache) {
             done = issue + sram_lat; // the stall may have moved `issue`
-            self.report.memory_accesses += 1;
+            self.core_totals[core].memory_accesses += 1;
             // Mesh traversal to the serving port.
             let is_hbm_target = match (&self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => true,
@@ -226,8 +372,12 @@ impl TraceSim {
             // reservation is far too pessimistic at memory rates (the
             // KNL mesh is provisioned well beyond memory bandwidth),
             // so the request half of the average round trip is added
-            // as latency instead.
-            let _ = tile;
+            // as latency instead. Messages and hops are still counted.
+            self.mesh.note_analytic_message(if is_hbm_target {
+                self.hops_hbm
+            } else {
+                self.hops_ddr
+            });
             let arrive = done
                 + if is_hbm_target {
                     self.resp_half_hbm
@@ -237,7 +387,7 @@ impl TraceSim {
             // Device service.
             let served = match (&mut self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => {
-                    self.report.mcdram_cache_hits += 1;
+                    self.core_totals[core].mcdram_cache_hits += 1;
                     self.hbm.access(t.addr, arrive)
                 }
                 (Some(_), _) => {
@@ -274,11 +424,12 @@ impl TraceSim {
         } else {
             issue + Duration::from_cycles(1, crate::calib::CORE_GHZ)
         };
-        self.report.accesses += 1;
-        self.total_latency += latency;
+        let totals = &mut self.core_totals[core];
+        totals.accesses += 1;
+        totals.total_latency += latency;
         let makespan_end = done.since(SimTime::ZERO);
-        if makespan_end > self.report.makespan {
-            self.report.makespan = makespan_end;
+        if makespan_end > totals.makespan {
+            totals.makespan = makespan_end;
         }
         latency
     }
@@ -291,8 +442,6 @@ impl TraceSim {
     /// bank slots "in the future" and laggards would queue behind
     /// phantom traffic.
     pub fn run(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
-        use std::cmp::Reverse;
-        use std::collections::{BinaryHeap, VecDeque};
         let cores = self.hierarchies.len();
         let mut queues: Vec<VecDeque<TraceAccess>> = vec![VecDeque::new(); cores];
         for &t in trace {
@@ -313,18 +462,79 @@ impl TraceSim {
         self.finish()
     }
 
-    /// Finalize and return the report.
-    pub fn finish(&mut self) -> TraceSimReport {
-        let mut r = self.report;
-        if let Some(per_access) = self.total_latency.as_ps().checked_div(r.accesses) {
-            r.avg_latency = Duration::from_ps(per_access);
-            let secs = r.makespan.as_secs();
-            if secs > 0.0 {
-                r.bandwidth_gbs = (r.memory_accesses * self.line_bytes) as f64 / 1e9 / secs;
+    /// Replay a whole trace with the classification phase sharded
+    /// across [`worker_threads`] worker threads; bit-identical to
+    /// [`run`](Self::run).
+    ///
+    /// The trace is partitioned by core (preserving per-core program
+    /// order), each shard's private hierarchy classifies its batch on a
+    /// worker thread, and the timing phase then consumes the batches in
+    /// the same earliest-clock order the sequential path uses. Shared
+    /// state (MSHR clocks, mesh counters, DRAM bank models) is only
+    /// touched in the timing phase, so results do not depend on the
+    /// worker count.
+    pub fn run_parallel(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
+        let cores = self.hierarchies.len();
+        let mut streams: Vec<Vec<TraceAccess>> = vec![Vec::new(); cores];
+        for &t in trace {
+            streams[t.core as usize % cores].push(t);
+        }
+        // Phase 1: classification. Move each hierarchy into its shard,
+        // classify on workers, then restore the hierarchies in index
+        // order (worker scheduling cannot reorder them).
+        let hierarchies = std::mem::take(&mut self.hierarchies);
+        let mut shards: Vec<(Hierarchy, Vec<TraceAccess>, Vec<Classified>)> = hierarchies
+            .into_iter()
+            .zip(streams)
+            .map(|(h, s)| (h, s, Vec::new()))
+            .collect();
+        par::with_threads(worker_threads(), || {
+            par::par_update(&mut shards, |_, (hier, stream, out)| {
+                out.reserve_exact(stream.len());
+                for &t in stream.iter() {
+                    let kind = if t.write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let (level, sram_lat) = hier.access(t.addr, kind);
+                    out.push(Classified {
+                        access: t,
+                        level,
+                        sram_lat,
+                    });
+                }
+            });
+        });
+        let mut queues: Vec<VecDeque<Classified>> = Vec::with_capacity(cores);
+        self.hierarchies = shards
+            .into_iter()
+            .map(|(h, _, out)| {
+                queues.push(out.into());
+                h
+            })
+            .collect();
+        // Phase 2: deterministic timing merge — the same earliest-clock
+        // discipline as the sequential path, consuming the batches.
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..cores)
+            .filter(|&c| !queues[c].is_empty())
+            .map(|c| Reverse((self.core_clock[c], c)))
+            .collect();
+        while let Some(Reverse((_, c))) = heap.pop() {
+            if let Some(cl) = queues[c].pop_front() {
+                self.access_classified(cl);
+                if !queues[c].is_empty() {
+                    heap.push(Reverse((self.core_clock[c], c)));
+                }
             }
         }
-        self.report = r;
-        r
+        self.finish()
+    }
+
+    /// Finalize and return the report (the order-independent reduction
+    /// of the per-core totals). Idempotent, and safe on an empty run.
+    pub fn finish(&mut self) -> TraceSimReport {
+        self.totals().into_report(self.line_bytes)
     }
 }
 
@@ -483,6 +693,103 @@ mod tests {
         assert!(r.avg_latency > Duration::ZERO);
         assert!(r.makespan > Duration::ZERO);
     }
+
+    #[test]
+    fn finish_after_empty_trace_is_zeroed() {
+        // Regression: finishing with zero accesses must return an
+        // all-zero report, not divide by zero in the averages.
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        assert_eq!(sim.finish(), TraceSimReport::default());
+        assert_eq!(sim.run(&[]), TraceSimReport::default());
+        assert_eq!(sim.run_parallel(&[]), TraceSimReport::default());
+    }
+
+    #[test]
+    fn merged_shard_totals_match_whole_trace_totals() {
+        // Mixed read/write/chase trace across four cores: the per-core
+        // shard totals must reduce — in any order — to exactly the
+        // whole-trace report (guards the deterministic merge).
+        let mut trace = stream_trace(4, 200);
+        for i in 0..400u64 {
+            trace.push(TraceAccess::write((i % 4) as u32, 1 << 20 | i * 64));
+        }
+        trace.extend(chase_trace(2, 300, 2 * 1024 * 1024 + 64));
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let report = sim.run(&trace);
+        let parts = sim.per_core_totals().to_vec();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.accesses > 0));
+        let forward = parts
+            .iter()
+            .fold(ShardTotals::default(), |a, &b| a.merge(b));
+        let reverse = parts
+            .iter()
+            .rev()
+            .fold(ShardTotals::default(), |a, &b| a.merge(b));
+        let rotated = parts
+            .iter()
+            .cycle()
+            .skip(2)
+            .take(parts.len())
+            .fold(ShardTotals::default(), |a, &b| a.merge(b));
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, rotated);
+        assert_eq!(forward.accesses, trace.len() as u64);
+        assert_eq!(forward.into_report(64), report);
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential_in_unit() {
+        // Small smoke version of tests/parallel_equivalence.rs: the
+        // sharded path must be bit-identical to the reference at
+        // several worker counts, including more workers than cores.
+        let trace = stream_trace(4, 300);
+        let mut seq = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let expect = seq.run(&trace);
+        for workers in [1, 2, 4, 8, 64] {
+            let mut par_sim = TraceSim::new(
+                &cfg(MemSetup::DramOnly),
+                4,
+                TracePlacement::AllDdr,
+                ByteSize::mib(1),
+            );
+            let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
+            assert_eq!(got, expect, "workers={workers}");
+            assert_eq!(par_sim.ddr_stats(), seq.ddr_stats(), "workers={workers}");
+            assert_eq!(par_sim.mesh_stats(), seq.mesh_stats(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn trace_replay_counts_mesh_messages() {
+        // Every access that reaches a device is one analytically
+        // accounted mesh round trip.
+        let trace = chase_trace(0, 500, 4 * 1024 * 1024 + 64);
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let r = sim.run(&trace);
+        assert_eq!(sim.mesh_stats().messages.get(), r.memory_accesses);
+        assert!(sim.mesh_stats().hops.get() >= r.memory_accesses);
+    }
 }
 
 impl TraceSim {
@@ -513,8 +820,6 @@ impl TraceSim {
     #[doc(hidden)]
     pub fn access_traced(&mut self, t: TraceAccess) -> AccessBreakdown {
         let core = t.core as usize % self.hierarchies.len();
-        let tiles = self.mesh.topology().num_tiles();
-        let tile = (core as u32 / 2) % tiles;
         let mut issue = self.core_clock[core];
         let orig_issue = issue;
         let kind = if t.write {
@@ -555,7 +860,6 @@ impl TraceSim {
             // KNL mesh is provisioned well beyond memory bandwidth),
             // so the request half of the average round trip is added
             // as latency instead.
-            let _ = tile;
             let arrive = done
                 + if is_hbm_target {
                     self.resp_half_hbm

@@ -137,7 +137,7 @@ struct Bank {
 }
 
 /// Aggregated access statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Row-buffer hits.
     pub row_hits: Counter,
@@ -158,6 +158,18 @@ impl DramStats {
     /// Row-buffer hit rate over all accesses.
     pub fn hit_rate(&self) -> f64 {
         self.row_hits.ratio_of(self.total())
+    }
+
+    /// Combine two stat sets. Every field is a sum, so the reduction is
+    /// commutative and associative: shard or per-device stats merge to
+    /// the same totals in any order.
+    pub fn merge(self, other: DramStats) -> DramStats {
+        DramStats {
+            row_hits: self.row_hits.merge(other.row_hits),
+            row_misses: self.row_misses.merge(other.row_misses),
+            row_closed: self.row_closed.merge(other.row_closed),
+            bank_conflicts: self.bank_conflicts.merge(other.bank_conflicts),
+        }
     }
 }
 

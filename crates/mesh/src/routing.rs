@@ -14,7 +14,7 @@ use simfabric::{Duration, SimTime};
 use std::collections::HashMap;
 
 /// Statistics for the mesh.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MeshStats {
     /// Messages routed.
     pub messages: Counter,
@@ -22,6 +22,18 @@ pub struct MeshStats {
     pub hops: Counter,
     /// Messages delayed by link contention.
     pub contended: Counter,
+}
+
+impl MeshStats {
+    /// Combine two stat sets (commutative and associative: counter
+    /// sums reduce to the same totals in any merge order).
+    pub fn merge(self, other: MeshStats) -> MeshStats {
+        MeshStats {
+            messages: self.messages.merge(other.messages),
+            hops: self.hops.merge(other.hops),
+            contended: self.contended.merge(other.contended),
+        }
+    }
 }
 
 /// The mesh model: topology + cluster mode + link state.
@@ -107,6 +119,15 @@ impl MeshModel {
         t
     }
 
+    /// Record a message whose latency the caller charges analytically
+    /// (the trace simulator's memory round trips): bumps the message
+    /// and hop counters without reserving links, so timing is
+    /// unaffected and the counts are independent of processing order.
+    pub fn note_analytic_message(&mut self, hops: u64) {
+        self.stats.messages.incr();
+        self.stats.hops.add(hops);
+    }
+
     /// The full memory path for tile `tile` accessing `addr` in memory
     /// class `is_mcdram`, at `at`: tile → CHA → port. Returns
     /// `(arrival at port, port)`. The response path is accounted
@@ -136,6 +157,14 @@ impl MeshModel {
         // approximated by avg tile distance).
         let hops = tile_to_cha + cha_to_port + tile_to_cha;
         self.hop_latency.scale(hops)
+    }
+
+    /// The round-trip hop count behind [`Self::avg_memory_latency`],
+    /// rounded to whole hops, for analytic message accounting.
+    pub fn avg_memory_hops(&self, is_mcdram: bool) -> u64 {
+        let tile_to_cha = self.topo.avg_tile_hops();
+        let cha_to_port = self.mode.avg_cha_to_port_hops(&self.topo, is_mcdram, 4096);
+        (tile_to_cha + cha_to_port + tile_to_cha).round() as u64
     }
 }
 

@@ -29,6 +29,14 @@ pub fn num_threads() -> usize {
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// The innermost [`with_threads`] override active on this thread, if
+/// any. Lets callers with their own fallback chain (an environment
+/// knob, a config file) distinguish "explicitly overridden" from "use
+/// the machine default".
+pub fn thread_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(|o| o.get())
+}
+
 /// Run `f` with parallel regions on this thread capped at `threads`
 /// workers (the stand-in for installing a sized rayon pool).
 pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {

@@ -62,3 +62,4 @@ pub trait PaperWorkload {
 }
 
 pub use catalog::{catalog, AccessClass, CatalogEntry};
+pub use tracegen::TraceKind;

@@ -143,6 +143,66 @@ pub fn bfs_trace(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -
     t
 }
 
+/// The five application trace generators, as a closed enum so sweeps,
+/// benches and the differential test suite can iterate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// STREAM triad sweep ([`stream_trace`]).
+    Stream,
+    /// GUPS random read-modify-write ([`gups_trace`]).
+    Gups,
+    /// TinyMemBench dual pointer chase ([`chase_trace`]).
+    Chase,
+    /// XSBench binary-search tails ([`xsbench_trace`]).
+    XsBench,
+    /// Graph500 BFS CSR-plus-probe mix ([`bfs_trace`]).
+    Bfs,
+}
+
+impl TraceKind {
+    /// Every generator, in paper-workload order.
+    pub const ALL: [TraceKind; 5] = [
+        TraceKind::Stream,
+        TraceKind::Gups,
+        TraceKind::Chase,
+        TraceKind::XsBench,
+        TraceKind::Bfs,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Stream => "STREAM",
+            TraceKind::Gups => "GUPS",
+            TraceKind::Chase => "Chase",
+            TraceKind::XsBench => "XSBench",
+            TraceKind::Bfs => "Graph500",
+        }
+    }
+
+    /// Generate a deterministic trace with roughly
+    /// `cores * accesses_per_core` records over a test-scale footprint.
+    /// The chase generator is single-core by construction (a dependent
+    /// chain has no intra-core parallelism to shard), so it emits
+    /// `cores * accesses_per_core` records on core 0.
+    pub fn generate(self, cores: u32, accesses_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+        let footprint = 64 << 20; // 64 MiB: beyond L2, tractable to replay
+        match self {
+            TraceKind::Stream => stream_trace(cores, accesses_per_core, 1),
+            TraceKind::Gups => gups_trace(cores, footprint, accesses_per_core.div_ceil(2), seed),
+            TraceKind::Chase => chase_trace(footprint, cores as u64 * accesses_per_core, seed),
+            TraceKind::XsBench => xsbench_trace(
+                cores,
+                footprint,
+                accesses_per_core.div_ceil(6).max(1),
+                6,
+                seed,
+            ),
+            TraceKind::Bfs => bfs_trace(cores, footprint / 2, accesses_per_core.div_ceil(2), seed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,242 @@
+//! Golden-vector pins for `workloads::tracegen`: the first 32 accesses
+//! of each of the five application generators under a fixed seed.
+//! These tuples are `(core, addr, write, dependent)` captured from the
+//! current implementation; a failure here means a refactor silently
+//! shifted a trace stream, which would invalidate every seeded
+//! differential result built on top of these generators.
+
+use knl::tracesim::TraceAccess;
+use workloads::tracegen;
+
+const SEED: u64 = 0x60D5EED;
+
+const STREAM_GOLDEN: [(u32, u64, bool, bool); 32] = [
+    (0, 0x0, false, false),
+    (0, 0x40, false, false),
+    (0, 0x80, false, false),
+    (0, 0xc0, false, false),
+    (0, 0x100, false, false),
+    (0, 0x140, false, false),
+    (0, 0x180, false, false),
+    (0, 0x1c0, false, false),
+    (0, 0x200, false, false),
+    (0, 0x240, false, false),
+    (0, 0x280, false, false),
+    (0, 0x2c0, false, false),
+    (0, 0x300, false, false),
+    (0, 0x340, false, false),
+    (0, 0x380, false, false),
+    (0, 0x3c0, false, false),
+    (1, 0x165ec00, false, false),
+    (1, 0x165ec40, false, false),
+    (1, 0x165ec80, false, false),
+    (1, 0x165ecc0, false, false),
+    (1, 0x165ed00, false, false),
+    (1, 0x165ed40, false, false),
+    (1, 0x165ed80, false, false),
+    (1, 0x165edc0, false, false),
+    (1, 0x165ee00, false, false),
+    (1, 0x165ee40, false, false),
+    (1, 0x165ee80, false, false),
+    (1, 0x165eec0, false, false),
+    (1, 0x165ef00, false, false),
+    (1, 0x165ef40, false, false),
+    (1, 0x165ef80, false, false),
+    (1, 0x165efc0, false, false),
+];
+
+const GUPS_GOLDEN: [(u32, u64, bool, bool); 32] = [
+    (0, 0xc7180, false, false),
+    (0, 0xc7180, true, false),
+    (1, 0x79600, false, false),
+    (1, 0x79600, true, false),
+    (2, 0x74440, false, false),
+    (2, 0x74440, true, false),
+    (3, 0xfa400, false, false),
+    (3, 0xfa400, true, false),
+    (0, 0x2fa00, false, false),
+    (0, 0x2fa00, true, false),
+    (1, 0xa8500, false, false),
+    (1, 0xa8500, true, false),
+    (2, 0xf4dc0, false, false),
+    (2, 0xf4dc0, true, false),
+    (3, 0x69080, false, false),
+    (3, 0x69080, true, false),
+    (0, 0xa27c0, false, false),
+    (0, 0xa27c0, true, false),
+    (1, 0xa6780, false, false),
+    (1, 0xa6780, true, false),
+    (2, 0x47f00, false, false),
+    (2, 0x47f00, true, false),
+    (3, 0x22d40, false, false),
+    (3, 0x22d40, true, false),
+    (0, 0x91c40, false, false),
+    (0, 0x91c40, true, false),
+    (1, 0x42500, false, false),
+    (1, 0x42500, true, false),
+    (2, 0x22400, false, false),
+    (2, 0x22400, true, false),
+    (3, 0x5dec0, false, false),
+    (3, 0x5dec0, true, false),
+];
+
+const CHASE_GOLDEN: [(u32, u64, bool, bool); 32] = [
+    (0, 0x7c7180, false, true),
+    (0, 0xe2fa00, false, true),
+    (0, 0xd69940, false, true),
+    (0, 0x9c1640, false, true),
+    (0, 0x6ced00, false, true),
+    (0, 0xf48300, false, true),
+    (0, 0xd6b6c0, false, true),
+    (0, 0x8dcd80, false, true),
+    (0, 0x8e4e40, false, true),
+    (0, 0x55ab40, false, true),
+    (0, 0xce8ec0, false, true),
+    (0, 0xc62200, false, true),
+    (0, 0x356600, false, true),
+    (0, 0xf9ec0, false, true),
+    (0, 0x912100, false, true),
+    (0, 0x720180, false, true),
+    (0, 0x540d40, false, true),
+    (0, 0x541900, false, true),
+    (0, 0xa2f600, false, true),
+    (0, 0xf9ed40, false, true),
+    (0, 0x96b700, false, true),
+    (0, 0x69a8c0, false, true),
+    (0, 0x2ddb00, false, true),
+    (0, 0x7ca40, false, true),
+    (0, 0xb06080, false, true),
+    (0, 0x4d6b80, false, true),
+    (0, 0x3b4600, false, true),
+    (0, 0xa39680, false, true),
+    (0, 0xdedd00, false, true),
+    (0, 0x24c140, false, true),
+    (0, 0x93f140, false, true),
+    (0, 0xde8180, false, true),
+];
+
+const XSBENCH_GOLDEN: [(u32, u64, bool, bool); 32] = [
+    (0, 0x78cf80, false, true),
+    (0, 0x178cf80, false, true),
+    (0, 0x1f8cf80, false, true),
+    (0, 0x238cf80, false, true),
+    (0, 0x258cf80, false, true),
+    (0, 0x268cf80, false, true),
+    (1, 0xacf880, false, true),
+    (1, 0x1acf880, false, true),
+    (1, 0x22cf880, false, true),
+    (1, 0x26cf880, false, true),
+    (1, 0x28cf880, false, true),
+    (1, 0x29cf880, false, true),
+    (2, 0x704800, false, true),
+    (2, 0x1704800, false, true),
+    (2, 0x1f04800, false, true),
+    (2, 0x2304800, false, true),
+    (2, 0x2504800, false, true),
+    (2, 0x2604800, false, true),
+    (3, 0x2752e40, false, true),
+    (3, 0x3752e40, false, true),
+    (3, 0x3f52e40, false, true),
+    (3, 0x352e40, false, true),
+    (3, 0x552e40, false, true),
+    (3, 0x652e40, false, true),
+    (0, 0x2f0c00, false, true),
+    (0, 0x12f0c00, false, true),
+    (0, 0x1af0c00, false, true),
+    (0, 0x1ef0c00, false, true),
+    (0, 0x20f0c00, false, true),
+    (0, 0x21f0c00, false, true),
+    (1, 0xf748c0, false, true),
+    (1, 0x1f748c0, false, true),
+];
+
+const BFS_GOLDEN: [(u32, u64, bool, bool); 32] = [
+    (0, 0x40, false, false),
+    (0, 0x632b80, false, false),
+    (1, 0x65ec40, false, false),
+    (1, 0xf6c0, false, false),
+    (2, 0xcbd840, false, false),
+    (2, 0xbbe540, false, false),
+    (3, 0x31c440, false, false),
+    (3, 0x3e3d00, false, false),
+    (0, 0x80, false, false),
+    (0, 0xf4e80, false, false),
+    (1, 0x65ec80, false, false),
+    (1, 0x474b40, true, false),
+    (2, 0xcbd880, false, false),
+    (2, 0xaf4e80, true, false),
+    (3, 0x31c480, false, false),
+    (3, 0x25b800, false, false),
+    (0, 0xc0, false, false),
+    (0, 0x887180, false, false),
+    (1, 0x65ecc0, false, false),
+    (1, 0xcf7700, false, false),
+    (2, 0xcbd8c0, false, false),
+    (2, 0x75b400, false, false),
+    (3, 0x31c4c0, false, false),
+    (3, 0x79e2c0, false, false),
+    (0, 0x100, false, false),
+    (0, 0x81e040, false, false),
+    (1, 0x65ed00, false, false),
+    (1, 0x97c440, false, false),
+    (2, 0xcbd900, false, false),
+    (2, 0x420800, false, false),
+    (3, 0x31c500, false, false),
+    (3, 0x282a40, false, false),
+];
+
+fn assert_prefix(name: &str, trace: &[TraceAccess], golden: &[(u32, u64, bool, bool); 32]) {
+    assert!(
+        trace.len() >= golden.len(),
+        "{name}: trace too short ({} accesses)",
+        trace.len()
+    );
+    for (i, (acc, &(core, addr, write, dependent))) in trace.iter().zip(golden.iter()).enumerate() {
+        assert_eq!(
+            (acc.core, acc.addr, acc.write, acc.dependent),
+            (core, addr, write, dependent),
+            "{name}: access {i} shifted from its golden value"
+        );
+    }
+}
+
+#[test]
+fn stream_trace_matches_golden_prefix() {
+    assert_prefix("STREAM", &tracegen::stream_trace(4, 64, 1), &STREAM_GOLDEN);
+}
+
+#[test]
+fn gups_trace_matches_golden_prefix() {
+    assert_prefix(
+        "GUPS",
+        &tracegen::gups_trace(4, 1 << 20, 16, SEED),
+        &GUPS_GOLDEN,
+    );
+}
+
+#[test]
+fn chase_trace_matches_golden_prefix() {
+    assert_prefix(
+        "Chase",
+        &tracegen::chase_trace(1 << 24, 40, SEED),
+        &CHASE_GOLDEN,
+    );
+}
+
+#[test]
+fn xsbench_trace_matches_golden_prefix() {
+    assert_prefix(
+        "XSBench",
+        &tracegen::xsbench_trace(4, 1 << 26, 4, 6, SEED),
+        &XSBENCH_GOLDEN,
+    );
+}
+
+#[test]
+fn bfs_trace_matches_golden_prefix() {
+    assert_prefix(
+        "Graph500",
+        &tracegen::bfs_trace(4, 1 << 24, 16, SEED),
+        &BFS_GOLDEN,
+    );
+}

@@ -5,7 +5,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+
+# The test suite runs twice: once pinned to a single trace-replay
+# worker and once at eight, so the sequential-equivalence contract of
+# the sharded parallel engine is exercised at both extremes on every
+# commit (see tests/parallel_equivalence.rs).
+TRACESIM_THREADS=1 cargo test -q --offline
+TRACESIM_THREADS=8 cargo test -q --offline
+
 cargo fmt --check
 
 echo "ci: ok"

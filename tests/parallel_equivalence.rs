@@ -1,0 +1,149 @@
+//! Sequential-equivalence differential suite for the sharded parallel
+//! trace engine: for every workload trace generator, every paper memory
+//! setup, and a 1/2/4/8 worker-thread ladder, `run_parallel` must
+//! produce reports and device statistics **bit-identical** to the
+//! sequential reference `run`. This is the correctness contract that
+//! makes the parallel speedup trustworthy: "parallel == sequential,
+//! only faster".
+
+use knl::tracesim::{TracePlacement, TraceSim, TraceSimReport};
+use knl::{MachineConfig, MemSetup};
+use simfabric::{par, ByteSize};
+use workloads::tracegen::TraceKind;
+
+const CORES: u32 = 8;
+const PER_CORE: u64 = 400;
+const SEED: u64 = 0xD1FF;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn placement(setup: MemSetup) -> TracePlacement {
+    match setup {
+        MemSetup::HbmOnly => TracePlacement::AllHbm,
+        _ => TracePlacement::AllDdr,
+    }
+}
+
+fn fresh(setup: MemSetup) -> TraceSim {
+    TraceSim::new(
+        &MachineConfig::knl7210(setup, 64),
+        CORES,
+        placement(setup),
+        ByteSize::mib(4),
+    )
+}
+
+/// Replay `kind` under `setup` sequentially and at every worker count;
+/// assert everything observable is identical.
+fn check(kind: TraceKind, setup: MemSetup) {
+    let trace = kind.generate(CORES, PER_CORE, SEED);
+    assert!(!trace.is_empty(), "{kind:?} generated an empty trace");
+    let mut seq = fresh(setup);
+    let expect: TraceSimReport = seq.run(&trace);
+    for workers in WORKERS {
+        let mut par_sim = fresh(setup);
+        let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
+        let ctx = format!("{kind:?} under {setup:?} at {workers} workers");
+        assert_eq!(got, expect, "report diverged: {ctx}");
+        assert_eq!(
+            par_sim.per_core_totals(),
+            seq.per_core_totals(),
+            "per-shard totals diverged: {ctx}"
+        );
+        assert_eq!(
+            par_sim.ddr_stats(),
+            seq.ddr_stats(),
+            "DDR bank stats diverged: {ctx}"
+        );
+        assert_eq!(
+            par_sim.hbm_stats(),
+            seq.hbm_stats(),
+            "MCDRAM bank stats diverged: {ctx}"
+        );
+        assert_eq!(
+            par_sim.mesh_stats(),
+            seq.mesh_stats(),
+            "mesh stats diverged: {ctx}"
+        );
+    }
+}
+
+#[test]
+fn stream_parallel_equals_sequential() {
+    for setup in MemSetup::PAPER_SETUPS {
+        check(TraceKind::Stream, setup);
+    }
+}
+
+#[test]
+fn gups_parallel_equals_sequential() {
+    for setup in MemSetup::PAPER_SETUPS {
+        check(TraceKind::Gups, setup);
+    }
+}
+
+#[test]
+fn chase_parallel_equals_sequential() {
+    for setup in MemSetup::PAPER_SETUPS {
+        check(TraceKind::Chase, setup);
+    }
+}
+
+#[test]
+fn xsbench_parallel_equals_sequential() {
+    for setup in MemSetup::PAPER_SETUPS {
+        check(TraceKind::XsBench, setup);
+    }
+}
+
+#[test]
+fn bfs_parallel_equals_sequential() {
+    for setup in MemSetup::PAPER_SETUPS {
+        check(TraceKind::Bfs, setup);
+    }
+}
+
+#[test]
+fn split_placement_parallel_equals_sequential() {
+    // The SplitAt placement exercises both devices in one run.
+    let trace = TraceKind::Bfs.generate(CORES, PER_CORE, SEED ^ 0x5917);
+    let cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    let mk = || {
+        TraceSim::new(
+            &cfg,
+            CORES,
+            TracePlacement::SplitAt(16 << 20),
+            ByteSize::mib(4),
+        )
+    };
+    let mut seq = mk();
+    let expect = seq.run(&trace);
+    assert!(expect.memory_accesses > 0);
+    for workers in WORKERS {
+        let mut par_sim = mk();
+        let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
+        assert_eq!(got, expect, "split placement at {workers} workers");
+        assert_eq!(par_sim.ddr_stats(), seq.ddr_stats());
+        assert_eq!(par_sim.hbm_stats(), seq.hbm_stats());
+    }
+}
+
+#[test]
+fn figure_sweep_json_identical_across_worker_counts() {
+    // The figure pipeline (`repro export`) must serialize byte-identical
+    // JSON no matter how many workers evaluate the sweeps.
+    let capture = || {
+        let series = hybridmem::SizeSweep::paper(hybridmem::AppSpec::Stream, vec![2.0, 24.0]).run();
+        let fig = hybridmem::FigureData {
+            id: "fig-eq".into(),
+            title: "worker-count determinism".into(),
+            x_label: "Size (GB)".into(),
+            y_label: "GB/s".into(),
+            series,
+            text: String::new(),
+        };
+        hybridmem::Archive::capture("equivalence check", vec![fig]).to_json()
+    };
+    let one = par::with_threads(1, capture);
+    let eight = par::with_threads(8, capture);
+    assert_eq!(one.as_bytes(), eight.as_bytes());
+}

@@ -1,0 +1,107 @@
+//! Trace-replay engine bench: accesses/second through the sequential,
+//! sharded-parallel, and streaming replay paths, plus the peak bytes
+//! of trace each path buffers. Uses small configurations so a bench
+//! run stays in seconds; `repro bench-replay` times the full-size
+//! configurations and records them in `BENCH_trace_replay.json`.
+
+use bench::harness::{BenchmarkId, Criterion, Throughput};
+use bench::replay::{ReplayConfig, BENCH_SEED};
+use bench::{criterion_group, criterion_main};
+use workloads::tracegen::{replay_streaming, TraceKind};
+
+fn bench_configs() -> Vec<ReplayConfig> {
+    vec![
+        ReplayConfig {
+            kind: TraceKind::Stream,
+            cores: 16,
+            accesses_per_core: 4_000,
+        },
+        ReplayConfig {
+            kind: TraceKind::Gups,
+            cores: 16,
+            accesses_per_core: 2_000,
+        },
+    ]
+}
+
+fn bench_replay_paths(c: &mut Criterion) {
+    for cfg in bench_configs() {
+        let trace = cfg
+            .kind
+            .generate(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+        let make_sim = |cfg: &ReplayConfig| {
+            knl::tracesim::TraceSim::new(
+                &knl::MachineConfig::knl7210(knl::MemSetup::DramOnly, 64),
+                cfg.cores,
+                knl::tracesim::TracePlacement::AllDdr,
+                simfabric::ByteSize::mib(8),
+            )
+        };
+        let mut group = c.benchmark_group("trace_replay");
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(200));
+        group.measurement_time(std::time::Duration::from_millis(600));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+
+        let mut peaks: Vec<(&str, u64)> = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("sequential", cfg.label()),
+            &trace,
+            |b, trace| {
+                let mut peak = 0;
+                b.iter(|| {
+                    let mut sim = make_sim(&cfg);
+                    let r = sim.run(trace);
+                    peak = sim.last_peak_trace_buffer_bytes() as u64;
+                    bench::harness::black_box(r)
+                });
+                peaks.push(("sequential", peak));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", cfg.label()),
+            &trace,
+            |b, trace| {
+                let mut peak = 0;
+                b.iter(|| {
+                    let mut sim = make_sim(&cfg);
+                    let r = sim.run_parallel(trace);
+                    peak = sim.last_peak_trace_buffer_bytes() as u64;
+                    bench::harness::black_box(r)
+                });
+                peaks.push(("parallel", peak));
+            },
+        );
+        // Streaming regenerates the trace inside the timed region —
+        // overlapping generation with replay is what it is for.
+        group.bench_with_input(
+            BenchmarkId::new("streaming", cfg.label()),
+            &trace,
+            |b, _| {
+                let mut peak = 0;
+                b.iter(|| {
+                    let mut sim = make_sim(&cfg);
+                    let mut source = cfg
+                        .kind
+                        .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+                    let r = replay_streaming(&mut sim, source.as_mut());
+                    peak = sim.last_peak_trace_buffer_bytes() as u64;
+                    bench::harness::black_box(r)
+                });
+                peaks.push(("streaming", peak));
+            },
+        );
+        group.finish();
+        for (path, peak) in peaks {
+            println!(
+                "trace_replay/{}/{:<22} peak trace buffer: {:>12} bytes",
+                path,
+                cfg.label(),
+                peak
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_replay_paths);
+criterion_main!(benches);

@@ -6,6 +6,11 @@
 //! repro table1|table2    # the tables
 //! repro latency          # the §IV-A idle-latency point values
 //! repro validate         # run every shape check against the paper
+//! repro bench-replay [--smoke] [--out PATH]
+//!                        # time the trace-replay engines, write
+//!                        # BENCH_trace_replay.json
+//! repro bench-check <file>
+//!                        # validate a bench-replay JSON report
 //! ```
 
 use hybridmem::figures;
@@ -115,6 +120,51 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "bench-replay" => {
+            // repro bench-replay [--smoke] [--out PATH]
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_trace_replay.json");
+            let configs = if smoke {
+                bench::replay::smoke_configs()
+            } else {
+                bench::replay::standard_configs()
+            };
+            let report = bench::replay::bench_report(&configs);
+            bench::replay::check_report(&report).expect("fresh bench report validates");
+            std::fs::write(out, report.to_pretty()).expect("write bench report");
+            for cfg in report.arr_field("configs").unwrap() {
+                println!(
+                    "{:<22} streaming speedup vs sequential: {:.2}x",
+                    cfg.str_field("label").unwrap(),
+                    cfg.num_field("streaming_speedup_vs_sequential").unwrap()
+                );
+            }
+            println!(
+                "wrote {out} ({} worker thread(s))",
+                knl::tracesim::worker_threads()
+            );
+        }
+        "bench-check" => {
+            // repro bench-check <file>
+            let path = args.get(1).expect("bench report path");
+            let text = std::fs::read_to_string(path).expect("read bench report");
+            let report = hybridmem::json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: invalid JSON: {e}");
+                std::process::exit(1);
+            });
+            match bench::replay::check_report(&report) {
+                Ok(()) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "decompose" => {
             // repro decompose <GB> [sequential|random] [max_nodes]
             let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
@@ -140,7 +190,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, bench-replay, bench-check, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
                 );
                 std::process::exit(2);
             }

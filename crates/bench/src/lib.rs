@@ -5,6 +5,7 @@
 //! table and figure as text/CSV.
 
 pub mod harness;
+pub mod replay;
 
 /// Define a bench group function that runs each target against a
 /// default-configured [`harness::Criterion`].

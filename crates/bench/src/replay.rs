@@ -1,0 +1,345 @@
+//! Trace-replay throughput benchmark: times the sequential,
+//! sharded-parallel, and streaming replay paths over the bundled trace
+//! generators and reports accesses/second plus peak trace-buffer
+//! bytes.
+//!
+//! This backs both the `trace_replay` bench group and the
+//! `repro bench-replay` subcommand, which writes
+//! `BENCH_trace_replay.json` so the replay-performance trajectory is
+//! tracked in-tree from PR to PR. The three paths are bit-identical by
+//! contract (`tests/parallel_equivalence.rs`); [`run_config`] asserts
+//! report equality as a cheap guard, so a benchmark run can never
+//! silently time a diverged engine.
+
+use hybridmem::json::Json;
+use knl::tracesim::{worker_threads, TracePlacement, TraceSim};
+use knl::{MachineConfig, MemSetup};
+use simfabric::ByteSize;
+use std::time::Instant;
+use workloads::tracegen::{replay_streaming, TraceKind};
+
+/// Seed shared by every replay-bench configuration.
+pub const BENCH_SEED: u64 = 0xBE9C;
+
+/// One benchmark point: a trace generator at a core count and length.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Trace generator.
+    pub kind: TraceKind,
+    /// Simulated core count.
+    pub cores: u32,
+    /// Approximate accesses per core.
+    pub accesses_per_core: u64,
+}
+
+impl ReplayConfig {
+    /// Stable identifier, e.g. `stream_64x50000`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_{}x{}",
+            self.kind.name().to_lowercase(),
+            self.cores,
+            self.accesses_per_core
+        )
+    }
+
+    fn sim(&self) -> TraceSim {
+        TraceSim::new(
+            &MachineConfig::knl7210(MemSetup::DramOnly, 64),
+            self.cores,
+            TracePlacement::AllDdr,
+            ByteSize::mib(8),
+        )
+    }
+}
+
+/// The bundled benchmark configurations, largest first. The leading
+/// entry (STREAM, 64 cores, 50 k accesses/core — 3.2 M accesses) is
+/// the acceptance config the ≥ 1.5× streaming-throughput bar is
+/// measured on.
+pub fn standard_configs() -> Vec<ReplayConfig> {
+    use TraceKind::*;
+    vec![
+        ReplayConfig {
+            kind: Stream,
+            cores: 64,
+            accesses_per_core: 50_000,
+        },
+        ReplayConfig {
+            kind: Gups,
+            cores: 64,
+            accesses_per_core: 25_000,
+        },
+        ReplayConfig {
+            kind: XsBench,
+            cores: 64,
+            accesses_per_core: 25_000,
+        },
+        ReplayConfig {
+            kind: Bfs,
+            cores: 64,
+            accesses_per_core: 25_000,
+        },
+        // Chase is single-core by construction: the streaming merge
+        // must buffer the whole classified trace (documented worst
+        // case), so keep it modest.
+        ReplayConfig {
+            kind: Chase,
+            cores: 8,
+            accesses_per_core: 25_000,
+        },
+    ]
+}
+
+/// Tiny configurations for the CI smoke run (seconds, not minutes).
+pub fn smoke_configs() -> Vec<ReplayConfig> {
+    use TraceKind::*;
+    vec![
+        ReplayConfig {
+            kind: Stream,
+            cores: 8,
+            accesses_per_core: 2_000,
+        },
+        ReplayConfig {
+            kind: Gups,
+            cores: 8,
+            accesses_per_core: 1_000,
+        },
+    ]
+}
+
+/// One timed path of a configuration.
+#[derive(Debug, Clone)]
+pub struct PathMeasurement {
+    /// `"sequential"`, `"parallel"`, or `"streaming"`.
+    pub path: &'static str,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Millions of accesses replayed per second.
+    pub macc_per_s: f64,
+    /// Peak bytes of trace buffered inside the replay pipeline.
+    pub peak_buffer_bytes: u64,
+}
+
+/// All three paths of one configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayMeasurement {
+    /// The configuration measured.
+    pub config: ReplayConfig,
+    /// Total accesses in the trace.
+    pub accesses: u64,
+    /// Sequential / parallel / streaming, in that order.
+    pub paths: Vec<PathMeasurement>,
+}
+
+impl ReplayMeasurement {
+    /// Streaming throughput over sequential throughput.
+    pub fn streaming_speedup(&self) -> f64 {
+        let get = |name| {
+            self.paths
+                .iter()
+                .find(|p| p.path == name)
+                .map(|p| p.macc_per_s)
+                .unwrap_or(0.0)
+        };
+        let seq = get("sequential");
+        if seq > 0.0 {
+            get("streaming") / seq
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time all three replay paths for one configuration.
+///
+/// The sequential and parallel paths are timed replay-only (the trace
+/// is materialized outside the timer — the pre-streaming pipeline's
+/// best case); the streaming path is timed end-to-end *including*
+/// generation, since overlapping generation with replay is the point.
+pub fn run_config(cfg: &ReplayConfig) -> ReplayMeasurement {
+    let trace = cfg
+        .kind
+        .generate(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+    let n = trace.len() as u64;
+    let mut paths = Vec::new();
+
+    let mut seq = cfg.sim();
+    let t0 = Instant::now();
+    let seq_report = seq.run(&trace);
+    paths.push(measure("sequential", t0.elapsed().as_secs_f64(), n, &seq));
+
+    let mut par_sim = cfg.sim();
+    let t0 = Instant::now();
+    let par_report = par_sim.run_parallel(&trace);
+    paths.push(measure("parallel", t0.elapsed().as_secs_f64(), n, &par_sim));
+
+    drop(trace);
+    let mut stream_sim = cfg.sim();
+    let t0 = Instant::now();
+    let mut source = cfg
+        .kind
+        .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+    let stream_report = replay_streaming(&mut stream_sim, source.as_mut());
+    paths.push(measure(
+        "streaming",
+        t0.elapsed().as_secs_f64(),
+        n,
+        &stream_sim,
+    ));
+
+    assert_eq!(par_report, seq_report, "parallel diverged from sequential");
+    assert_eq!(
+        stream_report, seq_report,
+        "streaming diverged from sequential"
+    );
+    ReplayMeasurement {
+        config: *cfg,
+        accesses: n,
+        paths,
+    }
+}
+
+fn measure(path: &'static str, seconds: f64, accesses: u64, sim: &TraceSim) -> PathMeasurement {
+    PathMeasurement {
+        path,
+        seconds,
+        macc_per_s: accesses as f64 / seconds / 1e6,
+        peak_buffer_bytes: sim.last_peak_trace_buffer_bytes() as u64,
+    }
+}
+
+/// Run a set of configurations and render the `bench_trace_replay/v1`
+/// report.
+pub fn bench_report(configs: &[ReplayConfig]) -> Json {
+    let rows: Vec<Json> = configs
+        .iter()
+        .map(|cfg| {
+            let m = run_config(cfg);
+            let paths: Vec<Json> = m
+                .paths
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("path", Json::Str(p.path.to_string())),
+                        ("seconds", Json::Num(p.seconds)),
+                        ("macc_per_s", Json::Num(p.macc_per_s)),
+                        ("peak_buffer_bytes", Json::Num(p.peak_buffer_bytes as f64)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("label", Json::Str(m.config.label())),
+                ("kind", Json::Str(m.config.kind.name().to_string())),
+                ("cores", Json::Num(m.config.cores as f64)),
+                ("accesses", Json::Num(m.accesses as f64)),
+                ("paths", Json::Arr(paths)),
+                (
+                    "streaming_speedup_vs_sequential",
+                    Json::Num(m.streaming_speedup()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str("bench_trace_replay/v1".to_string())),
+        ("worker_threads", Json::Num(worker_threads() as f64)),
+        ("configs", Json::Arr(rows)),
+    ])
+}
+
+/// Validate a `bench_trace_replay/v1` report (the CI smoke gate):
+/// schema tag, non-empty config list, and every config carrying all
+/// three paths with positive throughput.
+pub fn check_report(report: &Json) -> Result<(), String> {
+    let schema = report.str_field("schema")?;
+    if schema != "bench_trace_replay/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    report.num_field("worker_threads")?;
+    let configs = report.arr_field("configs")?;
+    if configs.is_empty() {
+        return Err("empty configs array".to_string());
+    }
+    for cfg in configs {
+        let label = cfg.str_field("label")?;
+        cfg.str_field("kind")?;
+        cfg.num_field("cores")?;
+        cfg.num_field("streaming_speedup_vs_sequential")?;
+        let accesses = cfg.num_field("accesses")?;
+        if accesses <= 0.0 {
+            return Err(format!("{label}: non-positive access count"));
+        }
+        let paths = cfg.arr_field("paths")?;
+        let mut seen = Vec::new();
+        for p in paths {
+            let name = p.str_field("path")?;
+            let rate = p.num_field("macc_per_s")?;
+            p.num_field("seconds")?;
+            p.num_field("peak_buffer_bytes")?;
+            if rate <= 0.0 || !rate.is_finite() {
+                return Err(format!("{label}/{name}: non-positive throughput {rate}"));
+            }
+            seen.push(name);
+        }
+        for want in ["sequential", "parallel", "streaming"] {
+            if !seen.iter().any(|s| s == want) {
+                return Err(format!("{label}: missing path {want:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(standard_configs()[0].label(), "stream_64x50000");
+        assert_eq!(smoke_configs()[0].label(), "stream_8x2000");
+    }
+
+    #[test]
+    fn smoke_report_round_trips_and_validates() {
+        let report = simfabric::par::with_threads(2, || {
+            bench_report(&[ReplayConfig {
+                kind: TraceKind::Stream,
+                cores: 4,
+                accesses_per_core: 500,
+            }])
+        });
+        check_report(&report).expect("fresh report validates");
+        let parsed = hybridmem::json::parse(&report.to_pretty()).expect("parses");
+        check_report(&parsed).expect("parsed report validates");
+    }
+
+    #[test]
+    fn check_report_rejects_malformed_inputs() {
+        let bad = hybridmem::json::parse("{\"schema\": \"nope\"}").unwrap();
+        assert!(check_report(&bad).is_err());
+        let no_configs = Json::obj([
+            ("schema", Json::Str("bench_trace_replay/v1".to_string())),
+            ("worker_threads", Json::Num(1.0)),
+            ("configs", Json::Arr(vec![])),
+        ]);
+        assert!(check_report(&no_configs).is_err());
+        let missing_path = Json::obj([
+            ("schema", Json::Str("bench_trace_replay/v1".to_string())),
+            ("worker_threads", Json::Num(1.0)),
+            (
+                "configs",
+                Json::Arr(vec![Json::obj([
+                    ("label", Json::Str("x".into())),
+                    ("kind", Json::Str("STREAM".into())),
+                    ("cores", Json::Num(4.0)),
+                    ("accesses", Json::Num(100.0)),
+                    ("streaming_speedup_vs_sequential", Json::Num(1.0)),
+                    ("paths", Json::Arr(vec![])),
+                ])]),
+            ),
+        ]);
+        assert!(check_report(&missing_path).is_err());
+    }
+}

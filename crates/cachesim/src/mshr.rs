@@ -9,7 +9,6 @@
 
 use simfabric::stats::Counter;
 use simfabric::SimTime;
-use std::collections::BTreeMap;
 
 /// Result of registering a miss with the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,11 +29,17 @@ pub enum MshrOutcome {
 }
 
 /// A fixed-size MSHR file tracking in-flight line fetches.
+///
+/// The file is tiny (a real core has on the order of a dozen entries),
+/// and `register` sits on the trace replay's per-access hot path, so
+/// entries live in a flat pre-allocated vector scanned linearly —
+/// no tree walks and no allocation after construction.
 #[derive(Debug, Clone)]
 pub struct Mshr {
     capacity: usize,
-    // line address → completion time of the outstanding fetch.
-    inflight: BTreeMap<u64, SimTime>,
+    // (line address, completion time) of each outstanding fetch; lines
+    // are unique, order is insertion order.
+    inflight: Vec<(u64, SimTime)>,
     /// Primary misses that allocated an entry.
     pub allocations: Counter,
     /// Secondary misses merged into an existing entry.
@@ -49,7 +54,7 @@ impl Mshr {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         Mshr {
             capacity,
-            inflight: BTreeMap::new(),
+            inflight: Vec::with_capacity(capacity),
             allocations: Counter::new(),
             merges: Counter::new(),
             stalls: Counter::new(),
@@ -70,7 +75,7 @@ impl Mshr {
 
     /// Drop entries whose fetches completed at or before `now`.
     pub fn retire(&mut self, now: SimTime) {
-        self.inflight.retain(|_, &mut done| done > now);
+        self.inflight.retain(|&(_, done)| done > now);
     }
 
     /// Register a miss for `line_addr` at time `now`. If an entry is
@@ -78,7 +83,7 @@ impl Mshr {
     /// the fetch completion time.
     pub fn register(&mut self, line_addr: u64, now: SimTime) -> MshrOutcome {
         self.retire(now);
-        if let Some(&ready_at) = self.inflight.get(&line_addr) {
+        if let Some(&(_, ready_at)) = self.inflight.iter().find(|&&(l, _)| l == line_addr) {
             self.merges.incr();
             return MshrOutcome::Merged { ready_at };
         }
@@ -86,15 +91,15 @@ impl Mshr {
             self.stalls.incr();
             let free_at = self
                 .inflight
-                .values()
-                .copied()
+                .iter()
+                .map(|&(_, done)| done)
                 .min()
                 .expect("full MSHR file has entries");
             return MshrOutcome::Stall { free_at };
         }
         self.allocations.incr();
         // Placeholder completion; the caller sets the real one.
-        self.inflight.insert(line_addr, SimTime::from_ps(u64::MAX));
+        self.inflight.push((line_addr, SimTime::from_ps(u64::MAX)));
         MshrOutcome::Allocated
     }
 
@@ -103,9 +108,10 @@ impl Mshr {
     pub fn complete_at(&mut self, line_addr: u64, done: SimTime) {
         let entry = self
             .inflight
-            .get_mut(&line_addr)
+            .iter_mut()
+            .find(|&&mut (l, _)| l == line_addr)
             .expect("complete_at without allocation");
-        *entry = done;
+        entry.1 = done;
     }
 }
 

@@ -209,10 +209,13 @@ pub struct TraceReplay {
 
 /// A sweep replaying workload-shaped traces through the line-accurate
 /// trace simulator — the trace-level complement of the analytic
-/// [`SizeSweep`]/[`ThreadSweep`]. Replays run on the sharded parallel
-/// engine ([`TraceSim::run_parallel`]), whose worker count comes from
-/// `TRACESIM_THREADS` (or the ambient [`par`] override) and whose
-/// output is bit-identical to the sequential reference at any setting.
+/// [`SizeSweep`]/[`ThreadSweep`]. Replays run on the streaming engine
+/// ([`TraceSim::run_streaming`] fed by each kind's
+/// [`TraceKind::source`]), which overlaps trace generation with
+/// sharded classification and never materializes the full trace. The
+/// worker count comes from `TRACESIM_THREADS` (or the ambient [`par`]
+/// override) and the output is bit-identical to the sequential
+/// reference at any setting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSweep {
     /// Trace generators to replay.
@@ -246,19 +249,20 @@ impl TraceSweep {
         }
     }
 
-    /// Replay every (kind × setup) point. Each trace is generated once
-    /// and replayed through a fresh simulator per setup; the replays
-    /// themselves are internally parallel, so points run in sequence
-    /// rather than oversubscribing the worker pool.
+    /// Replay every (kind × setup) point. Each setup streams the trace
+    /// from a fresh source (regeneration is cheaper than holding the
+    /// materialized trace across setups); the replays themselves are
+    /// internally parallel, so points run in sequence rather than
+    /// oversubscribing the worker pool.
     pub fn run(&self) -> Vec<TraceReplay> {
         let mut out = Vec::with_capacity(self.kinds.len() * self.setups.len());
         for &kind in &self.kinds {
-            let trace = kind.generate(self.cores, self.accesses_per_core, self.seed);
             for &setup in &self.setups {
                 let cfg = MachineConfig::knl7210(setup, 64);
                 let mut sim =
                     TraceSim::new(&cfg, self.cores, Self::placement(setup), ByteSize::mib(8));
-                let report = sim.run_parallel(&trace);
+                let mut source = kind.source(self.cores, self.accesses_per_core, self.seed);
+                let report = workloads::tracegen::replay_streaming(&mut sim, source.as_mut());
                 out.push(TraceReplay {
                     kind,
                     setup,

@@ -9,22 +9,47 @@
 //! beats DDR for streams, DDR beats HBM for chases) and roughly on
 //! magnitude.
 //!
-//! # Sequential and sharded-parallel replay
+//! # Sequential, sharded-parallel, and streaming replay
 //!
 //! [`TraceSim::run`] is the sequential reference implementation.
-//! [`TraceSim::run_parallel`] produces **bit-identical** reports and
-//! device statistics by exploiting a structural property of the model:
-//! the private cache hierarchy (L1/L2/TLB, and the memory-side-cache
-//! tags in cache mode) is *timing-independent* — which level serves an
-//! access depends only on that core's own address stream, never on the
-//! clock. Replay therefore splits into
+//! [`TraceSim::run_parallel`] and [`TraceSim::run_streaming`] produce
+//! **bit-identical** reports and device statistics by exploiting a
+//! structural property of the model: the private cache hierarchy
+//! (L1/L2/TLB, and the memory-side-cache tags in cache mode) is
+//! *timing-independent* — which level serves an access depends only on
+//! that core's own address stream, never on the clock. Replay
+//! therefore splits into
 //!
-//! 1. a **classification phase** that partitions the trace by core and
-//!    drives each shard's private [`Hierarchy`] on a worker thread
-//!    (via [`simfabric::par`]), batching the per-shard outcomes, and
+//! 1. a **classification phase** that partitions the trace by core
+//!    (see [`partition_by_core`]) and drives each shard's private
+//!    [`Hierarchy`] on a worker thread (via [`simfabric::par`]),
+//!    packing the per-shard outcomes into SoA batches
+//!    (separate address / latency / flag arrays, 17 B per access
+//!    instead of a 40 B record), and
 //! 2. a **timing phase** that replays the classified batches through
 //!    the shared resources (MSHRs, mesh, DRAM bank models) in exactly
-//!    the earliest-clock order the sequential path uses.
+//!    the earliest-clock order the sequential path uses. The "core
+//!    with the earliest clock" selection runs on a fixed-size
+//!    tournament tree ([`simfabric::merge::LoserTree`]) keyed on the
+//!    per-core clocks: O(log cores) per access with no allocation,
+//!    replacing a `BinaryHeap` push+pop pair. The tree's tie-break
+//!    (equal clocks select the lower core index) reproduces the old
+//!    heap's `Reverse<(SimTime, usize)>` order exactly.
+//!
+//! [`TraceSim::run_streaming`] goes one step further: instead of
+//! materializing the whole trace up front, it pulls bounded chunks
+//! from a generator callback on a producer thread
+//! ([`simfabric::par::pipelined`]) while classification and timing run
+//! on the consumer side, so generation overlaps replay and the
+//! buffered trace stays at roughly one chunk per refill for workloads
+//! that spread accesses across cores. The timing merge may only pick
+//! a winner while *every* core that could still receive work has a
+//! classified access buffered (an empty queue's future access could
+//! carry the earliest clock); a single-core workload (e.g. a pointer
+//! chase) therefore degenerates to buffering the full classified
+//! trace — correctness is never traded for memory. Peak buffering is
+//! tracked per run and exposed via
+//! [`TraceSim::last_peak_trace_buffer_bytes`].
 //!
 //! Per-shard totals are folded with [`ShardTotals::merge`], an
 //! order-independent (commutative, associative, integer-only)
@@ -37,10 +62,10 @@ use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
 use memdev::bank::{DramModel, DramStats};
 use mesh::MeshModel;
+use simfabric::merge::LoserTree;
 use simfabric::par;
 use simfabric::{ByteSize, Duration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,28 +204,160 @@ impl ShardTotals {
     }
 }
 
+/// Map an issuing core id onto one of `shards` replay shards.
+///
+/// Traces may name cores beyond the simulated core count (a trace
+/// captured on a larger machine); they wrap modulo the shard count, so
+/// per-core program order within a shard is still preserved.
+pub fn partition_by_core(core: u32, shards: usize) -> usize {
+    core as usize % shards
+}
+
+/// Parse a `TRACESIM_THREADS`-style value: a positive integer,
+/// surrounding whitespace ignored. Empty, zero, and garbage are all
+/// `None`.
+#[doc(hidden)]
+pub fn parse_thread_count(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// Worker count for [`TraceSim::run_parallel`]: an explicit
 /// [`par::with_threads`] override wins, then the `TRACESIM_THREADS`
 /// environment variable, then the machine's available parallelism.
+///
+/// A set-but-unparsable `TRACESIM_THREADS` falls through to the
+/// machine default and warns once to stderr (a silently ignored knob
+/// is worse than a noisy one).
 pub fn worker_threads() -> usize {
     par::thread_override()
-        .or_else(|| {
-            std::env::var("TRACESIM_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
+        .or_else(|| match std::env::var("TRACESIM_THREADS") {
+            Ok(raw) => {
+                let parsed = parse_thread_count(&raw);
+                if parsed.is_none() {
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "tracesim: ignoring unparsable TRACESIM_THREADS={raw:?} \
+                             (expected a positive integer)"
+                        );
+                    });
+                }
+                parsed
+            }
+            Err(_) => None,
         })
         .unwrap_or_else(par::num_threads)
 }
 
-/// One access after the classification phase: the original record plus
-/// the level that serves it and the SRAM-side latency, both determined
-/// purely by the owning core's private hierarchy.
-#[derive(Debug, Clone, Copy)]
-struct Classified {
-    access: TraceAccess,
-    level: LevelHit,
-    sram_lat: Duration,
+/// Pack the classification outcome's boolean/enum half into one byte:
+/// bit 0 = write, bit 1 = dependent, bits 2–3 = [`LevelHit`].
+fn pack_flags(write: bool, dependent: bool, level: LevelHit) -> u8 {
+    let lvl = match level {
+        LevelHit::L1 => 0u8,
+        LevelHit::L2 => 1,
+        LevelHit::McdramCache => 2,
+        LevelHit::Memory => 3,
+    };
+    (write as u8) | (dependent as u8) << 1 | lvl << 2
+}
+
+fn unpack_dependent(flags: u8) -> bool {
+    flags & 0b10 != 0
+}
+
+fn unpack_level(flags: u8) -> LevelHit {
+    match (flags >> 2) & 0b11 {
+        0 => LevelHit::L1,
+        1 => LevelHit::L2,
+        2 => LevelHit::McdramCache,
+        _ => LevelHit::Memory,
+    }
+}
+
+/// A classified per-core batch in SoA layout: one array per field the
+/// timing loop actually reads, instead of striding over padded AoS
+/// records. 17 bytes per access, popped front-to-back through a head
+/// cursor; [`compact`](Self::compact) reclaims the consumed prefix
+/// when the batch is refilled mid-stream.
+#[derive(Debug, Default)]
+struct ClassifiedSoa {
+    addr: Vec<u64>,
+    lat_ps: Vec<u64>,
+    flags: Vec<u8>,
+    head: usize,
+}
+
+impl ClassifiedSoa {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn len(&self) -> usize {
+        self.addr.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.addr.len()
+    }
+
+    fn reserve(&mut self, extra: usize) {
+        self.addr.reserve(extra);
+        self.lat_ps.reserve(extra);
+        self.flags.reserve(extra);
+    }
+
+    fn push(
+        &mut self,
+        addr: u64,
+        sram_lat: Duration,
+        write: bool,
+        dependent: bool,
+        level: LevelHit,
+    ) {
+        self.addr.push(addr);
+        self.lat_ps.push(sram_lat.as_ps());
+        self.flags.push(pack_flags(write, dependent, level));
+    }
+
+    /// Pop the oldest access: `(addr, sram_lat, dependent, level)`.
+    fn pop(&mut self) -> Option<(u64, Duration, bool, LevelHit)> {
+        if self.is_empty() {
+            return None;
+        }
+        let i = self.head;
+        self.head += 1;
+        let flags = self.flags[i];
+        Some((
+            self.addr[i],
+            Duration::from_ps(self.lat_ps[i]),
+            unpack_dependent(flags),
+            unpack_level(flags),
+        ))
+    }
+
+    /// Drop the consumed prefix so refills don't grow without bound.
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.addr.drain(..self.head);
+            self.lat_ps.drain(..self.head);
+            self.flags.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Bytes of classified trace currently buffered.
+    fn buffered_bytes(&self) -> usize {
+        self.len() * (8 + 8 + 1)
+    }
+}
+
+/// Per-core state of the streaming pipeline: the private hierarchy,
+/// the unclassified slice of the current chunk, and the classified
+/// backlog awaiting the timing merge.
+struct StreamShard {
+    hier: Hierarchy,
+    pending: Vec<TraceAccess>,
+    queue: ClassifiedSoa,
 }
 
 /// The trace-driven simulator.
@@ -226,6 +383,8 @@ pub struct TraceSim {
     /// Per-core raw totals; the report is their order-independent
     /// reduction.
     core_totals: Vec<ShardTotals>,
+    /// Peak bytes of trace buffered inside the most recent `run*` call.
+    last_peak_buffer: usize,
 }
 
 impl TraceSim {
@@ -276,6 +435,7 @@ impl TraceSim {
             placement,
             line_bytes: 64,
             core_totals: vec![ShardTotals::default(); cores as usize],
+            last_peak_buffer: 0,
         }
     }
 
@@ -313,40 +473,46 @@ impl TraceSim {
             .fold(ShardTotals::default(), |a, &b| a.merge(b))
     }
 
+    /// Peak bytes of trace data buffered inside the replay pipeline
+    /// during the most recent `run*` call (per-core partitions plus
+    /// classified batches; the caller's own trace storage is not
+    /// counted). The streaming path exists to keep this bounded by
+    /// the chunk size for workloads that spread work across cores.
+    pub fn last_peak_trace_buffer_bytes(&self) -> usize {
+        self.last_peak_buffer
+    }
+
     /// Replay one access; returns its latency.
     pub fn access(&mut self, t: TraceAccess) -> Duration {
-        let core = t.core as usize % self.hierarchies.len();
+        let core = partition_by_core(t.core, self.hierarchies.len());
         let kind = if t.write {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
         let (level, sram_lat) = self.hierarchies[core].access(t.addr, kind);
-        self.access_classified(Classified {
-            access: t,
-            level,
-            sram_lat,
-        })
+        self.access_timed(core, t.addr, t.dependent, level, sram_lat)
     }
 
     /// The timing half of [`access`](Self::access): everything after
-    /// the (timing-independent) private-hierarchy lookup. Both the
-    /// sequential and the parallel path funnel through this one body,
-    /// so they cannot diverge.
-    fn access_classified(&mut self, cl: Classified) -> Duration {
-        let Classified {
-            access: t,
-            level,
-            sram_lat,
-        } = cl;
-        let core = t.core as usize % self.hierarchies.len();
+    /// the (timing-independent) private-hierarchy lookup. The
+    /// sequential, parallel, and streaming paths all funnel through
+    /// this one body, so they cannot diverge.
+    fn access_timed(
+        &mut self,
+        core: usize,
+        addr: u64,
+        dependent: bool,
+        level: LevelHit,
+        sram_lat: Duration,
+    ) -> Duration {
         let mut issue = self.core_clock[core];
         let mut done = issue + sram_lat;
         let mut merged = false;
         if level == LevelHit::Memory || level == LevelHit::McdramCache {
             // MSHR discipline: stall the core when its miss file is
             // full; merge duplicate in-flight lines.
-            let line = t.addr & !(self.line_bytes - 1);
+            let line = addr & !(self.line_bytes - 1);
             loop {
                 match self.mshrs[core].register(line, issue) {
                     MshrOutcome::Allocated => break,
@@ -366,7 +532,7 @@ impl TraceSim {
             let is_hbm_target = match (&self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => true,
                 (Some(_), _) => false, // DDR behind the cache
-                (None, _) => self.placement.is_hbm(t.addr),
+                (None, _) => self.placement.is_hbm(addr),
             };
             // Mesh traversal charged analytically: per-link flit
             // reservation is far too pessimistic at memory rates (the
@@ -388,21 +554,21 @@ impl TraceSim {
             let served = match (&mut self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => {
                     self.core_totals[core].mcdram_cache_hits += 1;
-                    self.hbm.access(t.addr, arrive)
+                    self.hbm.access(addr, arrive)
                 }
                 (Some(_), _) => {
                     // Tag probe in MCDRAM, then the DDR fetch, then the
                     // fill write into MCDRAM (fill not on critical path).
-                    let tag_done = self.hbm.access(t.addr, arrive);
-                    let data = self.ddr.access(t.addr, tag_done);
-                    let _fill = self.hbm.access(t.addr, data);
+                    let tag_done = self.hbm.access(addr, arrive);
+                    let data = self.ddr.access(addr, tag_done);
+                    let _fill = self.hbm.access(addr, data);
                     data
                 }
                 (None, _) => {
-                    if self.placement.is_hbm(t.addr) {
-                        self.hbm.access(t.addr, arrive)
+                    if self.placement.is_hbm(addr) {
+                        self.hbm.access(addr, arrive)
                     } else {
-                        self.ddr.access(t.addr, arrive)
+                        self.ddr.access(addr, arrive)
                     }
                 }
             };
@@ -414,12 +580,12 @@ impl TraceSim {
                 } else {
                     self.resp_half_ddr
                 };
-            self.mshrs[core].complete_at(t.addr & !(self.line_bytes - 1), done);
+            self.mshrs[core].complete_at(addr & !(self.line_bytes - 1), done);
         }
         let latency = done.since(issue);
         // Dependent accesses serialize on completion; independent ones
         // only occupy the core for an issue slot.
-        self.core_clock[core] = if t.dependent {
+        self.core_clock[core] = if dependent {
             done
         } else {
             issue + Duration::from_cycles(1, crate::calib::CORE_GHZ)
@@ -445,18 +611,22 @@ impl TraceSim {
         let cores = self.hierarchies.len();
         let mut queues: Vec<VecDeque<TraceAccess>> = vec![VecDeque::new(); cores];
         for &t in trace {
-            queues[t.core as usize % cores].push_back(t);
+            queues[partition_by_core(t.core, cores)].push_back(t);
         }
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..cores)
-            .filter(|&c| !queues[c].is_empty())
-            .map(|c| Reverse((self.core_clock[c], c)))
-            .collect();
-        while let Some(Reverse((_, c))) = heap.pop() {
-            if let Some(t) = queues[c].pop_front() {
-                self.access(t);
-                if !queues[c].is_empty() {
-                    heap.push(Reverse((self.core_clock[c], c)));
-                }
+        self.last_peak_buffer = trace.len() * std::mem::size_of::<TraceAccess>();
+        let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
+        for (c, q) in queues.iter().enumerate() {
+            if !q.is_empty() {
+                tree.set(c, self.core_clock[c]);
+            }
+        }
+        while let Some(c) = tree.winner() {
+            let t = queues[c].pop_front().expect("open slot has work");
+            self.access(t);
+            if queues[c].is_empty() {
+                tree.close(c);
+            } else {
+                tree.set(c, self.core_clock[c]);
             }
         }
         self.finish()
@@ -468,29 +638,29 @@ impl TraceSim {
     ///
     /// The trace is partitioned by core (preserving per-core program
     /// order), each shard's private hierarchy classifies its batch on a
-    /// worker thread, and the timing phase then consumes the batches in
-    /// the same earliest-clock order the sequential path uses. Shared
-    /// state (MSHR clocks, mesh counters, DRAM bank models) is only
-    /// touched in the timing phase, so results do not depend on the
-    /// worker count.
+    /// worker thread into an SoA batch, and the timing phase then
+    /// consumes the batches in the same earliest-clock order the
+    /// sequential path uses. Shared state (MSHR clocks, mesh counters,
+    /// DRAM bank models) is only touched in the timing phase, so
+    /// results do not depend on the worker count.
     pub fn run_parallel(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
         let cores = self.hierarchies.len();
         let mut streams: Vec<Vec<TraceAccess>> = vec![Vec::new(); cores];
         for &t in trace {
-            streams[t.core as usize % cores].push(t);
+            streams[partition_by_core(t.core, cores)].push(t);
         }
         // Phase 1: classification. Move each hierarchy into its shard,
         // classify on workers, then restore the hierarchies in index
         // order (worker scheduling cannot reorder them).
         let hierarchies = std::mem::take(&mut self.hierarchies);
-        let mut shards: Vec<(Hierarchy, Vec<TraceAccess>, Vec<Classified>)> = hierarchies
+        let mut shards: Vec<(Hierarchy, Vec<TraceAccess>, ClassifiedSoa)> = hierarchies
             .into_iter()
             .zip(streams)
-            .map(|(h, s)| (h, s, Vec::new()))
+            .map(|(h, s)| (h, s, ClassifiedSoa::new()))
             .collect();
         par::with_threads(worker_threads(), || {
             par::par_update(&mut shards, |_, (hier, stream, out)| {
-                out.reserve_exact(stream.len());
+                out.reserve(stream.len());
                 for &t in stream.iter() {
                     let kind = if t.write {
                         AccessKind::Write
@@ -498,36 +668,160 @@ impl TraceSim {
                         AccessKind::Read
                     };
                     let (level, sram_lat) = hier.access(t.addr, kind);
-                    out.push(Classified {
-                        access: t,
-                        level,
-                        sram_lat,
-                    });
+                    out.push(t.addr, sram_lat, t.write, t.dependent, level);
                 }
             });
         });
-        let mut queues: Vec<VecDeque<Classified>> = Vec::with_capacity(cores);
+        let mut queues: Vec<ClassifiedSoa> = Vec::with_capacity(cores);
         self.hierarchies = shards
             .into_iter()
             .map(|(h, _, out)| {
-                queues.push(out.into());
+                queues.push(out);
                 h
             })
             .collect();
+        // Both the partitioned copy and the classified batches are live
+        // at the classification/timing boundary.
+        self.last_peak_buffer = trace.len() * std::mem::size_of::<TraceAccess>()
+            + queues.iter().map(|q| q.buffered_bytes()).sum::<usize>();
         // Phase 2: deterministic timing merge — the same earliest-clock
         // discipline as the sequential path, consuming the batches.
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..cores)
-            .filter(|&c| !queues[c].is_empty())
-            .map(|c| Reverse((self.core_clock[c], c)))
-            .collect();
-        while let Some(Reverse((_, c))) = heap.pop() {
-            if let Some(cl) = queues[c].pop_front() {
-                self.access_classified(cl);
-                if !queues[c].is_empty() {
-                    heap.push(Reverse((self.core_clock[c], c)));
-                }
+        let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
+        for (c, q) in queues.iter().enumerate() {
+            if !q.is_empty() {
+                tree.set(c, self.core_clock[c]);
             }
         }
+        while let Some(c) = tree.winner() {
+            let (addr, sram_lat, dependent, level) = queues[c].pop().expect("open slot has work");
+            self.access_timed(c, addr, dependent, level, sram_lat);
+            if queues[c].is_empty() {
+                tree.close(c);
+            } else {
+                tree.set(c, self.core_clock[c]);
+            }
+        }
+        self.finish()
+    }
+
+    /// Replay a trace pulled incrementally from `fill`, overlapping
+    /// generation with classification and timing; bit-identical to
+    /// [`run`](Self::run) on the concatenation of the filled chunks.
+    ///
+    /// `fill` appends the next bounded chunk of the trace to the given
+    /// buffer and returns how many accesses it added; returning 0 ends
+    /// the stream. It runs on a producer thread behind a depth-2
+    /// bounded queue ([`par::pipelined`]), so chunk `n + 1` is
+    /// generated while chunk `n` is classified and replayed. Within
+    /// the consumer, each refill is partitioned by core and classified
+    /// on [`worker_threads`] workers exactly as in
+    /// [`run_parallel`](Self::run_parallel).
+    ///
+    /// The timing merge only selects a winner while every core that
+    /// could still receive work has at least one classified access
+    /// buffered — an empty queue's *next* access (still unseen) could
+    /// carry the earliest clock, and picking around it would diverge
+    /// from the sequential order. Workloads that spread accesses
+    /// across cores therefore buffer about one chunk; a workload
+    /// confined to a subset of cores (a single-core pointer chase is
+    /// the extreme) buffers the full classified trace, trading memory,
+    /// never correctness.
+    pub fn run_streaming(
+        &mut self,
+        mut fill: impl FnMut(&mut Vec<TraceAccess>) -> usize + Send,
+    ) -> TraceSimReport {
+        let cores = self.hierarchies.len();
+        self.last_peak_buffer = 0;
+        let hierarchies = std::mem::take(&mut self.hierarchies);
+        let mut units: Vec<StreamShard> = hierarchies
+            .into_iter()
+            .map(|h| StreamShard {
+                hier: h,
+                pending: Vec::new(),
+                queue: ClassifiedSoa::new(),
+            })
+            .collect();
+        par::with_threads(worker_threads(), || {
+            par::pipelined(
+                2,
+                move || {
+                    let mut buf = Vec::new();
+                    let n = fill(&mut buf);
+                    (n > 0).then_some(buf)
+                },
+                |rx| {
+                    let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
+                    let mut stream_done = false;
+                    // Cores whose queue is empty but could still gain
+                    // work; no winner may be selected while any exist.
+                    let mut hungry = cores;
+                    loop {
+                        while hungry > 0 && !stream_done {
+                            let Some(chunk) = rx.recv() else {
+                                stream_done = true;
+                                hungry = 0;
+                                break;
+                            };
+                            let chunk_bytes = chunk.len() * std::mem::size_of::<TraceAccess>();
+                            for &t in &chunk {
+                                units[partition_by_core(t.core, cores)].pending.push(t);
+                            }
+                            par::par_update(&mut units, |_, u| {
+                                if u.pending.is_empty() {
+                                    return;
+                                }
+                                u.queue.compact();
+                                u.queue.reserve(u.pending.len());
+                                for &t in &u.pending {
+                                    let kind = if t.write {
+                                        AccessKind::Write
+                                    } else {
+                                        AccessKind::Read
+                                    };
+                                    let (level, sram_lat) = u.hier.access(t.addr, kind);
+                                    u.queue.push(t.addr, sram_lat, t.write, t.dependent, level);
+                                }
+                                u.pending.clear();
+                            });
+                            hungry = 0;
+                            let mut buffered = chunk_bytes;
+                            for (c, u) in units.iter().enumerate() {
+                                buffered += u.queue.buffered_bytes();
+                                if u.queue.is_empty() {
+                                    hungry += 1;
+                                } else if tree.key(c).is_none() {
+                                    tree.set(c, self.core_clock[c]);
+                                }
+                            }
+                            self.last_peak_buffer = self.last_peak_buffer.max(buffered);
+                        }
+                        match tree.winner() {
+                            Some(c) => {
+                                let (addr, sram_lat, dependent, level) =
+                                    units[c].queue.pop().expect("winner has work");
+                                self.access_timed(c, addr, dependent, level, sram_lat);
+                                if units[c].queue.is_empty() {
+                                    tree.close(c);
+                                    if !stream_done {
+                                        hungry += 1;
+                                    }
+                                } else {
+                                    tree.set(c, self.core_clock[c]);
+                                }
+                            }
+                            None => {
+                                if stream_done {
+                                    break;
+                                }
+                                // Every queue is empty but the stream
+                                // has more; loop back to refill.
+                            }
+                        }
+                    }
+                },
+            )
+        });
+        self.hierarchies = units.into_iter().map(|u| u.hier).collect();
         self.finish()
     }
 
@@ -776,6 +1070,216 @@ mod tests {
     }
 
     #[test]
+    fn partition_wraps_out_of_range_cores() {
+        // Traces may name more cores than the simulator has; ids wrap
+        // modulo the shard count so shard order stays deterministic.
+        assert_eq!(partition_by_core(0, 4), 0);
+        assert_eq!(partition_by_core(3, 4), 3);
+        assert_eq!(partition_by_core(4, 4), 0);
+        assert_eq!(partition_by_core(7, 4), 3);
+        assert_eq!(partition_by_core(63, 64), 63);
+        assert_eq!(partition_by_core(64, 64), 0);
+        assert_eq!(partition_by_core(1_000_003, 64), 1_000_003 % 64);
+        assert_eq!(partition_by_core(5, 1), 0);
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        // Empty, zero, and garbage are all rejected (worker_threads
+        // then warns once and falls back to the machine default).
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("   "), None);
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(" 0 "), None);
+        assert_eq!(parse_thread_count("garbage"), None);
+        assert_eq!(parse_thread_count("-4"), None);
+        assert_eq!(parse_thread_count("4x"), None);
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+        assert_eq!(parse_thread_count("1"), Some(1));
+    }
+
+    #[test]
+    fn classified_flags_roundtrip() {
+        for write in [false, true] {
+            for dependent in [false, true] {
+                for level in [
+                    LevelHit::L1,
+                    LevelHit::L2,
+                    LevelHit::McdramCache,
+                    LevelHit::Memory,
+                ] {
+                    let f = pack_flags(write, dependent, level);
+                    assert_eq!(unpack_dependent(f), dependent);
+                    assert_eq!(unpack_level(f), level);
+                    assert_eq!(f & 1 != 0, write);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classified_soa_fifo_and_compaction() {
+        let mut q = ClassifiedSoa::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        for i in 0..10u64 {
+            q.push(
+                i * 64,
+                Duration::from_ps(i),
+                i % 2 == 0,
+                i % 3 == 0,
+                LevelHit::Memory,
+            );
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..4u64 {
+            let (addr, lat, dep, level) = q.pop().unwrap();
+            assert_eq!(addr, i * 64);
+            assert_eq!(lat, Duration::from_ps(i));
+            assert_eq!(dep, i % 3 == 0);
+            assert_eq!(level, LevelHit::Memory);
+        }
+        let before = q.buffered_bytes();
+        q.compact();
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.buffered_bytes(), before);
+        let (addr, ..) = q.pop().unwrap();
+        assert_eq!(addr, 4 * 64);
+    }
+
+    #[test]
+    fn identical_clocks_tie_break_toward_lower_core() {
+        // Two cores issue the same dependent-chase pattern, so their
+        // clocks collide constantly; the old heap's
+        // `Reverse<(SimTime, usize)>` order resolved every tie toward
+        // the lower core. All three replay paths must agree exactly.
+        let mut trace = Vec::new();
+        for i in 0..200u64 {
+            for c in [1u32, 0] {
+                trace.push(TraceAccess::chase(c, (c as u64) << 32 | i * (4 << 20)));
+            }
+        }
+        let make = || {
+            TraceSim::new(
+                &cfg(MemSetup::DramOnly),
+                2,
+                TracePlacement::AllDdr,
+                ByteSize::mib(1),
+            )
+        };
+        let mut seq = make();
+        let expect = seq.run(&trace);
+        let mut par_sim = make();
+        assert_eq!(
+            par::with_threads(2, || par_sim.run_parallel(&trace)),
+            expect
+        );
+        assert_eq!(par_sim.ddr_stats(), seq.ddr_stats());
+        let mut stream_sim = make();
+        let mut off = 0;
+        let got = par::with_threads(2, || {
+            stream_sim.run_streaming(|buf| {
+                // Tiny chunks force many refills mid-tie.
+                let n = trace.len().min(off + 7) - off;
+                buf.extend_from_slice(&trace[off..off + n]);
+                off += n;
+                n
+            })
+        });
+        assert_eq!(got, expect);
+        assert_eq!(stream_sim.ddr_stats(), seq.ddr_stats());
+        assert_eq!(stream_sim.mesh_stats(), seq.mesh_stats());
+    }
+
+    #[test]
+    fn single_core_and_empty_stream_edge_cases() {
+        // 1 core: the tree degenerates to one slot; streaming buffers
+        // the whole classified trace but must still match.
+        let trace = chase_trace(0, 400, 2 * 1024 * 1024 + 64);
+        let mut seq = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let expect = seq.run(&trace);
+        let mut stream_sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            1,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let mut fed = false;
+        let got = stream_sim.run_streaming(|buf| {
+            if fed {
+                return 0;
+            }
+            fed = true;
+            buf.extend_from_slice(&trace);
+            trace.len()
+        });
+        assert_eq!(got, expect);
+        // All-empty stream: no chunks at all.
+        let mut empty_sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        assert_eq!(empty_sim.run_streaming(|_| 0), TraceSimReport::default());
+        assert_eq!(empty_sim.last_peak_trace_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn streaming_replay_matches_sequential_in_unit() {
+        // Chunked multi-core replay across several chunk sizes and
+        // worker counts; every configuration must be bit-identical to
+        // the sequential reference.
+        let trace = stream_trace(4, 300);
+        let mut seq = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let expect = seq.run(&trace);
+        for chunk in [1usize, 64, 1 << 20] {
+            for workers in [1, 2, 8] {
+                let mut sim = TraceSim::new(
+                    &cfg(MemSetup::DramOnly),
+                    4,
+                    TracePlacement::AllDdr,
+                    ByteSize::mib(1),
+                );
+                let mut off = 0;
+                let got = par::with_threads(workers, || {
+                    sim.run_streaming(|buf| {
+                        let n = trace.len().min(off + chunk) - off;
+                        buf.extend_from_slice(&trace[off..off + n]);
+                        off += n;
+                        n
+                    })
+                });
+                assert_eq!(got, expect, "chunk={chunk} workers={workers}");
+                assert_eq!(sim.ddr_stats(), seq.ddr_stats(), "chunk={chunk}");
+                assert_eq!(sim.mesh_stats(), seq.mesh_stats(), "chunk={chunk}");
+                assert_eq!(sim.per_core_totals(), seq.per_core_totals());
+                // A spread-across-cores workload streams in bounded
+                // buffers: far below the materialized paths' footprint.
+                if chunk == 64 {
+                    assert!(
+                        sim.last_peak_trace_buffer_bytes() < seq.last_peak_trace_buffer_bytes(),
+                        "streaming {} vs materialized {}",
+                        sim.last_peak_trace_buffer_bytes(),
+                        seq.last_peak_trace_buffer_bytes()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn trace_replay_counts_mesh_messages() {
         // Every access that reaches a device is one analytically
         // accounted mesh round trip.
@@ -819,7 +1323,7 @@ impl TraceSim {
     /// Debug: replay one access returning a timing breakdown.
     #[doc(hidden)]
     pub fn access_traced(&mut self, t: TraceAccess) -> AccessBreakdown {
-        let core = t.core as usize % self.hierarchies.len();
+        let core = partition_by_core(t.core, self.hierarchies.len());
         let mut issue = self.core_clock[core];
         let orig_issue = issue;
         let kind = if t.write {

@@ -40,6 +40,7 @@
 
 pub mod error;
 pub mod event;
+pub mod merge;
 pub mod par;
 pub mod prng;
 pub mod rng;
@@ -49,6 +50,7 @@ pub mod units;
 
 pub use error::SimError;
 pub use event::{EventQueue, Simulator};
+pub use merge::LoserTree;
 pub use prng::Rng;
 pub use rng::RngPool;
 pub use stats::{BandwidthMeter, Counter, Histogram, OnlineStats};

@@ -12,8 +12,9 @@
 //! calling thread.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 thread_local! {
@@ -133,6 +134,115 @@ pub fn par_chunks_mut<T: Send>(
             });
         }
     });
+}
+
+/// Shared state of the bounded [`pipelined`] channel.
+struct PipeState<T> {
+    queue: VecDeque<T>,
+    producer_done: bool,
+    consumer_gone: bool,
+}
+
+struct Pipe<T> {
+    state: Mutex<PipeState<T>>,
+    /// Signalled when the queue gains an item or the producer finishes.
+    filled: Condvar,
+    /// Signalled when the queue loses an item or the consumer leaves.
+    drained: Condvar,
+    depth: usize,
+}
+
+/// Consumer handle passed to the `consume` closure of [`pipelined`]:
+/// call [`recv`](ChunkReceiver::recv) until it returns `None`.
+///
+/// Dropping the receiver early (consumer returns or panics before the
+/// stream ends) releases a producer blocked on a full queue, so the
+/// pipeline can never deadlock on early exit.
+pub struct ChunkReceiver<'a, T> {
+    pipe: &'a Pipe<T>,
+}
+
+impl<T> ChunkReceiver<'_, T> {
+    /// Next item in production order, or `None` once the producer is
+    /// done and the queue is drained. Blocks while the queue is empty
+    /// and the producer is still running.
+    pub fn recv(&mut self) -> Option<T> {
+        let mut st = self.pipe.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                self.pipe.drained.notify_one();
+                return Some(item);
+            }
+            if st.producer_done {
+                return None;
+            }
+            st = self.pipe.filled.wait(st).unwrap();
+        }
+    }
+}
+
+impl<T> Drop for ChunkReceiver<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.pipe.state.lock().unwrap();
+        st.consumer_gone = true;
+        st.queue.clear();
+        self.pipe.drained.notify_one();
+    }
+}
+
+/// Overlap production and consumption of a chunk stream on two threads
+/// through a bounded queue of `depth` slots (the double-buffering
+/// shape at `depth == 2`).
+///
+/// `produce` runs on a scoped worker thread and is polled until it
+/// returns `None`; each `Some(chunk)` is enqueued, blocking while the
+/// queue is full. `consume` runs on the calling thread (it may borrow
+/// the caller's state mutably) and pulls chunks in production order
+/// via [`ChunkReceiver::recv`].
+///
+/// With `depth == 0` or on a stream the consumer abandons early, the
+/// pipeline still terminates: depth is clamped to 1, and dropping the
+/// receiver unblocks and cancels the producer.
+pub fn pipelined<T: Send, R>(
+    depth: usize,
+    mut produce: impl FnMut() -> Option<T> + Send,
+    consume: impl FnOnce(&mut ChunkReceiver<'_, T>) -> R,
+) -> R {
+    let pipe = Pipe {
+        state: Mutex::new(PipeState {
+            queue: VecDeque::new(),
+            producer_done: false,
+            consumer_gone: false,
+        }),
+        filled: Condvar::new(),
+        drained: Condvar::new(),
+        depth: depth.max(1),
+    };
+    thread::scope(|s| {
+        let pipe = &pipe;
+        s.spawn(move || {
+            loop {
+                let item = match produce() {
+                    Some(item) => item,
+                    None => break,
+                };
+                let mut st = pipe.state.lock().unwrap();
+                while st.queue.len() >= pipe.depth && !st.consumer_gone {
+                    st = pipe.drained.wait(st).unwrap();
+                }
+                if st.consumer_gone {
+                    return;
+                }
+                st.queue.push_back(item);
+                pipe.filled.notify_one();
+            }
+            let mut st = pipe.state.lock().unwrap();
+            st.producer_done = true;
+            pipe.filled.notify_one();
+        });
+        let mut rx = ChunkReceiver { pipe };
+        consume(&mut rx)
+    })
 }
 
 /// Parallel sum of `f(i)` for `i in 0..len`.
@@ -270,6 +380,70 @@ mod tests {
             assert_eq!(num_threads(), 3);
         });
         assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn pipelined_preserves_production_order() {
+        for depth in [0usize, 1, 2, 8] {
+            let mut next = 0u32;
+            let got = pipelined(
+                depth,
+                move || {
+                    if next < 100 {
+                        next += 1;
+                        Some(next - 1)
+                    } else {
+                        None
+                    }
+                },
+                |rx| {
+                    let mut out = Vec::new();
+                    while let Some(x) = rx.recv() {
+                        out.push(x);
+                    }
+                    out
+                },
+            );
+            assert_eq!(got, (0..100).collect::<Vec<_>>(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn pipelined_empty_stream() {
+        let n = pipelined(
+            2,
+            || None::<u32>,
+            |rx| {
+                let mut n = 0;
+                while rx.recv().is_some() {
+                    n += 1;
+                }
+                n
+            },
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn pipelined_consumer_can_exit_early() {
+        // The producer has far more chunks than the queue holds; the
+        // consumer takes three and leaves. Must not deadlock.
+        let mut next = 0u64;
+        let got = pipelined(
+            2,
+            move || {
+                next += 1;
+                (next <= 1_000).then_some(next)
+            },
+            |rx| {
+                let mut out = Vec::new();
+                for _ in 0..3 {
+                    out.extend(rx.recv());
+                }
+                out
+            },
+        );
+        assert_eq!(got, vec![1, 2, 3]);
     }
 
     #[test]

@@ -7,8 +7,24 @@
 //! scale, and these traces let the *trace simulator* check the model's
 //! orderings with the exact cache/bank/TLB substrate models
 //! (`tests/trace_crosscheck.rs`).
+//!
+//! # Streaming sources
+//!
+//! Every generator exists in two forms: an incremental state machine
+//! implementing [`TraceSource`] (the primary form), and an eager
+//! `*_trace` function that materializes the whole stream — now a thin
+//! [`collect`] wrapper kept for small tests and call sites that
+//! genuinely need a `Vec`. The source form yields bounded chunks
+//! ([`DEFAULT_CHUNK`] accesses at a time through
+//! [`TraceSource::fill`]), which lets [`replay_streaming`] drive
+//! [`TraceSim::run_streaming`] without ever materializing a
+//! paper-scale trace: generation overlaps classification and timing,
+//! and the buffered window stays at roughly one chunk for workloads
+//! that spread accesses across cores. Both forms are bit-identical —
+//! the golden-vector suite (`tests/tracegen_golden.rs`) and the
+//! chunking-invariance tests below pin that.
 
-use knl::tracesim::TraceAccess;
+use knl::tracesim::{TraceAccess, TraceSim, TraceSimReport};
 use simfabric::prng::Rng;
 
 /// De-aliased per-core base addresses (physically scattered pages
@@ -18,23 +34,205 @@ fn core_base(core: u32) -> u64 {
     (core as u64 * 23_456_789) & !63
 }
 
+/// Default chunk granularity for [`TraceSource::fill`]: 64 Ki accesses
+/// (1 MiB of `TraceAccess` records) — big enough to amortize the
+/// per-chunk partition/classify fan-out, small enough that the
+/// streaming replay's working set stays cache-resident.
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// An incremental trace generator: a resumable state machine yielding
+/// one deterministic access stream.
+///
+/// Implementations must be pure functions of their construction
+/// parameters — the stream a source yields access-by-access is
+/// bit-identical to the `Vec` its eager counterpart materializes.
+pub trait TraceSource {
+    /// The next access, or `None` once the stream is exhausted.
+    fn next_access(&mut self) -> Option<TraceAccess>;
+
+    /// Append up to `max` accesses to `out`; returns how many were
+    /// appended (0 means the stream is exhausted — sources are never
+    /// "temporarily empty").
+    fn fill(&mut self, out: &mut Vec<TraceAccess>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_access() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Exact number of accesses left in the stream, when the source
+    /// knows it (all in-tree sources do; `None` is allowed for
+    /// external sources of unknown length).
+    fn remaining(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Drain a source into a `Vec` (the eager form of the stream).
+pub fn collect(source: &mut dyn TraceSource) -> Vec<TraceAccess> {
+    let mut out = match source.remaining() {
+        Some(n) => Vec::with_capacity(n as usize),
+        None => Vec::new(),
+    };
+    while source.fill(&mut out, DEFAULT_CHUNK) > 0 {}
+    out
+}
+
+/// Replay `source` through `sim` in [`DEFAULT_CHUNK`]-sized chunks via
+/// [`TraceSim::run_streaming`]: generation overlaps classification and
+/// timing, and the report is bit-identical to materializing the trace
+/// and calling [`TraceSim::run`].
+pub fn replay_streaming(
+    sim: &mut TraceSim,
+    source: &mut (dyn TraceSource + Send),
+) -> TraceSimReport {
+    sim.run_streaming(|buf| source.fill(buf, DEFAULT_CHUNK))
+}
+
+/// STREAM source: each core sweeps a disjoint contiguous block in
+/// bursts of 16 lines (the natural MSHR-drain issue pattern),
+/// round-robining cores burst by burst.
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    cores: u32,
+    lines: u64,
+    passes: u32,
+    pass: u32,
+    i: u64,
+    c: u32,
+    j: u64,
+    emitted: u64,
+}
+
+impl StreamSource {
+    const BURST: u64 = 16;
+
+    /// `lines_per_core` sequential lines per core, swept `passes`
+    /// times (at least once).
+    pub fn new(cores: u32, lines_per_core: u64, passes: u32) -> Self {
+        StreamSource {
+            cores,
+            lines: lines_per_core,
+            passes: passes.max(1),
+            pass: 0,
+            i: 0,
+            c: 0,
+            j: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl TraceSource for StreamSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        loop {
+            if self.pass >= self.passes {
+                return None;
+            }
+            if self.i >= self.lines {
+                self.pass += 1;
+                self.i = 0;
+                self.c = 0;
+                self.j = 0;
+                continue;
+            }
+            if self.c >= self.cores {
+                self.c = 0;
+                self.i += Self::BURST;
+                self.j = self.i;
+                continue;
+            }
+            if self.j >= (self.i + Self::BURST).min(self.lines) {
+                self.c += 1;
+                self.j = self.i;
+                continue;
+            }
+            let acc = TraceAccess::read(self.c, core_base(self.c) + self.j * 64);
+            self.j += 1;
+            self.emitted += 1;
+            return Some(acc);
+        }
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.cores as u64 * self.lines * self.passes as u64 - self.emitted)
+    }
+}
+
 /// STREAM: each core sweeps a disjoint contiguous block in bursts of
 /// 16 lines (the natural MSHR-drain issue pattern).
 pub fn stream_trace(cores: u32, lines_per_core: u64, passes: u32) -> Vec<TraceAccess> {
-    const BURST: u64 = 16;
-    let mut t = Vec::with_capacity((cores as u64 * lines_per_core * passes as u64) as usize);
-    for _ in 0..passes.max(1) {
-        let mut i = 0;
-        while i < lines_per_core {
-            for c in 0..cores {
-                for j in i..(i + BURST).min(lines_per_core) {
-                    t.push(TraceAccess::read(c, core_base(c) + j * 64));
-                }
-            }
-            i += BURST;
+    collect(&mut StreamSource::new(cores, lines_per_core, passes))
+}
+
+/// GUPS source: independent random read-modify-writes over a shared
+/// table, one update per core per round.
+#[derive(Debug, Clone)]
+pub struct GupsSource {
+    cores: u32,
+    lines: u64,
+    updates: u64,
+    rngs: Vec<Rng>,
+    u: u64,
+    c: u32,
+    pending_write: Option<TraceAccess>,
+    emitted: u64,
+}
+
+impl GupsSource {
+    /// `updates_per_core` read+write pairs per core over a
+    /// `table_bytes` table.
+    pub fn new(cores: u32, table_bytes: u64, updates_per_core: u64, seed: u64) -> Self {
+        GupsSource {
+            cores,
+            lines: (table_bytes / 64).max(1),
+            updates: updates_per_core,
+            rngs: (0..cores)
+                .map(|c| Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+                .collect(),
+            u: 0,
+            c: 0,
+            pending_write: None,
+            emitted: 0,
         }
     }
-    t
+}
+
+impl TraceSource for GupsSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        if let Some(w) = self.pending_write.take() {
+            self.emitted += 1;
+            return Some(w);
+        }
+        loop {
+            if self.u >= self.updates {
+                return None;
+            }
+            if self.c >= self.cores {
+                self.c = 0;
+                self.u += 1;
+                continue;
+            }
+            let line = self.rngs[self.c as usize].gen_range(0..self.lines);
+            let addr = line * 64;
+            self.pending_write = Some(TraceAccess::write(self.c, addr));
+            let read = TraceAccess::read(self.c, addr);
+            self.c += 1;
+            self.emitted += 1;
+            return Some(read);
+        }
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.cores as u64 * self.updates * 2 - self.emitted)
+    }
 }
 
 /// GUPS: independent random read-modify-writes over a shared table.
@@ -44,42 +242,158 @@ pub fn gups_trace(
     updates_per_core: u64,
     seed: u64,
 ) -> Vec<TraceAccess> {
-    let mut t = Vec::with_capacity((cores as u64 * updates_per_core * 2) as usize);
-    let lines = (table_bytes / 64).max(1);
-    let mut rngs: Vec<Rng> = (0..cores)
-        .map(|c| Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
-        .collect();
-    for _ in 0..updates_per_core {
-        for c in 0..cores {
-            let line = rngs[c as usize].gen_range(0..lines);
-            let addr = line * 64;
-            t.push(TraceAccess::read(c, addr));
-            t.push(TraceAccess::write(c, addr));
+    collect(&mut GupsSource::new(
+        cores,
+        table_bytes,
+        updates_per_core,
+        seed,
+    ))
+}
+
+/// TinyMemBench source: a dependent pointer chase over a block (two
+/// interleaved chains on one core, as the dual-read benchmark runs).
+#[derive(Debug, Clone)]
+pub struct ChaseSource {
+    lines: u64,
+    steps: u64,
+    rng: Rng,
+    i: u64,
+    a: u64,
+    b: u64,
+}
+
+impl ChaseSource {
+    /// `steps` dependent hops over a `block_bytes` block on core 0.
+    pub fn new(block_bytes: u64, steps: u64, seed: u64) -> Self {
+        let lines = (block_bytes / 64).max(2);
+        ChaseSource {
+            lines,
+            steps,
+            rng: Rng::seed_from_u64(seed),
+            i: 0,
+            a: 0,
+            b: lines / 2,
         }
     }
-    t
+}
+
+impl TraceSource for ChaseSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        if self.i >= self.steps {
+            return None;
+        }
+        // Jump far enough to defeat the prefetcher and row buffer.
+        let hop = self.rng.gen_range(self.lines / 4..self.lines.max(2));
+        let addr = if self.i % 2 == 0 {
+            self.a = (self.a + hop) % self.lines;
+            self.a * 64
+        } else {
+            self.b = (self.b + hop) % self.lines;
+            self.b * 64
+        };
+        self.i += 1;
+        Some(TraceAccess::chase(0, addr))
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.steps - self.i)
+    }
 }
 
 /// TinyMemBench: a dependent pointer chase over `block_bytes` (two
 /// interleaved chains on one core, as the dual-read benchmark runs).
 pub fn chase_trace(block_bytes: u64, steps: u64, seed: u64) -> Vec<TraceAccess> {
-    let lines = (block_bytes / 64).max(2);
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut t = Vec::with_capacity(steps as usize);
-    let mut a = 0u64;
-    let mut b = lines / 2;
-    for i in 0..steps {
-        // Jump far enough to defeat the prefetcher and row buffer.
-        let hop = rng.gen_range(lines / 4..lines.max(2));
-        if i % 2 == 0 {
-            a = (a + hop) % lines;
-            t.push(TraceAccess::chase(0, a * 64));
-        } else {
-            b = (b + hop) % lines;
-            t.push(TraceAccess::chase(0, b * 64));
+    collect(&mut ChaseSource::new(block_bytes, steps, seed))
+}
+
+/// XSBench-like source: each "lookup" is a short dependent chain
+/// (binary search tail) at a random position, chains from different
+/// iterations independent across cores.
+#[derive(Debug, Clone)]
+pub struct XsBenchSource {
+    cores: u32,
+    lines: u64,
+    lookups: u64,
+    deps: u32,
+    rngs: Vec<Rng>,
+    l: u64,
+    c: u32,
+    d: u32,
+    pos: u64,
+    span: u64,
+    in_chain: bool,
+    emitted: u64,
+}
+
+impl XsBenchSource {
+    /// `lookups_per_core` chains of `deps_per_lookup` dependent reads
+    /// per core over a `grid_bytes` grid.
+    pub fn new(
+        cores: u32,
+        grid_bytes: u64,
+        lookups_per_core: u64,
+        deps_per_lookup: u32,
+        seed: u64,
+    ) -> Self {
+        XsBenchSource {
+            cores,
+            lines: (grid_bytes / 64).max(deps_per_lookup as u64 + 1),
+            lookups: lookups_per_core,
+            deps: deps_per_lookup,
+            rngs: (0..cores)
+                .map(|c| {
+                    Rng::seed_from_u64(
+                        seed ^ (0xA11CEu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    )
+                })
+                .collect(),
+            l: 0,
+            c: 0,
+            d: 0,
+            pos: 0,
+            span: 0,
+            in_chain: false,
+            emitted: 0,
         }
     }
-    t
+}
+
+impl TraceSource for XsBenchSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        loop {
+            if self.l >= self.lookups {
+                return None;
+            }
+            if self.c >= self.cores {
+                self.c = 0;
+                self.l += 1;
+                continue;
+            }
+            if !self.in_chain {
+                // Binary-search tail: successive halving jumps,
+                // dependent.
+                self.pos = self.rngs[self.c as usize].gen_range(0..self.lines);
+                self.span = self.lines / 2;
+                self.d = 0;
+                self.in_chain = true;
+            }
+            if self.d >= self.deps {
+                self.in_chain = false;
+                self.c += 1;
+                continue;
+            }
+            let acc = TraceAccess::chase(self.c, self.pos * 64);
+            self.span = (self.span / 2).max(1);
+            self.pos = (self.pos + self.span) % self.lines;
+            self.d += 1;
+            self.emitted += 1;
+            return Some(acc);
+        }
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.lookups * self.cores as u64 * self.deps as u64 - self.emitted)
+    }
 }
 
 /// XSBench-like: each "lookup" is a short dependent chain (binary
@@ -92,55 +406,102 @@ pub fn xsbench_trace(
     deps_per_lookup: u32,
     seed: u64,
 ) -> Vec<TraceAccess> {
-    let lines = (grid_bytes / 64).max(deps_per_lookup as u64 + 1);
-    let mut rngs: Vec<Rng> = (0..cores)
-        .map(|c| {
-            Rng::seed_from_u64(seed ^ (0xA11CEu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15))
-        })
-        .collect();
-    let mut t = Vec::new();
-    for _ in 0..lookups_per_core {
-        for c in 0..cores {
-            let rng = &mut rngs[c as usize];
-            // Binary-search tail: successive halving jumps, dependent.
-            let mut pos = rng.gen_range(0..lines);
-            let mut span = lines / 2;
-            for _ in 0..deps_per_lookup {
-                t.push(TraceAccess::chase(c, pos * 64));
-                span = (span / 2).max(1);
-                pos = (pos + span) % lines;
-            }
+    collect(&mut XsBenchSource::new(
+        cores,
+        grid_bytes,
+        lookups_per_core,
+        deps_per_lookup,
+        seed,
+    ))
+}
+
+/// Graph500-like source: per traversed edge, a streaming CSR read plus
+/// a random probe of the visited structure (write when claiming).
+#[derive(Debug, Clone)]
+pub struct BfsSource {
+    cores: u32,
+    lines: u64,
+    edges: u64,
+    rngs: Vec<Rng>,
+    csr_cursor: Vec<u64>,
+    e: u64,
+    c: u32,
+    pending_probe: Option<TraceAccess>,
+    emitted: u64,
+}
+
+impl BfsSource {
+    /// `edges_per_core` CSR-read + visited-probe pairs per core over a
+    /// `graph_bytes` footprint.
+    pub fn new(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -> Self {
+        let lines = (graph_bytes / 64).max(2);
+        BfsSource {
+            cores,
+            lines,
+            edges: edges_per_core,
+            rngs: (0..cores)
+                .map(|c| {
+                    Rng::seed_from_u64(
+                        seed ^ (0xB5Fu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    )
+                })
+                .collect(),
+            csr_cursor: (0..cores).map(|c| core_base(c) / 64 % lines).collect(),
+            e: 0,
+            c: 0,
+            pending_probe: None,
+            emitted: 0,
         }
     }
-    t
+}
+
+impl TraceSource for BfsSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        if let Some(p) = self.pending_probe.take() {
+            self.emitted += 1;
+            return Some(p);
+        }
+        loop {
+            if self.e >= self.edges {
+                return None;
+            }
+            if self.c >= self.cores {
+                self.c = 0;
+                self.e += 1;
+                continue;
+            }
+            // Sequential CSR adjacency read.
+            let cur = &mut self.csr_cursor[self.c as usize];
+            *cur = (*cur + 1) % self.lines;
+            let read = TraceAccess::read(self.c, *cur * 64);
+            // Random visited probe; 30% of probes claim (write).
+            let rng = &mut self.rngs[self.c as usize];
+            let probe = rng.gen_range(0..self.lines);
+            self.pending_probe = Some(if rng.gen_bool(0.3) {
+                TraceAccess::write(self.c, probe * 64)
+            } else {
+                TraceAccess::read(self.c, probe * 64)
+            });
+            self.c += 1;
+            self.emitted += 1;
+            return Some(read);
+        }
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.edges * self.cores as u64 * 2 - self.emitted)
+    }
 }
 
 /// Graph500-like: per traversed edge, a streaming CSR read plus a
 /// random probe of the visited structure (write when claiming).
 pub fn bfs_trace(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -> Vec<TraceAccess> {
-    let lines = (graph_bytes / 64).max(2);
-    let mut rngs: Vec<Rng> = (0..cores)
-        .map(|c| Rng::seed_from_u64(seed ^ (0xB5Fu64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15)))
-        .collect();
-    let mut csr_cursor: Vec<u64> = (0..cores).map(|c| core_base(c) / 64 % lines).collect();
-    let mut t = Vec::new();
-    for _ in 0..edges_per_core {
-        for c in 0..cores {
-            let rng = &mut rngs[c as usize];
-            // Sequential CSR adjacency read.
-            let cur = &mut csr_cursor[c as usize];
-            *cur = (*cur + 1) % lines;
-            t.push(TraceAccess::read(c, *cur * 64));
-            // Random visited probe; 30% of probes claim (write).
-            let probe = rng.gen_range(0..lines);
-            if rng.gen_bool(0.3) {
-                t.push(TraceAccess::write(c, probe * 64));
-            } else {
-                t.push(TraceAccess::read(c, probe * 64));
-            }
-        }
-    }
-    t
+    collect(&mut BfsSource::new(
+        cores,
+        graph_bytes,
+        edges_per_core,
+        seed,
+    ))
 }
 
 /// The five application trace generators, as a closed enum so sweeps,
@@ -180,26 +541,53 @@ impl TraceKind {
         }
     }
 
-    /// Generate a deterministic trace with roughly
-    /// `cores * accesses_per_core` records over a test-scale footprint.
-    /// The chase generator is single-core by construction (a dependent
-    /// chain has no intra-core parallelism to shard), so it emits
-    /// `cores * accesses_per_core` records on core 0.
-    pub fn generate(self, cores: u32, accesses_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+    /// A streaming source over the same deterministic stream
+    /// [`generate`](Self::generate) materializes: roughly
+    /// `cores * accesses_per_core` records over a test-scale
+    /// footprint. The chase generator is single-core by construction
+    /// (a dependent chain has no intra-core parallelism to shard), so
+    /// it emits `cores * accesses_per_core` records on core 0.
+    pub fn source(
+        self,
+        cores: u32,
+        accesses_per_core: u64,
+        seed: u64,
+    ) -> Box<dyn TraceSource + Send> {
         let footprint = 64 << 20; // 64 MiB: beyond L2, tractable to replay
         match self {
-            TraceKind::Stream => stream_trace(cores, accesses_per_core, 1),
-            TraceKind::Gups => gups_trace(cores, footprint, accesses_per_core.div_ceil(2), seed),
-            TraceKind::Chase => chase_trace(footprint, cores as u64 * accesses_per_core, seed),
-            TraceKind::XsBench => xsbench_trace(
+            TraceKind::Stream => Box::new(StreamSource::new(cores, accesses_per_core, 1)),
+            TraceKind::Gups => Box::new(GupsSource::new(
+                cores,
+                footprint,
+                accesses_per_core.div_ceil(2),
+                seed,
+            )),
+            TraceKind::Chase => Box::new(ChaseSource::new(
+                footprint,
+                cores as u64 * accesses_per_core,
+                seed,
+            )),
+            TraceKind::XsBench => Box::new(XsBenchSource::new(
                 cores,
                 footprint,
                 accesses_per_core.div_ceil(6).max(1),
                 6,
                 seed,
-            ),
-            TraceKind::Bfs => bfs_trace(cores, footprint / 2, accesses_per_core.div_ceil(2), seed),
+            )),
+            TraceKind::Bfs => Box::new(BfsSource::new(
+                cores,
+                footprint / 2,
+                accesses_per_core.div_ceil(2),
+                seed,
+            )),
         }
+    }
+
+    /// Generate a deterministic trace with roughly
+    /// `cores * accesses_per_core` records over a test-scale footprint
+    /// (the materialized form of [`source`](Self::source)).
+    pub fn generate(self, cores: u32, accesses_per_core: u64, seed: u64) -> Vec<TraceAccess> {
+        collect(&mut *self.source(cores, accesses_per_core, seed))
     }
 }
 
@@ -272,5 +660,66 @@ mod tests {
         let writes = t.iter().filter(|a| a.write).count();
         // ~30% of the probe half.
         assert!(writes > 60 && writes < 180, "writes {writes}");
+    }
+
+    /// Every kind, as a boxed source with small test-scale parameters.
+    fn sources() -> Vec<(TraceKind, Box<dyn TraceSource + Send>)> {
+        TraceKind::ALL
+            .into_iter()
+            .map(|k| (k, k.source(4, 200, 0x5EED)))
+            .collect()
+    }
+
+    #[test]
+    fn chunked_fill_is_invariant_to_chunk_size() {
+        // Pulling a source 1, 7, or a million accesses at a time must
+        // yield the identical stream the eager form materializes.
+        for chunk in [1usize, 7, 1 << 20] {
+            for (kind, mut src) in sources() {
+                let eager = kind.generate(4, 200, 0x5EED);
+                let mut chunked = Vec::new();
+                while src.fill(&mut chunked, chunk) > 0 {}
+                assert_eq!(chunked, eager, "{kind:?} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down_exactly() {
+        for (kind, mut src) in sources() {
+            let total = src.remaining().expect("in-tree sources know their length");
+            let mut seen = 0u64;
+            while let Some(_) = src.next_access() {
+                seen += 1;
+                assert_eq!(src.remaining(), Some(total - seen), "{kind:?} at {seen}");
+            }
+            assert_eq!(seen, total, "{kind:?}");
+            assert_eq!(src.remaining(), Some(0));
+            // Exhausted sources stay exhausted.
+            assert!(src.next_access().is_none());
+            assert_eq!(src.fill(&mut Vec::new(), 8), 0);
+        }
+    }
+
+    #[test]
+    fn fill_respects_max_and_reports_count() {
+        let mut src = StreamSource::new(2, 64, 1);
+        let mut out = Vec::new();
+        assert_eq!(src.fill(&mut out, 10), 10);
+        assert_eq!(out.len(), 10);
+        assert_eq!(src.remaining(), Some(128 - 10));
+        assert_eq!(src.fill(&mut out, 1 << 20), 118);
+        assert_eq!(src.fill(&mut out, 1 << 20), 0);
+    }
+
+    #[test]
+    fn zero_core_and_zero_length_sources_are_empty() {
+        assert!(collect(&mut StreamSource::new(0, 64, 1)).is_empty());
+        assert!(collect(&mut StreamSource::new(4, 0, 3)).is_empty());
+        assert!(collect(&mut GupsSource::new(0, 1 << 20, 10, 1)).is_empty());
+        assert!(collect(&mut GupsSource::new(4, 1 << 20, 0, 1)).is_empty());
+        assert!(collect(&mut ChaseSource::new(1 << 20, 0, 1)).is_empty());
+        assert!(collect(&mut XsBenchSource::new(4, 1 << 20, 10, 0, 1)).is_empty());
+        assert!(collect(&mut BfsSource::new(4, 1 << 20, 0, 1)).is_empty());
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Bench smoke gate: run the tiny `repro bench-replay --smoke`
+# configuration and re-validate the JSON it writes with
+# `repro bench-check`, so a regression that breaks the replay bench or
+# produces a malformed report fails CI in seconds. The smoke output
+# goes under target/ so it never clobbers the committed full-size
+# BENCH_trace_replay.json at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRO=target/release/repro
+if [[ ! -x "$REPRO" ]]; then
+    cargo build --release --offline -p bench
+fi
+
+OUT=target/BENCH_trace_replay_smoke.json
+"$REPRO" bench-replay --smoke --out "$OUT"
+"$REPRO" bench-check "$OUT"

@@ -13,6 +13,9 @@ cargo build --release --offline
 TRACESIM_THREADS=1 cargo test -q --offline
 TRACESIM_THREADS=8 cargo test -q --offline
 
+# Tiny replay-bench run + JSON validation (see scripts/bench_smoke.sh).
+scripts/bench_smoke.sh
+
 cargo fmt --check
 
 echo "ci: ok"

@@ -1,15 +1,17 @@
 //! Sequential-equivalence differential suite for the sharded parallel
-//! trace engine: for every workload trace generator, every paper memory
-//! setup, and a 1/2/4/8 worker-thread ladder, `run_parallel` must
+//! and streaming trace engines: for every workload trace generator,
+//! every paper memory setup, and a 1/2/4/8 worker-thread ladder, both
+//! `run_parallel` (over the materialized trace) and `run_streaming`
+//! (fed chunk-by-chunk from the generator's `TraceSource`) must
 //! produce reports and device statistics **bit-identical** to the
 //! sequential reference `run`. This is the correctness contract that
-//! makes the parallel speedup trustworthy: "parallel == sequential,
-//! only faster".
+//! makes the parallel/streaming speedup trustworthy: "parallel ==
+//! sequential, only faster".
 
 use knl::tracesim::{TracePlacement, TraceSim, TraceSimReport};
 use knl::{MachineConfig, MemSetup};
 use simfabric::{par, ByteSize};
-use workloads::tracegen::TraceKind;
+use workloads::tracegen::{replay_streaming, TraceKind};
 
 const CORES: u32 = 8;
 const PER_CORE: u64 = 400;
@@ -61,6 +63,34 @@ fn check(kind: TraceKind, setup: MemSetup) {
         );
         assert_eq!(
             par_sim.mesh_stats(),
+            seq.mesh_stats(),
+            "mesh stats diverged: {ctx}"
+        );
+
+        let mut stream_sim = fresh(setup);
+        let got = par::with_threads(workers, || {
+            let mut source = kind.source(CORES, PER_CORE, SEED);
+            replay_streaming(&mut stream_sim, source.as_mut())
+        });
+        let ctx = format!("streaming {kind:?} under {setup:?} at {workers} workers");
+        assert_eq!(got, expect, "report diverged: {ctx}");
+        assert_eq!(
+            stream_sim.per_core_totals(),
+            seq.per_core_totals(),
+            "per-shard totals diverged: {ctx}"
+        );
+        assert_eq!(
+            stream_sim.ddr_stats(),
+            seq.ddr_stats(),
+            "DDR bank stats diverged: {ctx}"
+        );
+        assert_eq!(
+            stream_sim.hbm_stats(),
+            seq.hbm_stats(),
+            "MCDRAM bank stats diverged: {ctx}"
+        );
+        assert_eq!(
+            stream_sim.mesh_stats(),
             seq.mesh_stats(),
             "mesh stats diverged: {ctx}"
         );
@@ -124,6 +154,18 @@ fn split_placement_parallel_equals_sequential() {
         assert_eq!(got, expect, "split placement at {workers} workers");
         assert_eq!(par_sim.ddr_stats(), seq.ddr_stats());
         assert_eq!(par_sim.hbm_stats(), seq.hbm_stats());
+
+        let mut stream_sim = mk();
+        let got = par::with_threads(workers, || {
+            let mut source = TraceKind::Bfs.source(CORES, PER_CORE, SEED ^ 0x5917);
+            replay_streaming(&mut stream_sim, source.as_mut())
+        });
+        assert_eq!(
+            got, expect,
+            "streaming split placement at {workers} workers"
+        );
+        assert_eq!(stream_sim.ddr_stats(), seq.ddr_stats());
+        assert_eq!(stream_sim.hbm_stats(), seq.hbm_stats());
     }
 }
 

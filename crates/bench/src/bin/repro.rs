@@ -6,16 +6,56 @@
 //! repro table1|table2    # the tables
 //! repro latency          # the §IV-A idle-latency point values
 //! repro validate         # run every shape check against the paper
-//! repro bench-replay [--smoke] [--out PATH]
+//! repro bench-replay [--smoke] [--out PATH] [--metrics PATH]
 //!                        # time the trace-replay engines, write
 //!                        # BENCH_trace_replay.json
 //! repro bench-check <file>
 //!                        # validate a bench-replay JSON report
+//! repro profile [config] [--out PATH] [--metrics PATH]
+//!                        # streaming replay with telemetry on; write a
+//!                        # Chrome trace_event JSONL (about:tracing /
+//!                        # Perfetto) and optionally the metrics JSON.
+//!                        # config is a bench label, default
+//!                        # stream_64x50000
+//! repro profile-check <trace.jsonl> [--metrics PATH]
+//!                        # validate a profile: JSONL parses, spans are
+//!                        # monotonic and cover every replay phase, and
+//!                        # at least 5 device metric series are present
+//! repro bench-overhead [--config LABEL] [--iters N] [--tol F]
+//!                        # assert the telemetry-off vs -on streaming
+//!                        # wall-time ratio stays within tolerance
+//! repro trace [cores] [per_core] [--metrics PATH]
+//!                        # replay the paper workloads; optionally dump
+//!                        # the merged telemetry registry as JSON
 //! ```
 
 use hybridmem::figures;
 use hybridmem::report::{render_figure, series_csv};
 use hybridmem::validate::{render_checks, validate_all};
+
+/// Value of `--name <value>`, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Positional arguments after the subcommand; flags taking a value
+/// consume the following argument.
+fn positionals(args: &[String]) -> Vec<&str> {
+    const VALUE_FLAGS: [&str; 5] = ["--out", "--metrics", "--config", "--iters", "--tol"];
+    let mut out = Vec::new();
+    let mut iter = args.iter().skip(1);
+    while let Some(a) = iter.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
 
 fn figure_by_id(id: &str) -> Option<hybridmem::FigureData> {
     Some(match id {
@@ -71,15 +111,160 @@ fn main() {
         }
         "latency" => print!("{}", latency_report()),
         "trace" => {
-            // repro trace [cores] [accesses_per_core]
-            let cores: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
-            let per_core: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2_000);
-            let rows = hybridmem::TraceSweep::paper(cores, per_core, 0xC0FFEE).run();
+            // repro trace [cores] [accesses_per_core] [--metrics PATH]
+            let pos = positionals(&args);
+            let cores: u32 = pos.first().and_then(|a| a.parse().ok()).unwrap_or(16);
+            let per_core: u64 = pos.get(1).and_then(|a| a.parse().ok()).unwrap_or(2_000);
+            let sweep = hybridmem::TraceSweep::paper(cores, per_core, 0xC0FFEE);
+            let rows = if let Some(path) = flag_value(&args, "--metrics") {
+                let (rows, registry) = sweep.run_with_metrics();
+                let doc = hybridmem::metrics_to_json(&registry);
+                hybridmem::check_metrics(&doc).expect("fresh metrics dump validates");
+                std::fs::write(path, doc.to_pretty()).expect("write metrics");
+                println!("wrote {path}");
+                rows
+            } else {
+                sweep.run()
+            };
             print!("{}", hybridmem::render_trace_replays(&rows));
             println!(
                 "(replayed with {} worker thread(s); set TRACESIM_THREADS to change)",
                 knl::tracesim::worker_threads()
             );
+        }
+        "profile" => {
+            // repro profile [config-label] [--out PATH] [--metrics PATH]
+            let label = positionals(&args)
+                .first()
+                .copied()
+                .unwrap_or("stream_64x50000")
+                .to_string();
+            let cfg = bench::replay::ReplayConfig::parse_label(&label).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let out = flag_value(&args, "--out")
+                .map(String::from)
+                .unwrap_or_else(|| format!("profile_{label}.jsonl"));
+            let run = bench::replay::profile_config(&cfg);
+            let trace =
+                hybridmem::check_chrome_trace(&run.chrome_jsonl).expect("fresh profile validates");
+            hybridmem::check_metrics(&run.metrics).expect("fresh metrics dump validates");
+            std::fs::write(&out, &run.chrome_jsonl).expect("write profile");
+            println!(
+                "{label}: {} accesses in {:.3} s ({:.2} Macc/s with telemetry on)",
+                run.accesses,
+                run.seconds,
+                run.accesses as f64 / run.seconds / 1e6
+            );
+            println!(
+                "wrote {out} ({} events: spans [{}], {} metric series) — load in about:tracing or ui.perfetto.dev",
+                trace.events,
+                trace.span_names.join(", "),
+                trace.counter_series
+            );
+            if let Some(path) = flag_value(&args, "--metrics") {
+                std::fs::write(path, run.metrics.to_pretty()).expect("write metrics");
+                println!("wrote {path}");
+            }
+        }
+        "profile-check" => {
+            // repro profile-check <trace.jsonl> [--metrics PATH]
+            let path = positionals(&args)
+                .first()
+                .copied()
+                .unwrap_or_else(|| {
+                    eprintln!("usage: repro profile-check <trace.jsonl> [--metrics PATH]");
+                    std::process::exit(2);
+                })
+                .to_string();
+            let text = std::fs::read_to_string(&path).expect("read profile");
+            let trace = hybridmem::check_chrome_trace(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+            for phase in ["generate", "classify", "merge", "finish"] {
+                if !trace.span_names.iter().any(|n| n == phase) {
+                    eprintln!(
+                        "{path}: missing replay phase span {phase:?} (have: {})",
+                        trace.span_names.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+            if trace.counter_series < 5 {
+                eprintln!(
+                    "{path}: only {} metric series (expected >= 5)",
+                    trace.counter_series
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "{path}: ok ({} events, spans [{}], {} metric series)",
+                trace.events,
+                trace.span_names.join(", "),
+                trace.counter_series
+            );
+            if let Some(mpath) = flag_value(&args, "--metrics") {
+                let mtext = std::fs::read_to_string(mpath).expect("read metrics");
+                let doc = hybridmem::json::parse(&mtext).unwrap_or_else(|e| {
+                    eprintln!("{mpath}: invalid JSON: {e}");
+                    std::process::exit(1);
+                });
+                match hybridmem::check_metrics(&doc) {
+                    Ok(s) => println!(
+                        "{mpath}: ok ({} counters, {} gauges, {} histograms)",
+                        s.counters, s.gauges, s.histograms
+                    ),
+                    Err(e) => {
+                        eprintln!("{mpath}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "bench-overhead" => {
+            // repro bench-overhead [--config LABEL] [--iters N] [--tol F]
+            let label = flag_value(&args, "--config").unwrap_or("stream_64x50000");
+            let cfg = bench::replay::ReplayConfig::parse_label(label).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.02);
+            let m = bench::replay::measure_overhead(&cfg, iters);
+            // Two estimators with different noise modes: the median
+            // of per-pair ratios (robust to outlier runs, but carries
+            // any residual pairing bias) and the ratio of best times
+            // (immune to pairing bias, but one lucky off-run inflates
+            // it). A genuine per-access cost inflates both, so the
+            // gate takes the smaller.
+            let best_ratio = if m.off_secs > 0.0 {
+                m.on_secs / m.off_secs
+            } else {
+                1.0
+            };
+            let ratio = m.ratio().min(best_ratio);
+            println!(
+                "{label}: telemetry off {:.4} s, on {:.4} s over {iters} pairs -> median pair ratio {:.4}, best ratio {:.4} (tolerance {:.2}%)",
+                m.off_secs,
+                m.on_secs,
+                m.ratio(),
+                best_ratio,
+                tol * 100.0
+            );
+            if ratio > 1.0 + tol {
+                eprintln!(
+                    "telemetry overhead {:.2}% exceeds {:.2}%",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
         }
         "compare" => {
             let cmp = hybridmem::compare_with_model();
@@ -121,14 +306,9 @@ fn main() {
             }
         }
         "bench-replay" => {
-            // repro bench-replay [--smoke] [--out PATH]
+            // repro bench-replay [--smoke] [--out PATH] [--metrics PATH]
             let smoke = args.iter().any(|a| a == "--smoke");
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .map(String::as_str)
-                .unwrap_or("BENCH_trace_replay.json");
+            let out = flag_value(&args, "--out").unwrap_or("BENCH_trace_replay.json");
             let configs = if smoke {
                 bench::replay::smoke_configs()
             } else {
@@ -137,6 +317,14 @@ fn main() {
             let report = bench::replay::bench_report(&configs);
             bench::replay::check_report(&report).expect("fresh bench report validates");
             std::fs::write(out, report.to_pretty()).expect("write bench report");
+            if let Some(path) = flag_value(&args, "--metrics") {
+                // A separate telemetry-enabled pass, so the timed runs
+                // above stay unobserved.
+                let doc = bench::replay::collect_metrics(&configs);
+                hybridmem::check_metrics(&doc).expect("fresh metrics dump validates");
+                std::fs::write(path, doc.to_pretty()).expect("write metrics");
+                println!("wrote {path}");
+            }
             for cfg in report.arr_field("configs").unwrap() {
                 println!(
                     "{:<22} streaming speedup vs sequential: {:.2}x",
@@ -190,7 +378,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, bench-replay, bench-check, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, bench-replay, bench-check, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
                 );
                 std::process::exit(2);
             }

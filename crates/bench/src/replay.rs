@@ -43,6 +43,35 @@ impl ReplayConfig {
         )
     }
 
+    /// Parse a [`label`](Self::label)-format identifier back into a
+    /// configuration (`repro profile stream_64x50000`). Kind names
+    /// match case-insensitively; errors describe the expected shape.
+    pub fn parse_label(label: &str) -> Result<ReplayConfig, String> {
+        let shape = || format!("bad config label {label:?} (expected <kind>_<cores>x<per_core>)");
+        let (kind_s, rest) = label.rsplit_once('_').ok_or_else(shape)?;
+        let kind = TraceKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(kind_s))
+            .ok_or_else(|| {
+                let known: Vec<String> = TraceKind::ALL
+                    .iter()
+                    .map(|k| k.name().to_lowercase())
+                    .collect();
+                format!("unknown trace kind {kind_s:?}; known: {}", known.join(", "))
+            })?;
+        let (cores_s, per_s) = rest.split_once('x').ok_or_else(shape)?;
+        let cores: u32 = cores_s.parse().map_err(|_| shape())?;
+        let accesses_per_core: u64 = per_s.parse().map_err(|_| shape())?;
+        if cores == 0 || accesses_per_core == 0 {
+            return Err(shape());
+        }
+        Ok(ReplayConfig {
+            kind,
+            cores,
+            accesses_per_core,
+        })
+    }
+
     fn sim(&self) -> TraceSim {
         TraceSim::new(
             &MachineConfig::knl7210(MemSetup::DramOnly, 64),
@@ -291,6 +320,142 @@ pub fn check_report(report: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Output of a telemetry-enabled streaming profile run.
+#[derive(Debug, Clone)]
+pub struct ProfileRun {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Wall-clock seconds (including trace generation, as the
+    /// streaming path is always timed).
+    pub seconds: f64,
+    /// Chrome `trace_event` JSONL (spans + metric counter series).
+    pub chrome_jsonl: String,
+    /// The registry as a `telemetry_metrics/v1` document.
+    pub metrics: Json,
+}
+
+/// Profile one configuration's streaming replay with telemetry on,
+/// producing both exporter outputs. Telemetry never changes replay
+/// results, so the run is the same replay `bench_report` times — just
+/// observed.
+pub fn profile_config(cfg: &ReplayConfig) -> ProfileRun {
+    let mut sim = cfg.sim();
+    sim.enable_telemetry();
+    let mut source = cfg
+        .kind
+        .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+    let t0 = Instant::now();
+    let report = replay_streaming(&mut sim, source.as_mut());
+    let seconds = t0.elapsed().as_secs_f64();
+    let registry = sim.metrics_registry();
+    let chrome_jsonl = simfabric::telemetry::chrome_trace_jsonl(
+        sim.telemetry_spans().expect("telemetry enabled"),
+        &registry,
+    );
+    ProfileRun {
+        accesses: report.accesses,
+        seconds,
+        chrome_jsonl,
+        metrics: hybridmem::metrics_to_json(&registry),
+    }
+}
+
+/// Telemetry-enabled streaming pass over `configs`, merging each
+/// config's registry under its label prefix — the `--metrics`
+/// companion to [`bench_report`], run separately so the timed paths
+/// stay unobserved.
+pub fn collect_metrics(configs: &[ReplayConfig]) -> Json {
+    let mut merged = simfabric::MetricsRegistry::new();
+    for cfg in configs {
+        let mut sim = cfg.sim();
+        sim.enable_telemetry();
+        let mut source = cfg
+            .kind
+            .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+        let _ = replay_streaming(&mut sim, source.as_mut());
+        merged.merge_prefixed(&format!("{}.", cfg.label()), &sim.metrics_registry());
+    }
+    hybridmem::metrics_to_json(&merged)
+}
+
+/// Paired wall-time measurements of the telemetry-off and
+/// telemetry-on streaming paths of one configuration.
+#[derive(Debug, Clone)]
+pub struct OverheadMeasurement {
+    /// Best telemetry-off wall time (seconds).
+    pub off_secs: f64,
+    /// Best telemetry-on wall time (seconds).
+    pub on_secs: f64,
+    /// on/off ratio of each adjacent off/on pair, in run order.
+    pub pair_ratios: Vec<f64>,
+}
+
+impl OverheadMeasurement {
+    /// Estimated on/off wall-time ratio (1.0 = telemetry is free):
+    /// the **median of per-pair ratios**. Each pair runs back-to-back
+    /// and so shares the machine's momentary state (frequency step,
+    /// cache residency, co-tenant load); cross-run estimators like
+    /// min-of-N compare an off run against an on run from *different*
+    /// states and report that difference as overhead. Within a pair
+    /// the *second* run is measurably slower on a drifting host
+    /// whatever it measures, so [`measure_overhead`] alternates which
+    /// side goes first and the bias cancels across the median.
+    pub fn ratio(&self) -> f64 {
+        let mut sorted = self.pair_ratios.clone();
+        if sorted.is_empty() {
+            return 1.0;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+}
+
+/// Measure telemetry overhead on `cfg`'s streaming path: `iters`
+/// back-to-back off/on run pairs (order alternating pair to pair),
+/// yielding the per-pair ratios behind
+/// [`OverheadMeasurement::ratio`]. Prefer an even `iters` so both
+/// orderings contribute equally.
+pub fn measure_overhead(cfg: &ReplayConfig, iters: usize) -> OverheadMeasurement {
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    for i in 0..iters.max(1) {
+        let mut pair = [0.0f64; 2];
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for telemetry in order {
+            let mut sim = cfg.sim();
+            if telemetry {
+                sim.enable_telemetry();
+            }
+            let mut source = cfg
+                .kind
+                .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+            let t0 = Instant::now();
+            let _ = replay_streaming(&mut sim, source.as_mut());
+            pair[telemetry as usize] = t0.elapsed().as_secs_f64();
+        }
+        off = off.min(pair[0]);
+        on = on.min(pair[1]);
+        if pair[0] > 0.0 {
+            pair_ratios.push(pair[1] / pair[0]);
+        }
+    }
+    OverheadMeasurement {
+        off_secs: off,
+        on_secs: on,
+        pair_ratios,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +506,105 @@ mod tests {
             ),
         ]);
         assert!(check_report(&missing_path).is_err());
+    }
+
+    #[test]
+    fn config_labels_parse_back() {
+        for cfg in standard_configs().iter().chain(&smoke_configs()) {
+            let parsed = ReplayConfig::parse_label(&cfg.label()).expect("round-trips");
+            assert_eq!(parsed.label(), cfg.label());
+            assert_eq!(parsed.cores, cfg.cores);
+            assert_eq!(parsed.accesses_per_core, cfg.accesses_per_core);
+        }
+        assert!(ReplayConfig::parse_label("stream").is_err());
+        assert!(ReplayConfig::parse_label("stream_64").is_err());
+        assert!(ReplayConfig::parse_label("warp_8x100").is_err());
+        assert!(ReplayConfig::parse_label("stream_0x100").is_err());
+        assert!(ReplayConfig::parse_label("stream_8x0").is_err());
+        // Kind names match case-insensitively.
+        assert_eq!(
+            ReplayConfig::parse_label("XSBench_4x10").unwrap().label(),
+            "xsbench_4x10"
+        );
+    }
+
+    #[test]
+    fn profile_run_passes_both_checkers() {
+        let cfg = ReplayConfig {
+            kind: TraceKind::Stream,
+            cores: 4,
+            accesses_per_core: 500,
+        };
+        let run = simfabric::par::with_threads(2, || profile_config(&cfg));
+        assert!(run.accesses > 0 && run.seconds > 0.0);
+        let trace = hybridmem::check_chrome_trace(&run.chrome_jsonl).expect("valid trace");
+        for phase in ["generate", "classify", "merge", "finish"] {
+            assert!(
+                trace.span_names.iter().any(|n| n == phase),
+                "missing span {phase:?} in {:?}",
+                trace.span_names
+            );
+        }
+        assert!(trace.counter_series >= 5, "{}", trace.counter_series);
+        let metrics = hybridmem::check_metrics(&run.metrics).expect("valid metrics");
+        assert!(metrics.total() >= 5);
+    }
+
+    #[test]
+    fn collected_metrics_validate_and_carry_label_prefixes() {
+        let configs = [
+            ReplayConfig {
+                kind: TraceKind::Stream,
+                cores: 2,
+                accesses_per_core: 300,
+            },
+            ReplayConfig {
+                kind: TraceKind::Gups,
+                cores: 2,
+                accesses_per_core: 300,
+            },
+        ];
+        let doc = simfabric::par::with_threads(2, || collect_metrics(&configs));
+        hybridmem::check_metrics(&doc).expect("valid metrics");
+        let metrics = match doc.get("metrics") {
+            Some(Json::Obj(m)) => m,
+            _ => panic!("metrics object"),
+        };
+        for cfg in &configs {
+            let key = format!("{}.shard.accesses", cfg.label());
+            assert!(metrics.contains_key(&key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn overhead_measurement_produces_finite_ratio() {
+        let cfg = ReplayConfig {
+            kind: TraceKind::Stream,
+            cores: 2,
+            accesses_per_core: 200,
+        };
+        let m = simfabric::par::with_threads(2, || measure_overhead(&cfg, 2));
+        assert!(m.off_secs.is_finite() && m.on_secs.is_finite());
+        assert_eq!(m.pair_ratios.len(), 2);
+        assert!(m.ratio() > 0.0 && m.ratio().is_finite());
+        // Median of per-pair ratios, odd and even counts.
+        let odd = OverheadMeasurement {
+            off_secs: 1.0,
+            on_secs: 1.0,
+            pair_ratios: vec![5.0, 1.0, 1.02],
+        };
+        assert_eq!(odd.ratio(), 1.02);
+        let even = OverheadMeasurement {
+            off_secs: 1.0,
+            on_secs: 1.0,
+            pair_ratios: vec![1.04, 1.0, 9.0, 1.02],
+        };
+        assert!((even.ratio() - 1.03).abs() < 1e-12);
+        let empty = OverheadMeasurement {
+            off_secs: 1.0,
+            on_secs: 1.0,
+            pair_ratios: vec![],
+        };
+        assert_eq!(empty.ratio(), 1.0);
     }
 }

@@ -7,7 +7,7 @@
 //! of the paper identifies as the bandwidth bottleneck for regular
 //! access, and it is what additional hardware threads multiply.
 
-use simfabric::stats::Counter;
+use simfabric::stats::{Counter, Histogram};
 use simfabric::SimTime;
 
 /// Result of registering a miss with the MSHR file.
@@ -46,6 +46,11 @@ pub struct Mshr {
     pub merges: Counter,
     /// Requests that found the file full.
     pub stalls: Counter,
+    /// Telemetry: occupancy observed at each `register` call, after
+    /// retiring completed fetches. `None` (the default) keeps the hot
+    /// path at a single branch; boxed so the disabled file stays
+    /// pointer-sized.
+    occupancy: Option<Box<Histogram>>,
 }
 
 impl Mshr {
@@ -58,7 +63,23 @@ impl Mshr {
             allocations: Counter::new(),
             merges: Counter::new(),
             stalls: Counter::new(),
+            occupancy: None,
         }
+    }
+
+    /// Start recording an occupancy histogram: every subsequent
+    /// [`register`](Self::register) samples the in-flight entry count
+    /// (after retiring completed fetches). Purely observational — the
+    /// outcome of every `register` call is unchanged.
+    pub fn enable_occupancy_histogram(&mut self) {
+        if self.occupancy.is_none() {
+            self.occupancy = Some(Box::new(Histogram::new()));
+        }
+    }
+
+    /// The occupancy histogram, if telemetry was enabled.
+    pub fn occupancy_histogram(&self) -> Option<&Histogram> {
+        self.occupancy.as_deref()
     }
 
     /// Entries currently in flight (after retiring everything complete
@@ -83,6 +104,9 @@ impl Mshr {
     /// the fetch completion time.
     pub fn register(&mut self, line_addr: u64, now: SimTime) -> MshrOutcome {
         self.retire(now);
+        if let Some(h) = &mut self.occupancy {
+            h.record(self.inflight.len() as u64);
+        }
         if let Some(&(_, ready_at)) = self.inflight.iter().find(|&&(l, _)| l == line_addr) {
             self.merges.incr();
             return MshrOutcome::Merged { ready_at };

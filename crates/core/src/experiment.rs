@@ -255,14 +255,44 @@ impl TraceSweep {
     /// internally parallel, so points run in sequence rather than
     /// oversubscribing the worker pool.
     pub fn run(&self) -> Vec<TraceReplay> {
+        self.run_inner(false).0
+    }
+
+    /// [`run`](Self::run) with telemetry enabled on every point's
+    /// simulator, returning each point's metrics folded into one
+    /// registry under a `{kind}.{setup}.` prefix (e.g.
+    /// `stream.dram.mesh.messages`). Telemetry never changes replay
+    /// results, so the reports match [`run`](Self::run) exactly.
+    pub fn run_with_metrics(&self) -> (Vec<TraceReplay>, simfabric::MetricsRegistry) {
+        self.run_inner(true)
+    }
+
+    /// Metric-name prefix of one (kind × setup) point.
+    pub fn point_prefix(kind: TraceKind, setup: MemSetup) -> String {
+        format!(
+            "{}.{}.",
+            kind.name().to_lowercase(),
+            setup.label().to_lowercase().replace(' ', "_")
+        )
+    }
+
+    fn run_inner(&self, telemetry: bool) -> (Vec<TraceReplay>, simfabric::MetricsRegistry) {
         let mut out = Vec::with_capacity(self.kinds.len() * self.setups.len());
+        let mut metrics = simfabric::MetricsRegistry::new();
         for &kind in &self.kinds {
             for &setup in &self.setups {
                 let cfg = MachineConfig::knl7210(setup, 64);
                 let mut sim =
                     TraceSim::new(&cfg, self.cores, Self::placement(setup), ByteSize::mib(8));
+                if telemetry {
+                    sim.enable_telemetry();
+                }
                 let mut source = kind.source(self.cores, self.accesses_per_core, self.seed);
                 let report = workloads::tracegen::replay_streaming(&mut sim, source.as_mut());
+                if telemetry {
+                    metrics
+                        .merge_prefixed(&Self::point_prefix(kind, setup), &sim.metrics_registry());
+                }
                 out.push(TraceReplay {
                     kind,
                     setup,
@@ -270,7 +300,7 @@ impl TraceSweep {
                 });
             }
         }
-        out
+        (out, metrics)
     }
 }
 
@@ -341,6 +371,36 @@ mod tests {
         assert_eq!(one, eight, "replay must not depend on worker count");
         for r in &one {
             assert!(r.report.accesses > 0, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn trace_sweep_metrics_ride_along_without_changing_reports() {
+        let sweep = TraceSweep {
+            kinds: vec![TraceKind::Stream],
+            cores: 4,
+            accesses_per_core: 200,
+            seed: 42,
+            setups: vec![MemSetup::DramOnly, MemSetup::CacheMode],
+        };
+        let plain = sweep.run();
+        let (with_tel, metrics) = sweep.run_with_metrics();
+        assert_eq!(plain, with_tel, "telemetry must not change replays");
+        assert_eq!(
+            TraceSweep::point_prefix(TraceKind::Stream, MemSetup::CacheMode),
+            "stream.cache_mode."
+        );
+        for r in &plain {
+            let key = format!(
+                "{}shard.accesses",
+                TraceSweep::point_prefix(r.kind, r.setup)
+            );
+            match metrics.get(&key) {
+                Some(simfabric::MetricValue::Counter(n)) => {
+                    assert_eq!(*n, r.report.accesses, "{key}")
+                }
+                other => panic!("{key}: {other:?}"),
+            }
         }
     }
 

@@ -17,6 +17,7 @@ pub mod extensions;
 pub mod figures;
 pub mod json;
 pub mod paper;
+pub mod profile;
 pub mod report;
 pub mod sensitivity;
 pub mod validate;
@@ -29,6 +30,9 @@ pub use experiment::{
 pub use extensions::{decompose, DecompositionPlan};
 pub use figures::{all_figures, FigureData};
 pub use paper::{compare_with_model, paper_reference};
+pub use profile::{
+    check_chrome_trace, check_metrics, metrics_to_json, ChromeTraceSummary, MetricsSummary,
+};
 pub use report::{render_figure, render_trace_replays, series_csv};
 pub use sensitivity::{all_scans, SensitivityScan};
 pub use validate::{validate_all, ShapeCheck};

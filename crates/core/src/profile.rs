@@ -1,0 +1,269 @@
+//! Profile exporters and validators: the flat-JSON metrics dump for a
+//! [`MetricsRegistry`](simfabric::MetricsRegistry), plus structural
+//! checkers for both exporter outputs (the metrics JSON here and the
+//! Chrome `trace_event` JSONL produced by
+//! [`simfabric::telemetry::chrome_trace_jsonl`]).
+//!
+//! The exporters live in two places deliberately: the Chrome exporter
+//! sits in `simfabric` next to the span log (it needs no JSON value
+//! type — field order is fixed by hand), while the metrics dump lives
+//! here next to [`crate::json`], the in-tree JSON value type every
+//! archived artifact uses. The checkers both run in CI: `repro
+//! profile-check` validates that a freshly produced profile parses,
+//! that span timestamps are monotonically non-decreasing, and that the
+//! expected phases and device series are present.
+
+use crate::json::{self, Json};
+use simfabric::telemetry::{MetricValue, MetricsRegistry};
+
+/// Schema tag of the metrics dump.
+pub const METRICS_SCHEMA: &str = "telemetry_metrics/v1";
+
+/// Render a registry as a flat JSON document: one object per metric,
+/// keyed by metric name, each self-describing via a `"type"` field.
+/// Deterministic — the registry iterates in name order and the JSON
+/// object keeps key order.
+pub fn metrics_to_json(reg: &MetricsRegistry) -> Json {
+    let mut metrics = std::collections::BTreeMap::new();
+    for (name, value) in reg.iter() {
+        let entry = match value {
+            MetricValue::Counter(n) => Json::obj([
+                ("type", Json::Str("counter".into())),
+                ("value", Json::Num(*n as f64)),
+            ]),
+            MetricValue::Gauge(v) => Json::obj([
+                ("type", Json::Str("gauge".into())),
+                ("value", Json::Num(if v.is_finite() { *v } else { 0.0 })),
+            ]),
+            MetricValue::Histogram(h) => Json::obj([
+                ("type", Json::Str("histogram".into())),
+                ("count", Json::Num(h.count() as f64)),
+                ("mean", Json::Num(h.mean())),
+                ("min", Json::Num(h.min().unwrap_or(0) as f64)),
+                ("p50", Json::Num(h.quantile_bound(0.5) as f64)),
+                ("p99", Json::Num(h.quantile_bound(0.99) as f64)),
+                ("max", Json::Num(h.max().unwrap_or(0) as f64)),
+            ]),
+        };
+        metrics.insert(name.to_string(), entry);
+    }
+    Json::obj([
+        ("schema", Json::Str(METRICS_SCHEMA.into())),
+        ("metrics", Json::Obj(metrics)),
+    ])
+}
+
+/// Summary of a validated metrics dump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Counter metrics present.
+    pub counters: usize,
+    /// Gauge metrics present.
+    pub gauges: usize,
+    /// Histogram metrics present.
+    pub histograms: usize,
+}
+
+impl MetricsSummary {
+    /// Total metrics of any type.
+    pub fn total(&self) -> usize {
+        self.counters + self.gauges + self.histograms
+    }
+}
+
+/// Validate a metrics dump against [`METRICS_SCHEMA`]: the schema tag,
+/// and per metric a known `"type"` with that type's required numeric
+/// fields. Errors name the offending metric.
+pub fn check_metrics(doc: &Json) -> Result<MetricsSummary, String> {
+    let schema = doc.str_field("schema")?;
+    if schema != METRICS_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {METRICS_SCHEMA:?}"));
+    }
+    let metrics = match doc.get("metrics") {
+        Some(Json::Obj(m)) => m,
+        _ => return Err("missing or non-object field `metrics`".into()),
+    };
+    let mut summary = MetricsSummary::default();
+    for (name, entry) in metrics {
+        let kind = entry
+            .str_field("type")
+            .map_err(|e| format!("metric {name:?}: {e}"))?;
+        let require = |keys: &[&str]| -> Result<(), String> {
+            for key in keys {
+                entry
+                    .num_field(key)
+                    .map_err(|e| format!("metric {name:?}: {e}"))?;
+            }
+            Ok(())
+        };
+        match kind.as_str() {
+            "counter" => {
+                require(&["value"])?;
+                summary.counters += 1;
+            }
+            "gauge" => {
+                require(&["value"])?;
+                summary.gauges += 1;
+            }
+            "histogram" => {
+                require(&["count", "mean", "min", "p50", "p99", "max"])?;
+                summary.histograms += 1;
+            }
+            other => return Err(format!("metric {name:?}: unknown type {other:?}")),
+        }
+    }
+    Ok(summary)
+}
+
+/// Summary of a validated Chrome `trace_event` JSONL profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTraceSummary {
+    /// Total events (lines).
+    pub events: usize,
+    /// Distinct span (`"ph": "X"`) names, sorted.
+    pub span_names: Vec<String>,
+    /// Counter (`"ph": "C"`) series.
+    pub counter_series: usize,
+}
+
+/// Validate a Chrome-trace JSONL document: every line parses as one
+/// JSON object with the fields its phase requires, and timestamps are
+/// monotonically non-decreasing (the exporter sorts, so a violation
+/// means a corrupted or concatenated file). Errors carry the 1-based
+/// line number.
+pub fn check_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let mut summary = ChromeTraceSummary::default();
+    let mut spans = std::collections::BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let ev = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let name = ev
+            .str_field("name")
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        let ph = ev
+            .str_field("ph")
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        let ts = ev
+            .num_field("ts")
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        ev.num_field("pid")
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        if ev.get("args").map(|a| matches!(a, Json::Obj(_))) != Some(true) {
+            return Err(format!("line {lineno}: missing or non-object `args`"));
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "line {lineno}: ts {ts} decreases (previous {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        match ph.as_str() {
+            "X" => {
+                let dur = ev
+                    .num_field("dur")
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                if dur < 0.0 {
+                    return Err(format!("line {lineno}: negative dur {dur}"));
+                }
+                ev.num_field("tid")
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                spans.insert(name);
+            }
+            "C" => summary.counter_series += 1,
+            other => return Err(format!("line {lineno}: unsupported phase {other:?}")),
+        }
+        summary.events += 1;
+    }
+    summary.span_names = spans.into_iter().collect();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfabric::telemetry::{chrome_trace_jsonl, SpanLog, SpanRecord};
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("dev.hits", 10);
+        reg.gauge("dev.high_water", 3.5);
+        reg.record("dev.lat_ps", 100);
+        reg.record("dev.lat_ps", 900);
+        reg
+    }
+
+    #[test]
+    fn metrics_roundtrip_through_checker() {
+        let doc = metrics_to_json(&sample_registry());
+        let summary = check_metrics(&doc).expect("valid dump");
+        assert_eq!(
+            summary,
+            MetricsSummary {
+                counters: 1,
+                gauges: 1,
+                histograms: 1,
+            }
+        );
+        assert_eq!(summary.total(), 3);
+        // The pretty-printed text reparses to the same value.
+        let reparsed = json::parse(&doc.to_pretty()).expect("reparses");
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn checker_rejects_bad_schema_and_types() {
+        let mut doc = metrics_to_json(&sample_registry());
+        if let Json::Obj(m) = &mut doc {
+            m.insert("schema".into(), Json::Str("bogus/v9".into()));
+        }
+        assert!(check_metrics(&doc).unwrap_err().contains("bogus"));
+        let bad_type = Json::obj([
+            ("schema", Json::Str(METRICS_SCHEMA.into())),
+            (
+                "metrics",
+                Json::obj([("x", Json::obj([("type", Json::Str("widget".into()))]))]),
+            ),
+        ]);
+        assert!(check_metrics(&bad_type).unwrap_err().contains("widget"));
+    }
+
+    #[test]
+    fn chrome_checker_accepts_exporter_output() {
+        let mut log = SpanLog::new();
+        log.push(SpanRecord {
+            name: "classify".into(),
+            cat: "replay",
+            ts_us: 10.0,
+            dur_us: 4.0,
+            tid: 0,
+            args: vec![("accesses", 64.0)],
+        });
+        log.push(SpanRecord {
+            name: "merge".into(),
+            cat: "replay",
+            ts_us: 14.0,
+            dur_us: 2.0,
+            tid: 0,
+            args: vec![],
+        });
+        let text = chrome_trace_jsonl(&log, &sample_registry());
+        let summary = check_chrome_trace(&text).expect("valid trace");
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.span_names, vec!["classify", "merge"]);
+        assert_eq!(summary.counter_series, 3);
+    }
+
+    #[test]
+    fn chrome_checker_rejects_regressing_timestamps() {
+        let good = "{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":5,\"dur\":1,\
+                    \"pid\":1,\"tid\":0,\"args\":{}}";
+        let bad = "{\"name\":\"b\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":2,\"dur\":1,\
+                   \"pid\":1,\"tid\":0,\"args\":{}}";
+        let text = format!("{good}\n{bad}\n");
+        let err = check_chrome_trace(&text).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("decreases"), "{err}");
+        assert!(check_chrome_trace("not json\n").is_err());
+        assert_eq!(check_chrome_trace("").unwrap().events, 0);
+    }
+}

@@ -64,8 +64,11 @@ use memdev::bank::{DramModel, DramStats};
 use mesh::MeshModel;
 use simfabric::merge::LoserTree;
 use simfabric::par;
+use simfabric::stats::Histogram;
+use simfabric::telemetry::{MetricsRegistry, SpanLog};
 use simfabric::{ByteSize, Duration, SimTime};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +252,36 @@ pub fn worker_threads() -> usize {
         .unwrap_or_else(par::num_threads)
 }
 
+/// Streaming-replay backlog threshold: warn when the classified
+/// backlog exceeds this many times the largest chunk the producer has
+/// delivered — the pipeline is then no longer streaming, it is
+/// materializing the trace (the single-core worst case the module docs
+/// describe).
+pub const BUFFER_WARN_CHUNKS: usize = 8;
+
+/// Minimum backlog (in accesses) before the warning can fire, so the
+/// tiny chunks the unit tests feed never trip it.
+pub const BUFFER_WARN_MIN_ACCESSES: usize = 1 << 16;
+
+/// The warning [`TraceSim::run_streaming`] emits (once per process)
+/// when its classified backlog stops being bounded by the chunk size.
+/// Pure so the threshold logic is testable without capturing stderr.
+pub fn buffer_warning(backlog_accesses: usize, max_chunk_accesses: usize) -> Option<String> {
+    if backlog_accesses >= BUFFER_WARN_MIN_ACCESSES
+        && max_chunk_accesses > 0
+        && backlog_accesses > BUFFER_WARN_CHUNKS * max_chunk_accesses
+    {
+        Some(format!(
+            "tracesim: streaming replay is buffering {backlog_accesses} classified accesses \
+             (more than {BUFFER_WARN_CHUNKS}x the {max_chunk_accesses}-access chunk size); \
+             the trace concentrates work on few cores, so the pipeline is degenerating \
+             toward materializing the whole trace"
+        ))
+    } else {
+        None
+    }
+}
+
 /// Pack the classification outcome's boolean/enum half into one byte:
 /// bit 0 = write, bit 1 = dependent, bits 2–3 = [`LevelHit`].
 fn pack_flags(write: bool, dependent: bool, level: LevelHit) -> u8 {
@@ -385,6 +418,17 @@ pub struct TraceSim {
     core_totals: Vec<ShardTotals>,
     /// Peak bytes of trace buffered inside the most recent `run*` call.
     last_peak_buffer: usize,
+    /// Peak classified accesses awaiting the timing merge in the most
+    /// recent `run*` call (the materialized paths report the trace
+    /// length; streaming reports its actual backlog high-water).
+    peak_buffered_accesses: usize,
+    /// Pipeline stall/occupancy stats from the most recent
+    /// `run_streaming` call (zeroed by the materialized paths).
+    last_pipe_stats: par::PipeStats,
+    /// Phase-span log; `None` (the default) disables all span
+    /// recording. Device-level histograms are enabled alongside it by
+    /// [`enable_telemetry`](Self::enable_telemetry).
+    telemetry: Option<SpanLog>,
 }
 
 impl TraceSim {
@@ -436,7 +480,135 @@ impl TraceSim {
             line_bytes: 64,
             core_totals: vec![ShardTotals::default(); cores as usize],
             last_peak_buffer: 0,
+            peak_buffered_accesses: 0,
+            last_pipe_stats: par::PipeStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Turn on telemetry for subsequent `run*` calls: a [`SpanLog`]
+    /// for phase spans, plus the Option-gated device recorders (MSHR
+    /// occupancy, DRAM bank queue-wait, mesh per-link traversals).
+    /// Telemetry is purely observational — replay results and device
+    /// statistics are bit-identical with it on or off, which the
+    /// equivalence suite asserts.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(SpanLog::new());
+        }
+        for m in &mut self.mshrs {
+            m.enable_occupancy_histogram();
+        }
+        self.ddr.enable_queue_wait_histogram();
+        self.hbm.enable_queue_wait_histogram();
+        self.mesh.enable_link_telemetry();
+    }
+
+    /// Whether [`enable_telemetry`](Self::enable_telemetry) was called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The recorded phase spans, if telemetry is enabled.
+    pub fn telemetry_spans(&self) -> Option<&SpanLog> {
+        self.telemetry.as_ref()
+    }
+
+    /// Pipeline stall/occupancy stats from the most recent
+    /// [`run_streaming`](Self::run_streaming) call.
+    pub fn last_pipe_stats(&self) -> par::PipeStats {
+        self.last_pipe_stats
+    }
+
+    /// Peak classified accesses buffered ahead of the timing merge in
+    /// the most recent `run*` call (see `pipeline.buffered_accesses`
+    /// in [`metrics_registry`](Self::metrics_registry)).
+    pub fn last_peak_buffered_accesses(&self) -> usize {
+        self.peak_buffered_accesses
+    }
+
+    /// Snapshot shard `core`'s private state (cache hierarchy, MSHR
+    /// file, raw totals) as an *unindexed* metrics registry: every
+    /// shard uses the same metric names, so per-shard registries merge
+    /// with [`MetricsRegistry::merge`] into exactly the totals the
+    /// sequential path reports — the registry-level analogue of
+    /// [`ShardTotals::merge`], asserted by the equivalence suite.
+    pub fn shard_metrics(&self, core: usize) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let t = &self.core_totals[core];
+        reg.counter("shard.accesses", t.accesses);
+        reg.counter("shard.memory_accesses", t.memory_accesses);
+        reg.counter("shard.mcdram_cache_hits", t.mcdram_cache_hits);
+        reg.counter("shard.total_latency_ps", t.total_latency.as_ps());
+        reg.gauge("shard.makespan_us", t.makespan.as_ns() / 1e3);
+        let h = &self.hierarchies[core];
+        reg.counter("cache.l1_hits", h.hits_at(LevelHit::L1));
+        reg.counter("cache.l2_hits", h.hits_at(LevelHit::L2));
+        reg.counter("cache.mcdram_cache_hits", h.hits_at(LevelHit::McdramCache));
+        reg.counter("cache.memory_misses", h.hits_at(LevelHit::Memory));
+        let m = &self.mshrs[core];
+        reg.counter("mshr.allocations", m.allocations.get());
+        reg.counter("mshr.merges", m.merges.get());
+        reg.counter("mshr.stalls", m.stalls.get());
+        if let Some(occ) = m.occupancy_histogram() {
+            reg.histogram("mshr.occupancy", occ);
+        }
+        reg
+    }
+
+    /// Snapshot every instrumented component into one registry: the
+    /// merged per-shard metrics, per-shard access gauges, both DRAM
+    /// bank models, the mesh, and the streaming pipeline. Histogram
+    /// metrics only appear once telemetry is enabled; counters and
+    /// gauges are always available.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for c in 0..self.hierarchies.len() {
+            reg.merge(&self.shard_metrics(c));
+        }
+        for (c, t) in self.core_totals.iter().enumerate() {
+            reg.gauge(&format!("shard.{c}.accesses"), t.accesses as f64);
+        }
+        for (prefix, dev) in [("dram.ddr.", &self.ddr), ("dram.hbm.", &self.hbm)] {
+            let s = dev.stats();
+            reg.counter(&format!("{prefix}row_hits"), s.row_hits.get());
+            reg.counter(&format!("{prefix}row_misses"), s.row_misses.get());
+            reg.counter(&format!("{prefix}row_closed"), s.row_closed.get());
+            reg.counter(&format!("{prefix}bank_conflicts"), s.bank_conflicts.get());
+            if let Some(h) = dev.queue_wait_histogram() {
+                reg.histogram(&format!("{prefix}queue_wait_ps"), h);
+            }
+        }
+        let ms = self.mesh.stats();
+        reg.counter("mesh.messages", ms.messages.get());
+        reg.counter("mesh.hops", ms.hops.get());
+        reg.counter("mesh.contended", ms.contended.get());
+        if let Some(links) = self.mesh.link_traversals() {
+            reg.gauge("mesh.links_used", links.len() as f64);
+            let mut h = Histogram::new();
+            for &(_, n) in &links {
+                h.record(n);
+            }
+            reg.histogram("mesh.link_traversals", &h);
+        }
+        reg.counter(
+            "pipeline.producer_stalls",
+            self.last_pipe_stats.producer_stalls,
+        );
+        reg.counter(
+            "pipeline.consumer_stalls",
+            self.last_pipe_stats.consumer_stalls,
+        );
+        reg.gauge(
+            "pipeline.queue_high_water",
+            self.last_pipe_stats.queue_high_water as f64,
+        );
+        reg.gauge(
+            "pipeline.buffered_accesses",
+            self.peak_buffered_accesses as f64,
+        );
+        reg.gauge("replay.peak_buffer_bytes", self.last_peak_buffer as f64);
+        reg
     }
 
     /// DDR bank-model statistics (row hits/misses/conflicts).
@@ -609,11 +781,26 @@ impl TraceSim {
     /// phantom traffic.
     pub fn run(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
         let cores = self.hierarchies.len();
+        let t_partition = self.telemetry.is_some().then(Instant::now);
         let mut queues: Vec<VecDeque<TraceAccess>> = vec![VecDeque::new(); cores];
         for &t in trace {
             queues[partition_by_core(t.core, cores)].push_back(t);
         }
         self.last_peak_buffer = trace.len() * std::mem::size_of::<TraceAccess>();
+        self.peak_buffered_accesses = trace.len();
+        self.last_pipe_stats = par::PipeStats::default();
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_partition) {
+            log.end(
+                t0,
+                "partition",
+                "replay",
+                0,
+                [("accesses", trace.len() as f64)],
+            );
+        }
+        // The sequential path classifies inside the merge loop, so one
+        // span covers both.
+        let t_merge = self.telemetry.is_some().then(Instant::now);
         let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
         for (c, q) in queues.iter().enumerate() {
             if !q.is_empty() {
@@ -628,6 +815,9 @@ impl TraceSim {
             } else {
                 tree.set(c, self.core_clock[c]);
             }
+        }
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+            log.end(t0, "merge", "replay", 0, [("accesses", trace.len() as f64)]);
         }
         self.finish()
     }
@@ -645,10 +835,21 @@ impl TraceSim {
     /// results do not depend on the worker count.
     pub fn run_parallel(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
         let cores = self.hierarchies.len();
+        let t_partition = self.telemetry.is_some().then(Instant::now);
         let mut streams: Vec<Vec<TraceAccess>> = vec![Vec::new(); cores];
         for &t in trace {
             streams[partition_by_core(t.core, cores)].push(t);
         }
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_partition) {
+            log.end(
+                t0,
+                "partition",
+                "replay",
+                0,
+                [("accesses", trace.len() as f64)],
+            );
+        }
+        let t_classify = self.telemetry.is_some().then(Instant::now);
         // Phase 1: classification. Move each hierarchy into its shard,
         // classify on workers, then restore the hierarchies in index
         // order (worker scheduling cannot reorder them).
@@ -684,6 +885,18 @@ impl TraceSim {
         // at the classification/timing boundary.
         self.last_peak_buffer = trace.len() * std::mem::size_of::<TraceAccess>()
             + queues.iter().map(|q| q.buffered_bytes()).sum::<usize>();
+        self.peak_buffered_accesses = trace.len();
+        self.last_pipe_stats = par::PipeStats::default();
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
+            log.end(
+                t0,
+                "classify",
+                "replay",
+                0,
+                [("accesses", trace.len() as f64)],
+            );
+        }
+        let t_merge = self.telemetry.is_some().then(Instant::now);
         // Phase 2: deterministic timing merge — the same earliest-clock
         // discipline as the sequential path, consuming the batches.
         let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
@@ -700,6 +913,9 @@ impl TraceSim {
             } else {
                 tree.set(c, self.core_clock[c]);
             }
+        }
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+            log.end(t0, "merge", "replay", 0, [("accesses", trace.len() as f64)]);
         }
         self.finish()
     }
@@ -732,6 +948,8 @@ impl TraceSim {
     ) -> TraceSimReport {
         let cores = self.hierarchies.len();
         self.last_peak_buffer = 0;
+        self.peak_buffered_accesses = 0;
+        let tel_on = self.telemetry.is_some();
         let hierarchies = std::mem::take(&mut self.hierarchies);
         let mut units: Vec<StreamShard> = hierarchies
             .into_iter()
@@ -741,13 +959,17 @@ impl TraceSim {
                 queue: ClassifiedSoa::new(),
             })
             .collect();
-        par::with_threads(worker_threads(), || {
-            par::pipelined(
+        let ((), pipe_stats) = par::with_threads(worker_threads(), || {
+            par::pipelined_stats(
                 2,
                 move || {
+                    // Time each generation burst on the producer side;
+                    // the instants travel with the chunk because the
+                    // span log lives on the consumer thread.
+                    let started = tel_on.then(Instant::now);
                     let mut buf = Vec::new();
                     let n = fill(&mut buf);
-                    (n > 0).then_some(buf)
+                    (n > 0).then(|| (buf, started.map(|s| (s, Instant::now()))))
                 },
                 |rx| {
                     let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
@@ -755,14 +977,27 @@ impl TraceSim {
                     // Cores whose queue is empty but could still gain
                     // work; no winner may be selected while any exist.
                     let mut hungry = cores;
+                    let mut max_chunk = 0usize;
                     loop {
                         while hungry > 0 && !stream_done {
-                            let Some(chunk) = rx.recv() else {
+                            let Some((chunk, generated)) = rx.recv() else {
                                 stream_done = true;
                                 hungry = 0;
                                 break;
                             };
+                            if let (Some(log), Some((s, e))) = (&mut self.telemetry, generated) {
+                                log.span_between(
+                                    s,
+                                    e,
+                                    "generate",
+                                    "replay",
+                                    1,
+                                    [("accesses", chunk.len() as f64)],
+                                );
+                            }
+                            let t_classify = tel_on.then(Instant::now);
                             let chunk_bytes = chunk.len() * std::mem::size_of::<TraceAccess>();
+                            max_chunk = max_chunk.max(chunk.len());
                             for &t in &chunk {
                                 units[partition_by_core(t.core, cores)].pending.push(t);
                             }
@@ -783,10 +1018,21 @@ impl TraceSim {
                                 }
                                 u.pending.clear();
                             });
+                            if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
+                                log.end(
+                                    t0,
+                                    "classify",
+                                    "replay",
+                                    0,
+                                    [("accesses", chunk.len() as f64)],
+                                );
+                            }
                             hungry = 0;
                             let mut buffered = chunk_bytes;
+                            let mut backlog = 0usize;
                             for (c, u) in units.iter().enumerate() {
                                 buffered += u.queue.buffered_bytes();
+                                backlog += u.queue.len();
                                 if u.queue.is_empty() {
                                     hungry += 1;
                                 } else if tree.key(c).is_none() {
@@ -794,33 +1040,48 @@ impl TraceSim {
                                 }
                             }
                             self.last_peak_buffer = self.last_peak_buffer.max(buffered);
+                            self.peak_buffered_accesses = self.peak_buffered_accesses.max(backlog);
+                            if let Some(msg) = buffer_warning(backlog, max_chunk) {
+                                static BUFFER_WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                                BUFFER_WARN_ONCE.call_once(|| eprintln!("{msg}"));
+                            }
                         }
-                        match tree.winner() {
-                            Some(c) => {
-                                let (addr, sram_lat, dependent, level) =
-                                    units[c].queue.pop().expect("winner has work");
-                                self.access_timed(c, addr, dependent, level, sram_lat);
-                                if units[c].queue.is_empty() {
-                                    tree.close(c);
-                                    if !stream_done {
-                                        hungry += 1;
-                                    }
-                                } else {
-                                    tree.set(c, self.core_clock[c]);
+                        // Drain winners until a queue runs dry while
+                        // the stream can still refill it (then loop
+                        // back to the refill phase) or until the tree
+                        // empties; one merge span covers each segment.
+                        let t_merge = tel_on.then(Instant::now);
+                        let mut drained = 0u64;
+                        while let Some(c) = tree.winner() {
+                            let (addr, sram_lat, dependent, level) =
+                                units[c].queue.pop().expect("winner has work");
+                            self.access_timed(c, addr, dependent, level, sram_lat);
+                            drained += 1;
+                            if units[c].queue.is_empty() {
+                                tree.close(c);
+                                if !stream_done {
+                                    hungry += 1;
                                 }
+                            } else {
+                                tree.set(c, self.core_clock[c]);
                             }
-                            None => {
-                                if stream_done {
-                                    break;
-                                }
-                                // Every queue is empty but the stream
-                                // has more; loop back to refill.
+                            if hungry > 0 && !stream_done {
+                                break;
                             }
+                        }
+                        if drained > 0 {
+                            if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+                                log.end(t0, "merge", "replay", 0, [("accesses", drained as f64)]);
+                            }
+                        }
+                        if stream_done && tree.winner().is_none() {
+                            break;
                         }
                     }
                 },
             )
         });
+        self.last_pipe_stats = pipe_stats;
         self.hierarchies = units.into_iter().map(|u| u.hier).collect();
         self.finish()
     }
@@ -828,7 +1089,21 @@ impl TraceSim {
     /// Finalize and return the report (the order-independent reduction
     /// of the per-core totals). Idempotent, and safe on an empty run.
     pub fn finish(&mut self) -> TraceSimReport {
-        self.totals().into_report(self.line_bytes)
+        let t_finish = self.telemetry.is_some().then(Instant::now);
+        let report = self.totals().into_report(self.line_bytes);
+        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_finish) {
+            log.end(
+                t0,
+                "finish",
+                "replay",
+                0,
+                [
+                    ("accesses", report.accesses as f64),
+                    ("sim_us", report.makespan.as_ns() / 1e3),
+                ],
+            );
+        }
+        report
     }
 }
 
@@ -1277,6 +1552,163 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn buffer_warning_thresholds() {
+        // Below the absolute floor: never warns, whatever the ratio.
+        assert_eq!(buffer_warning(BUFFER_WARN_MIN_ACCESSES - 1, 1), None);
+        assert_eq!(buffer_warning(100, 0), None);
+        // At the floor with a chunk small enough to exceed the ratio.
+        let msg = buffer_warning(BUFFER_WARN_MIN_ACCESSES, 64).expect("should warn");
+        assert!(msg.contains("buffering"), "{msg}");
+        // Large backlog but within BUFFER_WARN_CHUNKS of the chunk
+        // size: healthy pipelining, no warning.
+        assert_eq!(
+            buffer_warning(BUFFER_WARN_MIN_ACCESSES, BUFFER_WARN_MIN_ACCESSES),
+            None
+        );
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        // The contract the bench overhead check builds on: replay
+        // results and device stats are bit-identical with telemetry on.
+        let trace = stream_trace(4, 300);
+        let make = || {
+            TraceSim::new(
+                &cfg(MemSetup::DramOnly),
+                4,
+                TracePlacement::AllDdr,
+                ByteSize::mib(1),
+            )
+        };
+        let mut plain = make();
+        let expect = plain.run(&trace);
+        let mut tel = make();
+        tel.enable_telemetry();
+        assert_eq!(tel.run(&trace), expect);
+        assert_eq!(tel.ddr_stats(), plain.ddr_stats());
+        assert_eq!(tel.mesh_stats(), plain.mesh_stats());
+        assert_eq!(tel.per_core_totals(), plain.per_core_totals());
+        // Spans were recorded: partition + merge + finish at minimum.
+        let names: Vec<&str> = tel
+            .telemetry_spans()
+            .unwrap()
+            .records()
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert!(names.contains(&"partition"), "{names:?}");
+        assert!(names.contains(&"merge"), "{names:?}");
+        assert!(names.contains(&"finish"), "{names:?}");
+        // The disabled sim records nothing.
+        assert!(plain.telemetry_spans().is_none());
+    }
+
+    #[test]
+    fn streaming_telemetry_records_all_phases() {
+        let trace = stream_trace(4, 300);
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        sim.enable_telemetry();
+        let mut off = 0;
+        let got = par::with_threads(2, || {
+            sim.run_streaming(|buf| {
+                let n = trace.len().min(off + 256) - off;
+                buf.extend_from_slice(&trace[off..off + n]);
+                off += n;
+                n
+            })
+        });
+        assert_eq!(got.accesses, trace.len() as u64);
+        let names: Vec<&str> = sim
+            .telemetry_spans()
+            .unwrap()
+            .records()
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        for phase in ["generate", "classify", "merge", "finish"] {
+            assert!(names.contains(&phase), "missing {phase} in {names:?}");
+        }
+        // Producer spans live on their own lane.
+        assert!(sim
+            .telemetry_spans()
+            .unwrap()
+            .records()
+            .iter()
+            .any(|r| r.name == "generate" && r.tid == 1));
+        assert!(sim.last_peak_buffered_accesses() > 0);
+    }
+
+    #[test]
+    fn metrics_registry_snapshots_devices_and_shards() {
+        let trace = stream_trace(4, 300);
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        sim.enable_telemetry();
+        let report = sim.run(&trace);
+        let reg = sim.metrics_registry();
+        use simfabric::telemetry::MetricValue;
+        assert_eq!(
+            reg.get("shard.accesses"),
+            Some(&MetricValue::Counter(report.accesses))
+        );
+        assert_eq!(
+            reg.get("shard.memory_accesses"),
+            Some(&MetricValue::Counter(report.memory_accesses))
+        );
+        assert_eq!(
+            reg.get("mesh.messages"),
+            Some(&MetricValue::Counter(sim.mesh_stats().messages.get()))
+        );
+        assert_eq!(
+            reg.get("dram.ddr.row_hits"),
+            Some(&MetricValue::Counter(sim.ddr_stats().row_hits.get()))
+        );
+        // Telemetry-gated histograms are present once enabled.
+        assert!(matches!(
+            reg.get("mshr.occupancy"),
+            Some(MetricValue::Histogram(_))
+        ));
+        assert!(matches!(
+            reg.get("dram.ddr.queue_wait_ps"),
+            Some(MetricValue::Histogram(_))
+        ));
+        // Merging the per-shard registries reproduces the counters the
+        // global registry carries (the equivalence suite extends this
+        // across replay paths and worker counts).
+        let mut merged = simfabric::MetricsRegistry::new();
+        for c in 0..4 {
+            merged.merge(&sim.shard_metrics(c));
+        }
+        assert_eq!(
+            merged.get("shard.accesses"),
+            Some(&MetricValue::Counter(report.accesses))
+        );
+        // Without telemetry, histograms are absent but counters remain.
+        let mut plain = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        plain.run(&trace);
+        let plain_reg = plain.metrics_registry();
+        assert!(plain_reg.get("mshr.occupancy").is_none());
+        assert_eq!(
+            plain_reg.get("shard.accesses"),
+            Some(&MetricValue::Counter(report.accesses))
+        );
     }
 
     #[test]

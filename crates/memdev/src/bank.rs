@@ -8,7 +8,7 @@
 //! analytic path, and that random access degenerates to latency-bound
 //! behaviour.
 
-use simfabric::stats::Counter;
+use simfabric::stats::{Counter, Histogram};
 use simfabric::{Duration, SimTime};
 
 /// Core DRAM timing parameters (per bank), in nanoseconds at the
@@ -188,6 +188,12 @@ pub struct DramModel {
     /// Per-channel data-bus "busy until" times.
     bus_busy_until: Vec<SimTime>,
     stats: DramStats,
+    /// Telemetry: picoseconds each access waited for its bank to free
+    /// up (0 for uncontended accesses). A per-access wait sample is
+    /// O(1) on the hot path, unlike a literal queue-depth scan over all
+    /// banks, and carries the same diagnostic signal: a fat tail here
+    /// *is* bank queuing. `None` (the default) costs one branch.
+    queue_wait: Option<Box<Histogram>>,
 }
 
 impl DramModel {
@@ -200,7 +206,22 @@ impl DramModel {
             banks: vec![Bank::default(); n],
             bus_busy_until: vec![SimTime::ZERO; geometry.channels as usize],
             stats: DramStats::default(),
+            queue_wait: None,
         }
+    }
+
+    /// Start recording a bank queue-wait histogram: every subsequent
+    /// [`access`](Self::access) samples how long (in picoseconds) the
+    /// request waited for its target bank. Purely observational.
+    pub fn enable_queue_wait_histogram(&mut self) {
+        if self.queue_wait.is_none() {
+            self.queue_wait = Some(Box::new(Histogram::new()));
+        }
+    }
+
+    /// The bank queue-wait histogram (ps), if telemetry was enabled.
+    pub fn queue_wait_histogram(&self) -> Option<&Histogram> {
+        self.queue_wait.as_deref()
     }
 
     /// The KNL DDR4 subsystem.
@@ -228,6 +249,9 @@ impl DramModel {
     pub fn access(&mut self, addr: u64, at: SimTime) -> SimTime {
         let (channel, bank, row) = self.geometry.map(addr);
         let idx = (channel * self.geometry.banks_per_channel + bank) as usize;
+        if let Some(h) = &mut self.queue_wait {
+            h.record(self.banks[idx].ready.saturating_since(at).as_ps());
+        }
         let b = &mut self.banks[idx];
 
         if b.ready > at {

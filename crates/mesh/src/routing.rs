@@ -47,6 +47,10 @@ pub struct MeshModel {
     /// Link service time per message (flit serialization).
     link_service: Duration,
     stats: MeshStats,
+    /// Telemetry: traversal count per directed link, recorded in
+    /// [`send`](Self::send). `None` (the default) costs one branch per
+    /// hop; the map only grows to links actually traversed.
+    link_traversals: Option<Box<HashMap<(Coord, Coord), u64>>>,
 }
 
 impl MeshModel {
@@ -61,7 +65,27 @@ impl MeshModel {
             links: HashMap::new(),
             link_service: Duration::from_ns(0.4),
             stats: MeshStats::default(),
+            link_traversals: None,
         }
+    }
+
+    /// Start counting per-link traversals: every hop reserved by
+    /// [`send`](Self::send) increments its directed link's counter.
+    /// Purely observational — routing and timing are unchanged.
+    pub fn enable_link_telemetry(&mut self) {
+        if self.link_traversals.is_none() {
+            self.link_traversals = Some(Box::default());
+        }
+    }
+
+    /// Per-link traversal counts sorted by `(from, to)` coordinate, if
+    /// link telemetry was enabled. Sorted so exports are deterministic
+    /// regardless of hash-map iteration order.
+    pub fn link_traversals(&self) -> Option<Vec<((Coord, Coord), u64)>> {
+        let map = self.link_traversals.as_deref()?;
+        let mut v: Vec<_> = map.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable_by_key(|&((a, b), _)| (a.x, a.y, b.x, b.y));
+        Some(v)
     }
 
     /// The topology.
@@ -103,6 +127,9 @@ impl MeshModel {
         let mut prev = a;
         let mut contended = false;
         for next in Self::route(a, b) {
+            if let Some(map) = &mut self.link_traversals {
+                *map.entry((prev, next)).or_insert(0) += 1;
+            }
             let link = self.links.entry((prev, next)).or_insert(SimTime::ZERO);
             if *link > t {
                 contended = true;

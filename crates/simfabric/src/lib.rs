@@ -10,6 +10,8 @@
 //! * reproducible, named random-number streams ([`RngPool`]),
 //! * measurement primitives (counters, log-scale histograms, bandwidth
 //!   meters, online mean/variance) in [`stats`],
+//! * an opt-in telemetry layer (named-metric registry, phase spans,
+//!   Chrome `trace_event` export) in [`telemetry`],
 //! * shared error types ([`SimError`]).
 //!
 //! # Determinism
@@ -45,6 +47,7 @@ pub mod par;
 pub mod prng;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
@@ -54,5 +57,6 @@ pub use merge::LoserTree;
 pub use prng::Rng;
 pub use rng::RngPool;
 pub use stats::{BandwidthMeter, Counter, Histogram, OnlineStats};
+pub use telemetry::{MetricValue, MetricsRegistry, SpanLog, SpanRecord};
 pub use time::{Duration, SimTime};
 pub use units::{ByteSize, GIB, KIB, MIB};

@@ -136,11 +136,27 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// Occupancy and stall telemetry for one [`pipelined`] run, collected
+/// for free under the channel mutex (one integer bump per blocking
+/// episode / enqueue — never per element).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Times the producer blocked on a full queue (consumer-bound
+    /// pipeline: production outpaces consumption).
+    pub producer_stalls: u64,
+    /// Times the consumer blocked on an empty queue (producer-bound
+    /// pipeline: consumption outpaces production).
+    pub consumer_stalls: u64,
+    /// High-water mark of queued chunks (≤ the configured depth).
+    pub queue_high_water: usize,
+}
+
 /// Shared state of the bounded [`pipelined`] channel.
 struct PipeState<T> {
     queue: VecDeque<T>,
     producer_done: bool,
     consumer_gone: bool,
+    stats: PipeStats,
 }
 
 struct Pipe<T> {
@@ -168,6 +184,7 @@ impl<T> ChunkReceiver<'_, T> {
     /// and the producer is still running.
     pub fn recv(&mut self) -> Option<T> {
         let mut st = self.pipe.state.lock().unwrap();
+        let mut blocked = false;
         loop {
             if let Some(item) = st.queue.pop_front() {
                 self.pipe.drained.notify_one();
@@ -175,6 +192,11 @@ impl<T> ChunkReceiver<'_, T> {
             }
             if st.producer_done {
                 return None;
+            }
+            if !blocked {
+                // One stall per blocking episode, not per wakeup.
+                blocked = true;
+                st.stats.consumer_stalls += 1;
             }
             st = self.pipe.filled.wait(st).unwrap();
         }
@@ -205,20 +227,32 @@ impl<T> Drop for ChunkReceiver<'_, T> {
 /// receiver unblocks and cancels the producer.
 pub fn pipelined<T: Send, R>(
     depth: usize,
-    mut produce: impl FnMut() -> Option<T> + Send,
+    produce: impl FnMut() -> Option<T> + Send,
     consume: impl FnOnce(&mut ChunkReceiver<'_, T>) -> R,
 ) -> R {
+    pipelined_stats(depth, produce, consume).0
+}
+
+/// [`pipelined`], additionally returning the channel's [`PipeStats`]
+/// (producer/consumer stall counts and the queue high-water mark) so
+/// callers can tell which side of the pipeline bounds throughput.
+pub fn pipelined_stats<T: Send, R>(
+    depth: usize,
+    mut produce: impl FnMut() -> Option<T> + Send,
+    consume: impl FnOnce(&mut ChunkReceiver<'_, T>) -> R,
+) -> (R, PipeStats) {
     let pipe = Pipe {
         state: Mutex::new(PipeState {
             queue: VecDeque::new(),
             producer_done: false,
             consumer_gone: false,
+            stats: PipeStats::default(),
         }),
         filled: Condvar::new(),
         drained: Condvar::new(),
         depth: depth.max(1),
     };
-    thread::scope(|s| {
+    let out = thread::scope(|s| {
         let pipe = &pipe;
         s.spawn(move || {
             loop {
@@ -227,6 +261,9 @@ pub fn pipelined<T: Send, R>(
                     None => break,
                 };
                 let mut st = pipe.state.lock().unwrap();
+                if st.queue.len() >= pipe.depth && !st.consumer_gone {
+                    st.stats.producer_stalls += 1;
+                }
                 while st.queue.len() >= pipe.depth && !st.consumer_gone {
                     st = pipe.drained.wait(st).unwrap();
                 }
@@ -234,6 +271,7 @@ pub fn pipelined<T: Send, R>(
                     return;
                 }
                 st.queue.push_back(item);
+                st.stats.queue_high_water = st.stats.queue_high_water.max(st.queue.len());
                 pipe.filled.notify_one();
             }
             let mut st = pipe.state.lock().unwrap();
@@ -242,7 +280,9 @@ pub fn pipelined<T: Send, R>(
         });
         let mut rx = ChunkReceiver { pipe };
         consume(&mut rx)
-    })
+    });
+    let stats = pipe.state.into_inner().unwrap().stats;
+    (out, stats)
 }
 
 /// Parallel sum of `f(i)` for `i in 0..len`.
@@ -406,6 +446,31 @@ mod tests {
             );
             assert_eq!(got, (0..100).collect::<Vec<_>>(), "depth {depth}");
         }
+    }
+
+    #[test]
+    fn pipelined_stats_track_occupancy_and_stalls() {
+        // A slow consumer behind a fast producer: the queue fills, so
+        // the producer stalls and the high-water mark hits the depth.
+        let mut next = 0u32;
+        let ((), stats) = pipelined_stats(
+            2,
+            move || {
+                next += 1;
+                (next <= 50).then_some(next)
+            },
+            |rx| {
+                while let Some(_x) = rx.recv() {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            },
+        );
+        assert!(stats.queue_high_water >= 1 && stats.queue_high_water <= 2);
+        assert!(stats.producer_stalls > 0, "{stats:?}");
+        // An empty stream records nothing but a consumer stall or two.
+        let ((), stats) = pipelined_stats(2, || None::<u32>, |rx| while rx.recv().is_some() {});
+        assert_eq!(stats.queue_high_water, 0);
+        assert_eq!(stats.producer_stalls, 0);
     }
 
     #[test]

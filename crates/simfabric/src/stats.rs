@@ -59,7 +59,7 @@ impl Counter {
 /// (latencies in picoseconds, sizes in bytes, queue depths…).
 ///
 /// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -87,6 +87,11 @@ impl Histogram {
     }
 
     /// Record one sample.
+    ///
+    /// `#[inline]`: called per memory access on telemetry-enabled
+    /// replay hot paths in downstream crates; without the hint the
+    /// cross-crate call alone threatens the <=2 % overhead budget.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         let bucket = if value <= 1 {
             0
@@ -126,12 +131,13 @@ impl Histogram {
 
     /// Approximate quantile (`q` in `[0,1]`) from bucket boundaries.
     /// Returns the *upper* bound of the bucket containing the quantile,
-    /// i.e. an over-estimate by at most 2×.
+    /// i.e. an over-estimate by at most 2×. A NaN `q` is treated as 0
+    /// (the minimum) rather than poisoning the clamp.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -145,6 +151,13 @@ impl Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// [`quantile`](Self::quantile) with a defined value on an empty
+    /// histogram (0), for exporters that must emit a number for every
+    /// metric rather than thread `Option`s through a report.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        self.quantile(q).unwrap_or(0)
     }
 
     /// Non-empty `(bucket_low_bound, count)` pairs, for reporting.
@@ -209,10 +222,16 @@ impl BandwidthMeter {
     }
 
     /// Average bandwidth in GB/s (decimal GB, as memory vendors and the
-    /// paper report it). Returns 0.0 when the window is empty.
+    /// paper report it).
+    ///
+    /// Always finite: a meter with no traffic, a single sample, or a
+    /// zero-width observation window reports 0.0 — exported metrics
+    /// must never carry NaN/∞ from a division by an empty window (a
+    /// non-finite `secs` can only arise from a corrupted window and is
+    /// caught by the same guard).
     pub fn gb_per_sec(&self) -> f64 {
         let secs = self.window().as_secs();
-        if secs <= 0.0 {
+        if !secs.is_finite() || secs <= 0.0 {
             0.0
         } else {
             self.bytes as f64 / 1e9 / secs
@@ -385,6 +404,23 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_edge_cases_are_defined() {
+        // Empty histogram: Option form is None, bound form is 0 — an
+        // exported metric never sees a missing value.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile_bound(0.5), 0);
+        assert_eq!(empty.quantile_bound(f64::NAN), 0);
+        let mut h = Histogram::new();
+        h.record(100);
+        // Out-of-range and NaN quantiles clamp to the bucket bounds
+        // instead of producing a surprise.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        assert_eq!(h.quantile_bound(0.5), 127);
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -414,6 +450,21 @@ mod tests {
         let mut m = BandwidthMeter::new();
         m.record(100, SimTime::ZERO);
         assert_eq!(m.gb_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_meter_degenerate_windows_stay_finite() {
+        // No traffic at all.
+        assert_eq!(BandwidthMeter::new().gb_per_sec(), 0.0);
+        // Bytes recorded entirely at one instant (zero-width window):
+        // defined 0.0, not bytes/0 = inf.
+        let mut m = BandwidthMeter::new();
+        let t = SimTime::ZERO + Duration::from_ns(5.0);
+        m.record(1 << 30, t);
+        m.record(1 << 30, t);
+        assert_eq!(m.gb_per_sec(), 0.0);
+        assert!(m.gb_per_sec().is_finite());
+        assert_eq!(m.window(), Duration::ZERO);
     }
 
     #[test]

@@ -16,6 +16,15 @@ TRACESIM_THREADS=8 cargo test -q --offline
 # Tiny replay-bench run + JSON validation (see scripts/bench_smoke.sh).
 scripts/bench_smoke.sh
 
+# Telemetry profile smoke: produce a Chrome-trace profile + metrics
+# dump from a tiny streaming replay and re-validate both files the
+# bench-check way (spans for every replay phase, >= 5 metric series,
+# monotonic timestamps, schema-tagged metrics JSON).
+target/release/repro profile stream_8x2000 \
+    --out target/profile_smoke.jsonl --metrics target/metrics_smoke.json
+target/release/repro profile-check target/profile_smoke.jsonl \
+    --metrics target/metrics_smoke.json
+
 cargo fmt --check
 
 echo "ci: ok"

@@ -169,6 +169,88 @@ fn split_placement_parallel_equals_sequential() {
     }
 }
 
+/// The device/shard portion of a metrics registry — everything except
+/// the `pipeline.*` stall counters and `replay.peak_buffer_bytes`,
+/// which measure wall-clock scheduling and are legitimately different
+/// between the sequential, sharded, and streaming paths.
+fn deterministic_metrics(sim: &TraceSim) -> Vec<(String, simfabric::telemetry::MetricValue)> {
+    sim.metrics_registry()
+        .iter()
+        .filter(|(name, _)| !name.starts_with("pipeline.") && !name.starts_with("replay."))
+        .map(|(name, value)| (name.to_string(), value.clone()))
+        .collect()
+}
+
+/// Fold the per-shard registries the way a distributed collector
+/// would: order-independent merge over core IDs.
+fn merged_shards(sim: &TraceSim) -> simfabric::MetricsRegistry {
+    let mut merged = simfabric::MetricsRegistry::new();
+    for core in 0..CORES as usize {
+        merged.merge(&sim.shard_metrics(core));
+    }
+    merged
+}
+
+/// Telemetry must be (1) invisible to replay results and (2) a
+/// commutative-merge view: the fold of per-shard registries and the
+/// full device registry both land on the sequential values no matter
+/// which engine ran or at what worker count.
+#[test]
+fn telemetry_registries_merge_to_sequential_values() {
+    let setup = MemSetup::CacheMode;
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(CORES, PER_CORE, SEED);
+        let mut plain = fresh(setup);
+        let expect = plain.run(&trace);
+
+        let mut seq = fresh(setup);
+        seq.enable_telemetry();
+        assert_eq!(
+            seq.run(&trace),
+            expect,
+            "telemetry changed {kind:?} results"
+        );
+        let expect_shards = merged_shards(&seq);
+        let expect_metrics = deterministic_metrics(&seq);
+
+        for workers in WORKERS {
+            let ctx = format!("{kind:?} at {workers} workers");
+            let mut par_sim = fresh(setup);
+            par_sim.enable_telemetry();
+            let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
+            assert_eq!(got, expect, "parallel report diverged: {ctx}");
+            assert_eq!(
+                merged_shards(&par_sim),
+                expect_shards,
+                "parallel shard registries diverged: {ctx}"
+            );
+            assert_eq!(
+                deterministic_metrics(&par_sim),
+                expect_metrics,
+                "parallel device metrics diverged: {ctx}"
+            );
+
+            let mut stream_sim = fresh(setup);
+            stream_sim.enable_telemetry();
+            let got = par::with_threads(workers, || {
+                let mut source = kind.source(CORES, PER_CORE, SEED);
+                replay_streaming(&mut stream_sim, source.as_mut())
+            });
+            assert_eq!(got, expect, "streaming report diverged: {ctx}");
+            assert_eq!(
+                merged_shards(&stream_sim),
+                expect_shards,
+                "streaming shard registries diverged: {ctx}"
+            );
+            assert_eq!(
+                deterministic_metrics(&stream_sim),
+                expect_metrics,
+                "streaming device metrics diverged: {ctx}"
+            );
+        }
+    }
+}
+
 #[test]
 fn figure_sweep_json_identical_across_worker_counts() {
     // The figure pipeline (`repro export`) must serialize byte-identical

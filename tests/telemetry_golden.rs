@@ -1,0 +1,133 @@
+//! Golden-file tests for the telemetry exporters.
+//!
+//! The Chrome `trace_event` exporter promises a *stable wire format*:
+//! fixed field order per event, one JSON object per line, timestamps
+//! sorted non-decreasing. Tools outside this repo (Perfetto,
+//! about:tracing, ad-hoc jq pipelines) parse these files, so format
+//! drift is a breaking change even when every value is still correct.
+//! These tests pin both exporters byte-for-byte against goldens in
+//! `tests/golden/`; regenerate them with
+//! `BLESS_GOLDEN=1 cargo test --test telemetry_golden` after an
+//! intentional format change, and review the diff.
+
+use knl::tracesim::{TracePlacement, TraceSim};
+use knl::{MachineConfig, MemSetup};
+use simfabric::telemetry::{chrome_trace_jsonl, MetricsRegistry, SpanLog, SpanRecord};
+use simfabric::{par, ByteSize};
+use workloads::tracegen::{replay_streaming, TraceKind};
+
+/// Compare `got` against the golden file at `tests/golden/<name>`,
+/// or rewrite the golden when `BLESS_GOLDEN=1`.
+fn assert_golden(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run with BLESS_GOLDEN=1 to create)"));
+    assert_eq!(
+        got, want,
+        "{name} drifted from its golden; if intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+/// A hand-built span log + registry covering every exporter feature:
+/// multiple threads, out-of-order appends (the exporter must sort),
+/// span args, and all three metric kinds.
+fn sample() -> (SpanLog, MetricsRegistry) {
+    let mut log = SpanLog::new();
+    log.push(SpanRecord {
+        name: "classify".into(),
+        cat: "replay",
+        ts_us: 120.5,
+        dur_us: 40.25,
+        tid: 0,
+        args: vec![("accesses", 4096.0)],
+    });
+    // Appended out of order: the producer thread logs generation spans
+    // after the consumer has already logged classification.
+    log.push(SpanRecord {
+        name: "generate".into(),
+        cat: "replay",
+        ts_us: 100.0,
+        dur_us: 15.0,
+        tid: 1,
+        args: vec![("accesses", 4096.0)],
+    });
+    log.push(SpanRecord {
+        name: "merge".into(),
+        cat: "replay",
+        ts_us: 161.0,
+        dur_us: 80.5,
+        tid: 0,
+        args: vec![],
+    });
+    log.push(SpanRecord {
+        name: "finish".into(),
+        cat: "replay",
+        ts_us: 242.0,
+        dur_us: 1.5,
+        tid: 0,
+        args: vec![("accesses", 4096.0), ("sim_us", 1234.5)],
+    });
+    let mut reg = MetricsRegistry::new();
+    reg.counter("cache.l1_hits", 3500);
+    reg.counter("cache.memory_misses", 96);
+    reg.gauge("pipeline.queue_high_water", 2.0);
+    for wait in [0, 0, 100, 900, 6400] {
+        reg.record("dram.ddr.queue_wait_ps", wait);
+    }
+    (log, reg)
+}
+
+#[test]
+fn chrome_trace_exporter_matches_golden() {
+    let (log, reg) = sample();
+    assert_golden("chrome_trace.jsonl", &chrome_trace_jsonl(&log, &reg));
+}
+
+#[test]
+fn metrics_dump_matches_golden() {
+    let (_, reg) = sample();
+    let doc = hybridmem::metrics_to_json(&reg);
+    hybridmem::check_metrics(&doc).expect("golden dump validates");
+    assert_golden("metrics.json", &doc.to_pretty());
+}
+
+/// End-to-end: a real (tiny) streaming profile passes both structural
+/// checkers, covers every replay phase, and exports enough device
+/// metric series to be useful in Perfetto.
+#[test]
+fn real_profile_validates_end_to_end() {
+    let mut sim = TraceSim::new(
+        &MachineConfig::knl7210(MemSetup::CacheMode, 64),
+        4,
+        TracePlacement::AllDdr,
+        ByteSize::mib(4),
+    );
+    sim.enable_telemetry();
+    let report = par::with_threads(2, || {
+        let mut source = TraceKind::Stream.source(4, 500, 0xD1FF);
+        replay_streaming(&mut sim, source.as_mut())
+    });
+    assert!(report.accesses > 0);
+    let registry = sim.metrics_registry();
+    let text = chrome_trace_jsonl(sim.telemetry_spans().expect("telemetry on"), &registry);
+    let trace = hybridmem::check_chrome_trace(&text).expect("profile validates");
+    for phase in ["generate", "classify", "merge", "finish"] {
+        assert!(
+            trace.span_names.iter().any(|n| n == phase),
+            "missing {phase:?} in {:?}",
+            trace.span_names
+        );
+    }
+    assert!(
+        trace.counter_series >= 5,
+        "expected >= 5 device series, got {}",
+        trace.counter_series
+    );
+    let metrics = hybridmem::metrics_to_json(&registry);
+    let summary = hybridmem::check_metrics(&metrics).expect("metrics validate");
+    assert!(summary.total() >= 5);
+}

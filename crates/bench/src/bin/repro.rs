@@ -11,6 +11,11 @@
 //!                        # BENCH_trace_replay.json
 //! repro bench-check <file>
 //!                        # validate a bench-replay JSON report
+//! repro bench-gate [--config LABEL] [--tol F]
+//!                        # time one config and require the parallel
+//!                        # path to be >= (1 - F) x the streaming
+//!                        # path's throughput (default
+//!                        # stream_64x50000 at 5%); exit 1 on failure
 //! repro profile [config] [--out PATH] [--metrics PATH]
 //!                        # streaming replay with telemetry on; write a
 //!                        # Chrome trace_event JSONL (about:tracing /
@@ -336,6 +341,29 @@ fn main() {
                 "wrote {out} ({} worker thread(s))",
                 knl::tracesim::worker_threads()
             );
+        }
+        "bench-gate" => {
+            // repro bench-gate [--config LABEL] [--tol F]
+            let label = flag_value(&args, "--config").unwrap_or("stream_64x50000");
+            let cfg = bench::replay::ReplayConfig::parse_label(label).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.05);
+            match bench::replay::gate_parallel_vs_streaming(&cfg, tol) {
+                Ok((parallel, streaming)) => println!(
+                    "{label}: parallel {parallel:.3} Macc/s >= streaming {streaming:.3} Macc/s \
+                     (tolerance {:.0}%, {} worker thread(s))",
+                    tol * 100.0,
+                    knl::tracesim::worker_threads()
+                ),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "bench-check" => {
             // repro bench-check <file>

@@ -320,6 +320,49 @@ pub fn check_report(report: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Compare the parallel and streaming throughput of a measurement:
+/// `Ok((parallel, streaming))` in Macc/s when parallel is at least
+/// `(1 - tolerance) ×` streaming, `Err` with a diagnostic otherwise.
+/// Split from [`gate_parallel_vs_streaming`] so the decision logic is
+/// testable without a timed run.
+pub fn compare_parallel_vs_streaming(
+    m: &ReplayMeasurement,
+    tolerance: f64,
+) -> Result<(f64, f64), String> {
+    let get = |name: &str| {
+        m.paths
+            .iter()
+            .find(|p| p.path == name)
+            .map(|p| p.macc_per_s)
+            .ok_or_else(|| format!("{}: missing path {name:?}", m.config.label()))
+    };
+    let parallel = get("parallel")?;
+    let streaming = get("streaming")?;
+    if parallel >= streaming * (1.0 - tolerance) {
+        Ok((parallel, streaming))
+    } else {
+        Err(format!(
+            "{}: parallel replay ({parallel:.3} Macc/s) slower than streaming \
+             ({streaming:.3} Macc/s) beyond the {:.0}% tolerance",
+            m.config.label(),
+            tolerance * 100.0,
+        ))
+    }
+}
+
+/// The replay-inversion performance gate: time `cfg` and require the
+/// windowed parallel path to be at least `(1 - tolerance) ×` the
+/// streaming path's throughput. On the acceptance config
+/// (`stream_64x50000`) this is the regression guard for the
+/// parallel-replay inversion fix — parallel used to lose to streaming
+/// on the very traces it was built for.
+pub fn gate_parallel_vs_streaming(
+    cfg: &ReplayConfig,
+    tolerance: f64,
+) -> Result<(f64, f64), String> {
+    compare_parallel_vs_streaming(&run_config(cfg), tolerance)
+}
+
 /// Output of a telemetry-enabled streaming profile run.
 #[derive(Debug, Clone)]
 pub struct ProfileRun {
@@ -574,6 +617,52 @@ mod tests {
             let key = format!("{}.shard.accesses", cfg.label());
             assert!(metrics.contains_key(&key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn parallel_vs_streaming_gate_logic() {
+        let cfg = ReplayConfig {
+            kind: TraceKind::Stream,
+            cores: 4,
+            accesses_per_core: 100,
+        };
+        let mk = |parallel: f64, streaming: f64| ReplayMeasurement {
+            config: cfg,
+            accesses: 400,
+            paths: vec![
+                PathMeasurement {
+                    path: "sequential",
+                    seconds: 1.0,
+                    macc_per_s: 1.0,
+                    peak_buffer_bytes: 0,
+                },
+                PathMeasurement {
+                    path: "parallel",
+                    seconds: 1.0,
+                    macc_per_s: parallel,
+                    peak_buffer_bytes: 0,
+                },
+                PathMeasurement {
+                    path: "streaming",
+                    seconds: 1.0,
+                    macc_per_s: streaming,
+                    peak_buffer_bytes: 0,
+                },
+            ],
+        };
+        assert_eq!(
+            compare_parallel_vs_streaming(&mk(2.0, 1.0), 0.0),
+            Ok((2.0, 1.0))
+        );
+        // Within tolerance: 0.95 vs 1.0 at 10%.
+        assert!(compare_parallel_vs_streaming(&mk(0.95, 1.0), 0.10).is_ok());
+        // Beyond tolerance.
+        let err = compare_parallel_vs_streaming(&mk(0.5, 1.0), 0.10).unwrap_err();
+        assert!(err.contains("slower than streaming"), "{err}");
+        // Missing path is an error, not a pass.
+        let mut missing = mk(1.0, 1.0);
+        missing.paths.retain(|p| p.path != "parallel");
+        assert!(compare_parallel_vs_streaming(&missing, 0.0).is_err());
     }
 
     #[test]

@@ -99,6 +99,20 @@ impl Mshr {
         self.inflight.retain(|&(_, done)| done > now);
     }
 
+    /// Occupancy a [`register`](Self::register) at `now` would observe,
+    /// **without** retiring anything: entries still in flight past
+    /// `now`. The concurrent replay sequencer uses this to prove a
+    /// register call cannot stall (occupancy < capacity) while some
+    /// completion times are still conservative placeholders — a
+    /// placeholder (`u64::MAX`) counts as in flight, so the probe is an
+    /// upper bound on what the retired file would hold.
+    pub fn probe_occupancy(&self, now: SimTime) -> usize {
+        self.inflight
+            .iter()
+            .filter(|&&(_, done)| done > now)
+            .count()
+    }
+
     /// Register a miss for `line_addr` at time `now`. If an entry is
     /// allocated, the caller must then call [`Mshr::complete_at`] with
     /// the fetch completion time.
@@ -204,5 +218,22 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = Mshr::new(0);
+    }
+
+    #[test]
+    fn probe_matches_register_view_and_mutates_nothing() {
+        let mut m = Mshr::new(2);
+        let t0 = SimTime::ZERO;
+        m.register(0x40, t0);
+        m.complete_at(0x40, t0 + Duration::from_ns(50.0));
+        m.register(0x80, t0); // placeholder completion (u64::MAX)
+        let mid = t0 + Duration::from_ns(60.0);
+        // 0x40 is retired at `mid`; the placeholder still counts.
+        assert_eq!(m.probe_occupancy(t0), 2);
+        assert_eq!(m.probe_occupancy(mid), 1);
+        // Probing retired nothing and bumped no counters.
+        assert_eq!(m.allocations.get(), 2);
+        assert_eq!(m.occupancy(mid), 1);
+        assert_eq!(m.register(0xC0, mid), MshrOutcome::Allocated);
     }
 }

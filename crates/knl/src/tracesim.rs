@@ -36,6 +36,33 @@
 //!    (equal clocks select the lower core index) reproduces the old
 //!    heap's `Reverse<(SimTime, usize)>` order exactly.
 //!
+//! [`TraceSim::run_parallel`] interleaves the two phases in
+//! classification **windows** ([`TraceSim::set_replay_window`]): cores
+//! whose batch runs dry but which still have trace left stay in the
+//! tournament as *ghosts* at their current clock, and a ghost winning
+//! triggers the next refill — so peak buffering is one window, not the
+//! whole trace, and the merge order is still exact.
+//!
+//! # Concurrent timing (`TRACESIM_TIMING`, [`TimingMode`])
+//!
+//! By default (`TimingMode::Concurrent`, with ≥ 2 workers) the timing
+//! phase itself runs concurrently via **static ownership
+//! partitioning**: each DRAM channel's banks and bus watermark split
+//! into a [`memdev::bank::DramLane`] owned by exactly one gang worker
+//! ([`simfabric::par::Gang`]). The merge thread still sequences
+//! accesses in the exact sequential order, but defers device pricing:
+//! it emits pre-routed lane ops and uses conservative completion
+//! lower bounds to prove each MSHR/merge/ordering decision is
+//! independent of the not-yet-priced times, flushing the batch to the
+//! gang the moment a decision would need a real completion (see
+//! DESIGN.md "Concurrent timing phase" for the exactness and
+//! deadlock-freedom arguments). Degenerate traces (serialized pointer
+//! chases) are detected by flush-pattern and handed back to the
+//! inline loop ([`TimingEngineStats::bailed_out`]). Set
+//! `TRACESIM_TIMING=sequential` (or
+//! [`TraceSim::set_timing_mode`]) to force the inline path; both
+//! modes are bit-identical.
+//!
 //! [`TraceSim::run_streaming`] goes one step further: instead of
 //! materializing the whole trace up front, it pulls bounded chunks
 //! from a generator callback on a producer thread
@@ -47,8 +74,13 @@
 //! classified access buffered (an empty queue's future access could
 //! carry the earliest clock); a single-core workload (e.g. a pointer
 //! chase) therefore degenerates to buffering the full classified
-//! trace — correctness is never traded for memory. Peak buffering is
-//! tracked per run and exposed via
+//! trace — correctness is never traded for memory by default. An
+//! opt-in lookahead cap ([`TraceSim::set_streaming_lookahead_chunks`]
+//! or `TRACESIM_LOOKAHEAD_CHUNKS`) bounds that backlog by
+//! force-draining the cores that have work and backpressuring the
+//! producer; exact for the single-core traces that trigger the
+//! buildup, approximate if starved cores later receive work. Peak
+//! buffering is tracked per run and exposed via
 //! [`TraceSim::last_peak_trace_buffer_bytes`].
 //!
 //! Per-shard totals are folded with [`ShardTotals::merge`], an
@@ -60,14 +92,17 @@ use cachesim::cache::AccessKind;
 use cachesim::hierarchy::{Hierarchy, HierarchyConfig, LevelHit};
 use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
-use memdev::bank::{DramModel, DramStats};
+use memdev::bank::{DramGeometry, DramLane, DramModel, DramStats};
 use mesh::MeshModel;
 use simfabric::merge::LoserTree;
 use simfabric::par;
+use simfabric::par::Gang;
 use simfabric::stats::Histogram;
 use simfabric::telemetry::{MetricsRegistry, SpanLog};
 use simfabric::{ByteSize, Duration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One trace record.
@@ -216,41 +251,123 @@ pub fn partition_by_core(core: u32, shards: usize) -> usize {
     core as usize % shards
 }
 
-/// Parse a `TRACESIM_THREADS`-style value: a positive integer,
-/// surrounding whitespace ignored. Empty, zero, and garbage are all
-/// `None`.
+/// Parse a `TRACESIM_THREADS`-style value: a non-negative integer,
+/// surrounding whitespace ignored; empty and garbage are `None`. Zero
+/// parses (and is later clamped to one worker) so `TRACESIM_THREADS=0`
+/// reads as "let the machine decide the floor" instead of being
+/// silently dropped as a parse error.
 #[doc(hidden)]
 pub fn parse_thread_count(raw: &str) -> Option<usize> {
-    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    raw.trim().parse::<usize>().ok()
+}
+
+/// Clamp a requested worker count to what the machine can usefully
+/// run: at least one worker, at most `cores`. Zero workers cannot make
+/// progress, and over-subscribing the replay (whose workers are
+/// compute-bound, not I/O-bound) only buys context-switch overhead.
+pub fn clamp_thread_count(requested: usize, cores: usize) -> usize {
+    requested.clamp(1, cores.max(1))
 }
 
 /// Worker count for [`TraceSim::run_parallel`]: an explicit
 /// [`par::with_threads`] override wins, then the `TRACESIM_THREADS`
 /// environment variable, then the machine's available parallelism.
 ///
-/// A set-but-unparsable `TRACESIM_THREADS` falls through to the
-/// machine default and warns once to stderr (a silently ignored knob
-/// is worse than a noisy one).
+/// Environment-sourced values are clamped to `[1, cores]` (warning
+/// once when the clamp changes the value); a set-but-unparsable
+/// `TRACESIM_THREADS` falls through to the machine default and warns
+/// once to stderr (a silently ignored knob is worse than a noisy one).
+/// Programmatic overrides are taken as-is — tests deliberately
+/// over-subscribe to shake out scheduling-dependent bugs.
 pub fn worker_threads() -> usize {
-    par::thread_override()
-        .or_else(|| match std::env::var("TRACESIM_THREADS") {
-            Ok(raw) => {
-                let parsed = parse_thread_count(&raw);
-                if parsed.is_none() {
-                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                    WARN_ONCE.call_once(|| {
+    if let Some(n) = par::thread_override() {
+        return n.max(1);
+    }
+    match std::env::var("TRACESIM_THREADS") {
+        Ok(raw) => match parse_thread_count(&raw) {
+            Some(n) => {
+                let cores = par::num_threads();
+                let clamped = clamp_thread_count(n, cores);
+                if clamped != n {
+                    static CLAMP_ONCE: std::sync::Once = std::sync::Once::new();
+                    CLAMP_ONCE.call_once(|| {
                         eprintln!(
-                            "tracesim: ignoring unparsable TRACESIM_THREADS={raw:?} \
-                             (expected a positive integer)"
+                            "tracesim: clamping TRACESIM_THREADS={n} to {clamped} \
+                             (machine supports {cores})"
                         );
                     });
                 }
-                parsed
+                clamped
             }
-            Err(_) => None,
-        })
-        .unwrap_or_else(par::num_threads)
+            None => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "tracesim: ignoring unparsable TRACESIM_THREADS={raw:?} \
+                         (expected a non-negative integer)"
+                    );
+                });
+                par::num_threads()
+            }
+        },
+        Err(_) => par::num_threads(),
+    }
 }
+
+/// How [`TraceSim::run_parallel`]'s timing phase executes. Both modes
+/// produce bit-identical results; the choice is purely about how the
+/// shared-state work is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingMode {
+    /// The merge thread owns all shared state and prices every device
+    /// access inline (the pre-existing behaviour).
+    Sequential,
+    /// Ownership-partitioned timing: DRAM channel lanes are owned by
+    /// gang workers that price batches of pre-routed accesses, while
+    /// the sequencer preserves the exact sequential merge order and
+    /// flushes whenever a decision would need a not-yet-priced time.
+    Concurrent,
+}
+
+/// Parse a `TRACESIM_TIMING` value (case-insensitive).
+#[doc(hidden)]
+pub fn parse_timing_mode(raw: &str) -> Option<TimingMode> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "sequential" | "seq" => Some(TimingMode::Sequential),
+        "concurrent" | "conc" => Some(TimingMode::Concurrent),
+        _ => None,
+    }
+}
+
+/// Timing mode from the `TRACESIM_TIMING` environment variable,
+/// defaulting to [`TimingMode::Concurrent`] — the engine only engages
+/// when more than one worker is available, so single-threaded hosts
+/// run the inline loop either way. Unparsable values warn once and
+/// fall back to the default.
+pub fn timing_mode_from_env() -> TimingMode {
+    match std::env::var("TRACESIM_TIMING") {
+        Ok(raw) => match parse_timing_mode(&raw) {
+            Some(mode) => mode,
+            None => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "tracesim: ignoring unparsable TRACESIM_TIMING={raw:?} \
+                         (expected \"sequential\" or \"concurrent\")"
+                    );
+                });
+                TimingMode::Concurrent
+            }
+        },
+        Err(_) => TimingMode::Concurrent,
+    }
+}
+
+/// Default classification window for [`TraceSim::run_parallel`], in
+/// accesses: large enough to amortize the per-window fan-out, small
+/// enough that the classified batch is still cache-resident when the
+/// timing phase consumes it.
+pub const PAR_WINDOW: usize = 1 << 16;
 
 /// Streaming-replay backlog threshold: warn when the classified
 /// backlog exceeds this many times the largest chunk the producer has
@@ -354,11 +471,22 @@ impl ClassifiedSoa {
 
     /// Pop the oldest access: `(addr, sram_lat, dependent, level)`.
     fn pop(&mut self) -> Option<(u64, Duration, bool, LevelHit)> {
+        let out = self.peek();
+        if out.is_some() {
+            self.head += 1;
+        }
+        out
+    }
+
+    /// The oldest access without consuming it. The concurrent sequencer
+    /// peeks first so that a flush decision (which must happen before
+    /// *any* state mutation) can leave the access in place to be
+    /// retried after the flush.
+    fn peek(&self) -> Option<(u64, Duration, bool, LevelHit)> {
         if self.is_empty() {
             return None;
         }
         let i = self.head;
-        self.head += 1;
         let flags = self.flags[i];
         Some((
             self.addr[i],
@@ -366,6 +494,12 @@ impl ClassifiedSoa {
             unpack_dependent(flags),
             unpack_level(flags),
         ))
+    }
+
+    /// Consume the access last returned by [`peek`](Self::peek).
+    fn advance(&mut self) {
+        debug_assert!(!self.is_empty(), "advance past the end");
+        self.head += 1;
     }
 
     /// Drop the consumed prefix so refills don't grow without bound.
@@ -391,6 +525,251 @@ struct StreamShard {
     hier: Hierarchy,
     pending: Vec<TraceAccess>,
     queue: ClassifiedSoa,
+}
+
+// ---------------------------------------------------------------------
+// Concurrent timing engine.
+//
+// The shared state of the timing phase partitions by static ownership:
+// each DRAM channel's banks and bus watermark form a lane
+// ([`memdev::bank::DramLane`]) owned by exactly one gang worker, so
+// per-channel sequences of device calls — the only order the bank
+// model is sensitive to — are replayed on a single thread in exactly
+// the sequential merge order. The sequencer keeps that order: it runs
+// the same earliest-clock tournament as the inline path, but instead
+// of pricing device accesses inline it *emits* them as pre-routed ops
+// and proves, via conservative completion lower bounds, that every
+// MSHR/merge/ordering decision it takes is independent of the
+// not-yet-priced times. The moment a decision would need a real time
+// (a stale MSHR placeholder, a blocked dependent core whose bound is
+// reached, order-sensitive telemetry), it flushes: dispatches the
+// batch to the gang ([`simfabric::par::Gang`] epoch barrier), resolves
+// every deferred completion exactly, and resumes. Rare cross-owner
+// interaction (the cache-mode tag→data→fill chain crossing from an
+// MCDRAM lane to a DDR lane and back) is executed optimistically: the
+// chained op spins on its producer's published output, which is always
+// an earlier op in emission order, so the dataflow is acyclic and
+// deadlock-free.
+
+/// Device selector for a [`PriceOp`].
+const DEV_DDR: u8 = 0;
+const DEV_HBM: u8 = 1;
+/// `PriceOp::dep` value meaning "arrival time is known".
+const NO_DEP: u32 = u32::MAX;
+/// `PriceOp::out` value meaning "not yet priced".
+const OP_UNSET: u64 = u64::MAX;
+/// Flush a batch when it reaches this many device ops, bounding both
+/// the deferred-state footprint and the resolve latency.
+const ENGINE_OPS_CAP: usize = 4096;
+/// Bail out of the engine when, after this many flushes, ...
+const ENGINE_BAILOUT_FLUSHES: u64 = 8;
+/// ... the mean batch is still below this many ops: the trace
+/// serializes (e.g. a single-core pointer chase) and the gang is pure
+/// overhead, so the tail is handed back to the inline loop.
+const ENGINE_BAILOUT_MIN_OPS_PER_FLUSH: u64 = 16;
+
+/// One pre-routed device access for the pricing gang: a single
+/// `access_mapped` call on one lane, with the arrival time either
+/// known up front or taken from an earlier op's output (the cache-mode
+/// tag→data→fill chain).
+struct PriceOp {
+    /// [`DEV_DDR`] or [`DEV_HBM`].
+    dev: u8,
+    /// Packed `(channel, bank, row)` from [`DramGeometry::map_packed`].
+    map: u64,
+    /// Arrival time in ps (ignored when `dep` is set).
+    arrive_ps: u64,
+    /// Index of the op whose output is this op's arrival time, or
+    /// [`NO_DEP`].
+    dep: u32,
+    /// Completion time in ps; [`OP_UNSET`] until priced.
+    out: AtomicU64,
+}
+
+/// One flush's worth of ops plus the per-worker routing lists (op
+/// indices in emission order — per-lane order is what makes the lane
+/// replay exact).
+struct PricePlan {
+    ops: Vec<PriceOp>,
+    lists: Vec<Vec<u32>>,
+}
+
+/// Gang-worker loop: price every op routed to `me`, in emission order,
+/// on the lanes this worker owns. Chained ops spin (with yields) on
+/// their producer's output; the producer is always earlier in emission
+/// order, so progress is guaranteed (see the deadlock-freedom argument
+/// in DESIGN.md).
+fn price_worker(gang: &Gang<Arc<PricePlan>>, me: usize, lanes: &mut [(u8, DramLane)]) {
+    let mut seen = 0u64;
+    while let Some(plan) = gang.worker_wait(&mut seen) {
+        for &i in &plan.lists[me] {
+            let op = &plan.ops[i as usize];
+            let at = if op.dep == NO_DEP {
+                op.arrive_ps
+            } else {
+                let dep = &plan.ops[op.dep as usize].out;
+                let mut spins = 0u32;
+                loop {
+                    let v = dep.load(Ordering::Acquire);
+                    if v != OP_UNSET {
+                        break v;
+                    }
+                    spins += 1;
+                    if spins % 64 == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            };
+            let (ch, bank, row) = DramGeometry::unpack(op.map);
+            let (_, lane) = lanes
+                .iter_mut()
+                .find(|(d, l)| *d == op.dev && l.channel() == ch)
+                .expect("op routed to a lane this worker owns");
+            let served = lane.access_mapped(bank, row, SimTime::from_ps(at));
+            op.out.store(served.as_ps(), Ordering::Release);
+        }
+        gang.complete();
+    }
+}
+
+/// A deferred primary miss: the op is in flight on the gang; `done` is
+/// resolved (and the MSHR placeholder replaced) at the next flush.
+struct DefAlloc {
+    core: u32,
+    /// Index of the op whose output is the device service time.
+    op: u32,
+    /// MSHR line address (placeholder to replace at resolve).
+    line: u64,
+    issue: SimTime,
+    /// Response-path latency added on top of the device time.
+    resp_half: Duration,
+    /// Conservative lower bound on the final completion time; every
+    /// decision taken while this entry is pending is valid for *any*
+    /// completion at or above it.
+    done_lb: SimTime,
+    dependent: bool,
+}
+
+/// A secondary miss merged into a pending [`DefAlloc`]: completes at
+/// `max(primary done, floor)`.
+struct DefMerge {
+    core: u32,
+    alloc: u32,
+    floor: SimTime,
+    issue: SimTime,
+    dependent: bool,
+}
+
+/// Why the sequencer flushed a batch to the gang.
+#[derive(Debug, Clone, Copy)]
+enum FlushCause {
+    /// MSHR state undecidable under placeholders (stale pending line,
+    /// or a probe that cannot rule out a stall).
+    Mshr,
+    /// A blocked dependent core's completion bound was reached.
+    Blocked,
+    /// The ops-per-batch cap.
+    Capacity,
+    /// Order-sensitive telemetry (MSHR occupancy histogram) needs
+    /// fully-resolved state at every register call.
+    Telemetry,
+    /// End-of-window / end-of-run drain.
+    Drain,
+}
+
+/// Mutable sequencer state between flushes.
+struct EngineState {
+    ops: Vec<PriceOp>,
+    lists: Vec<Vec<u32>>,
+    allocs: Vec<DefAlloc>,
+    merges: Vec<DefMerge>,
+    /// `(core, line address)` → index into `allocs`, for pending
+    /// primaries. Keyed per core because MSHR files are per-core: the
+    /// same line in flight on two cores is two independent entries
+    /// (and two independent device accesses), exactly as in the
+    /// sequential replay.
+    pending: HashMap<(u32, u64), u32>,
+    /// Per-core count of unresolved placeholders in that core's MSHR
+    /// file; a core at zero has a fully-real file, so its register
+    /// calls (and occupancy samples) are exact without a flush.
+    deferred: Vec<u64>,
+    /// Dependent cores awaiting a deferred completion:
+    /// `(completion lower bound, core)`.
+    blocked: Vec<(SimTime, usize)>,
+}
+
+/// Immutable per-run routing/bounds context for the engine.
+struct EngineCtx<'a> {
+    gang: &'a Gang<Arc<PricePlan>>,
+    /// DDR / HBM channel → owning gang worker.
+    owner_ddr: Vec<usize>,
+    owner_hbm: Vec<usize>,
+    ddr_geo: DramGeometry,
+    hbm_geo: DramGeometry,
+    /// Minimum device service times (completion ≥ arrival + min).
+    ddr_min: Duration,
+    hbm_min: Duration,
+    workers: usize,
+}
+
+/// Route one op to its owning worker and append it to the batch.
+fn emit_op(
+    st: &mut EngineState,
+    ctx: &EngineCtx<'_>,
+    dev: u8,
+    map: u64,
+    arrive_ps: u64,
+    dep: u32,
+) -> u32 {
+    let idx = st.ops.len() as u32;
+    let ch = (map >> 56) as usize;
+    let owner = if dev == DEV_DDR {
+        ctx.owner_ddr[ch]
+    } else {
+        ctx.owner_hbm[ch]
+    };
+    st.ops.push(PriceOp {
+        dev,
+        map,
+        arrive_ps,
+        dep,
+        out: AtomicU64::new(OP_UNSET),
+    });
+    st.lists[owner].push(idx);
+    idx
+}
+
+/// Observability counters from the most recent
+/// [`TraceSim::run_parallel`] call's timing phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingEngineStats {
+    /// Classification windows refilled.
+    pub windows: u64,
+    /// Pricing batches dispatched to the gang.
+    pub flushes: u64,
+    /// Flushes forced by undecidable MSHR state.
+    pub flush_mshr: u64,
+    /// Flushes forced by a blocked core's completion bound.
+    pub flush_blocked: u64,
+    /// Flushes forced by the ops-per-batch cap.
+    pub flush_capacity: u64,
+    /// Flushes forced by order-sensitive telemetry recorders.
+    pub flush_telemetry: u64,
+    /// End-of-window / end-of-run drains.
+    pub flush_drain: u64,
+    /// Device ops priced by the gang.
+    pub ops: u64,
+    /// Largest single batch.
+    pub max_ops_per_flush: u64,
+    /// Whether the engine handed the tail back to the inline loop
+    /// (degenerate flush pattern).
+    pub bailed_out: bool,
+    /// Ops routed to each gang worker (ownership-partition balance).
+    pub owner_ops: Vec<u64>,
+    /// Peak ops a single batch put on each worker.
+    pub owner_peak_ops: Vec<u64>,
 }
 
 /// The trace-driven simulator.
@@ -425,6 +804,17 @@ pub struct TraceSim {
     /// Pipeline stall/occupancy stats from the most recent
     /// `run_streaming` call (zeroed by the materialized paths).
     last_pipe_stats: par::PipeStats,
+    /// Timing-phase override; `None` defers to [`timing_mode_from_env`].
+    timing_mode: Option<TimingMode>,
+    /// Classification window for [`run_parallel`](Self::run_parallel),
+    /// in accesses.
+    replay_window: usize,
+    /// Streaming lookahead cap override, in chunks; `None` defers to
+    /// the `TRACESIM_LOOKAHEAD_CHUNKS` environment variable, and 0
+    /// disables the cap.
+    stream_lookahead_chunks: Option<usize>,
+    /// Engine counters from the most recent `run_parallel` call.
+    timing_stats: TimingEngineStats,
     /// Phase-span log; `None` (the default) disables all span
     /// recording. Device-level histograms are enabled alongside it by
     /// [`enable_telemetry`](Self::enable_telemetry).
@@ -482,8 +872,50 @@ impl TraceSim {
             last_peak_buffer: 0,
             peak_buffered_accesses: 0,
             last_pipe_stats: par::PipeStats::default(),
+            timing_mode: None,
+            replay_window: PAR_WINDOW,
+            stream_lookahead_chunks: None,
+            timing_stats: TimingEngineStats::default(),
             telemetry: None,
         }
+    }
+
+    /// Override the timing mode for subsequent
+    /// [`run_parallel`](Self::run_parallel) calls; `None` (the
+    /// default) defers to the `TRACESIM_TIMING` environment variable.
+    pub fn set_timing_mode(&mut self, mode: Option<TimingMode>) {
+        self.timing_mode = mode;
+    }
+
+    /// The timing mode the next [`run_parallel`](Self::run_parallel)
+    /// call will use.
+    pub fn timing_mode(&self) -> TimingMode {
+        self.timing_mode.unwrap_or_else(timing_mode_from_env)
+    }
+
+    /// Set the classification window (in accesses) for
+    /// [`run_parallel`](Self::run_parallel); clamped to at least one.
+    /// Tests shrink this to force many window refills on small traces.
+    pub fn set_replay_window(&mut self, accesses: usize) {
+        self.replay_window = accesses.max(1);
+    }
+
+    /// Cap [`run_streaming`](Self::run_streaming)'s classified
+    /// lookahead at `chunks` producer chunks: above the cap the merge
+    /// force-drains (and the bounded pipe backpressures the producer)
+    /// until the backlog falls to half the cap. `Some(0)` and `None`
+    /// leave the cap to the `TRACESIM_LOOKAHEAD_CHUNKS` environment
+    /// variable (unset/0 there means uncapped). See the module docs
+    /// for when the forced drain preserves bit-exactness.
+    pub fn set_streaming_lookahead_chunks(&mut self, chunks: Option<usize>) {
+        self.stream_lookahead_chunks = chunks;
+    }
+
+    /// Timing-engine counters from the most recent
+    /// [`run_parallel`](Self::run_parallel) call (all-zero when the
+    /// inline timing path ran).
+    pub fn last_timing_stats(&self) -> &TimingEngineStats {
+        &self.timing_stats
     }
 
     /// Turn on telemetry for subsequent `run*` calls: a [`SpanLog`]
@@ -608,6 +1040,26 @@ impl TraceSim {
             self.peak_buffered_accesses as f64,
         );
         reg.gauge("replay.peak_buffer_bytes", self.last_peak_buffer as f64);
+        let ts = &self.timing_stats;
+        reg.counter("replay.timing.windows", ts.windows);
+        reg.counter("replay.timing.ops", ts.ops);
+        reg.counter("replay.timing.flushes", ts.flushes);
+        reg.counter("replay.timing.flush_mshr", ts.flush_mshr);
+        reg.counter("replay.timing.flush_blocked", ts.flush_blocked);
+        reg.counter("replay.timing.flush_capacity", ts.flush_capacity);
+        reg.counter("replay.timing.flush_telemetry", ts.flush_telemetry);
+        reg.counter("replay.timing.flush_drain", ts.flush_drain);
+        reg.gauge(
+            "replay.timing.max_ops_per_flush",
+            ts.max_ops_per_flush as f64,
+        );
+        reg.gauge("replay.timing.bailed_out", ts.bailed_out as u64 as f64);
+        for (i, &n) in ts.owner_ops.iter().enumerate() {
+            reg.counter(&format!("replay.timing.owner.{i}.ops"), n);
+        }
+        for (i, &n) in ts.owner_peak_ops.iter().enumerate() {
+            reg.gauge(&format!("replay.timing.owner.{i}.peak_batch_ops"), n as f64);
+        }
         reg
     }
 
@@ -823,101 +1275,678 @@ impl TraceSim {
     }
 
     /// Replay a whole trace with the classification phase sharded
-    /// across [`worker_threads`] worker threads; bit-identical to
-    /// [`run`](Self::run).
+    /// across [`worker_threads`] worker threads and the timing phase
+    /// run either inline or on the ownership-partitioned concurrent
+    /// engine (see [`TimingMode`]); bit-identical to [`run`](Self::run)
+    /// at every worker count and in both modes.
     ///
-    /// The trace is partitioned by core (preserving per-core program
-    /// order), each shard's private hierarchy classifies its batch on a
-    /// worker thread into an SoA batch, and the timing phase then
-    /// consumes the batches in the same earliest-clock order the
-    /// sequential path uses. Shared state (MSHR clocks, mesh counters,
-    /// DRAM bank models) is only touched in the timing phase, so
-    /// results do not depend on the worker count.
+    /// The trace is consumed in classification *windows* of
+    /// [`set_replay_window`](Self::set_replay_window) accesses: each
+    /// window is partitioned by core (preserving per-core program
+    /// order), classified in parallel through the per-shard private
+    /// hierarchies into SoA batches, and drained through the same
+    /// earliest-clock tournament the sequential path uses. A core
+    /// whose batch runs dry but which still has undiscovered accesses
+    /// stays in the tree as a *ghost* keyed by its clock — exactly
+    /// where the sequential tree would hold it — and a ghost winning
+    /// triggers the next window refill, so the merge order is exact
+    /// while peak buffering stays near one window instead of the whole
+    /// trace.
     pub fn run_parallel(&mut self, trace: &[TraceAccess]) -> TraceSimReport {
         let cores = self.hierarchies.len();
-        let t_partition = self.telemetry.is_some().then(Instant::now);
-        let mut streams: Vec<Vec<TraceAccess>> = vec![Vec::new(); cores];
-        for &t in trace {
-            streams[partition_by_core(t.core, cores)].push(t);
-        }
-        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_partition) {
-            log.end(
-                t0,
-                "partition",
-                "replay",
-                0,
-                [("accesses", trace.len() as f64)],
-            );
-        }
-        let t_classify = self.telemetry.is_some().then(Instant::now);
-        // Phase 1: classification. Move each hierarchy into its shard,
-        // classify on workers, then restore the hierarchies in index
-        // order (worker scheduling cannot reorder them).
-        let hierarchies = std::mem::take(&mut self.hierarchies);
-        let mut shards: Vec<(Hierarchy, Vec<TraceAccess>, ClassifiedSoa)> = hierarchies
-            .into_iter()
-            .zip(streams)
-            .map(|(h, s)| (h, s, ClassifiedSoa::new()))
-            .collect();
-        par::with_threads(worker_threads(), || {
-            par::par_update(&mut shards, |_, (hier, stream, out)| {
-                out.reserve(stream.len());
-                for &t in stream.iter() {
-                    let kind = if t.write {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    let (level, sram_lat) = hier.access(t.addr, kind);
-                    out.push(t.addr, sram_lat, t.write, t.dependent, level);
-                }
-            });
-        });
-        let mut queues: Vec<ClassifiedSoa> = Vec::with_capacity(cores);
-        self.hierarchies = shards
-            .into_iter()
-            .map(|(h, _, out)| {
-                queues.push(out);
-                h
-            })
-            .collect();
-        // Both the partitioned copy and the classified batches are live
-        // at the classification/timing boundary.
-        self.last_peak_buffer = trace.len() * std::mem::size_of::<TraceAccess>()
-            + queues.iter().map(|q| q.buffered_bytes()).sum::<usize>();
-        self.peak_buffered_accesses = trace.len();
         self.last_pipe_stats = par::PipeStats::default();
+        self.last_peak_buffer = 0;
+        self.peak_buffered_accesses = 0;
+        self.timing_stats = TimingEngineStats::default();
+        if trace.is_empty() {
+            return self.finish();
+        }
+        let window = self.replay_window.max(1);
+        let workers = worker_threads();
+        let engine = self.timing_mode() == TimingMode::Concurrent && workers >= 2;
+        par::with_threads(workers, || {
+            // Pass 0: how many accesses each shard will eventually
+            // receive, so a dry batch can be told apart from a
+            // finished core.
+            let t_partition = self.telemetry.is_some().then(Instant::now);
+            let mut remaining = vec![0usize; cores];
+            for &t in trace {
+                remaining[partition_by_core(t.core, cores)] += 1;
+            }
+            if let (Some(log), Some(t0)) = (&mut self.telemetry, t_partition) {
+                log.end(
+                    t0,
+                    "partition",
+                    "replay",
+                    0,
+                    [("accesses", trace.len() as f64)],
+                );
+            }
+            let hierarchies = std::mem::take(&mut self.hierarchies);
+            let mut shards: Vec<StreamShard> = hierarchies
+                .into_iter()
+                .map(|h| StreamShard {
+                    hier: h,
+                    pending: Vec::new(),
+                    queue: ClassifiedSoa::new(),
+                })
+                .collect();
+            let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
+            for (c, &left) in remaining.iter().enumerate() {
+                if left > 0 {
+                    tree.set(c, self.core_clock[c]);
+                }
+            }
+            let mut next = 0usize;
+            if engine {
+                self.windowed_engine(
+                    trace,
+                    &mut shards,
+                    &mut remaining,
+                    &mut tree,
+                    &mut next,
+                    window,
+                    workers,
+                );
+            }
+            // Everything if the engine was off; the tail if it bailed
+            // out; a no-op if it ran to completion.
+            self.windowed_inline(
+                trace,
+                &mut shards,
+                &mut remaining,
+                &mut tree,
+                &mut next,
+                window,
+            );
+            self.hierarchies = shards.into_iter().map(|u| u.hier).collect();
+        });
+        self.finish()
+    }
+
+    /// Classify the next window of `trace` into the per-shard batches.
+    /// Returns `false` when the trace is exhausted.
+    fn refill_window(
+        &mut self,
+        trace: &[TraceAccess],
+        next: &mut usize,
+        window: usize,
+        shards: &mut Vec<StreamShard>,
+        remaining: &mut [usize],
+    ) -> bool {
+        if *next >= trace.len() {
+            return false;
+        }
+        let cores = shards.len();
+        let end = (*next + window).min(trace.len());
+        let slice = &trace[*next..end];
+        let t_classify = self.telemetry.is_some().then(Instant::now);
+        for &t in slice {
+            let c = partition_by_core(t.core, cores);
+            shards[c].pending.push(t);
+            remaining[c] -= 1;
+        }
+        par::par_update(shards, |_, u| {
+            if u.pending.is_empty() {
+                return;
+            }
+            u.queue.compact();
+            u.queue.reserve(u.pending.len());
+            for &t in &u.pending {
+                let kind = if t.write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let (level, sram_lat) = u.hier.access(t.addr, kind);
+                u.queue.push(t.addr, sram_lat, t.write, t.dependent, level);
+            }
+            u.pending.clear();
+        });
+        let mut buffered = slice.len() * std::mem::size_of::<TraceAccess>();
+        let mut backlog = 0usize;
+        for u in shards.iter() {
+            buffered += u.queue.buffered_bytes();
+            backlog += u.queue.len();
+        }
+        self.last_peak_buffer = self.last_peak_buffer.max(buffered);
+        self.peak_buffered_accesses = self.peak_buffered_accesses.max(backlog);
+        self.timing_stats.windows += 1;
+        *next = end;
         if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
             log.end(
                 t0,
                 "classify",
                 "replay",
                 0,
-                [("accesses", trace.len() as f64)],
+                [("accesses", slice.len() as f64)],
             );
         }
-        let t_merge = self.telemetry.is_some().then(Instant::now);
-        // Phase 2: deterministic timing merge — the same earliest-clock
-        // discipline as the sequential path, consuming the batches.
-        let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
-        for (c, q) in queues.iter().enumerate() {
-            if !q.is_empty() {
-                tree.set(c, self.core_clock[c]);
-            }
-        }
+        true
+    }
+
+    /// The inline timing loop of the windowed replay: identical merge
+    /// discipline to [`run`](Self::run), with ghost-slot refills.
+    fn windowed_inline(
+        &mut self,
+        trace: &[TraceAccess],
+        shards: &mut Vec<StreamShard>,
+        remaining: &mut [usize],
+        tree: &mut LoserTree<SimTime>,
+        next: &mut usize,
+        window: usize,
+    ) {
+        let tel_on = self.telemetry.is_some();
+        let mut t_merge = tel_on.then(Instant::now);
+        let mut drained = 0u64;
         while let Some(c) = tree.winner() {
-            let (addr, sram_lat, dependent, level) = queues[c].pop().expect("open slot has work");
+            if shards[c].queue.is_empty() {
+                // Ghost: this core's clock is the earliest but its next
+                // access is still unclassified — pull the next window.
+                if drained > 0 {
+                    if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+                        log.end(t0, "merge", "replay", 0, [("accesses", drained as f64)]);
+                    }
+                    drained = 0;
+                }
+                let refilled = self.refill_window(trace, next, window, shards, remaining);
+                assert!(refilled, "ghost winner with no trace left");
+                t_merge = tel_on.then(Instant::now);
+                continue;
+            }
+            let (addr, sram_lat, dependent, level) =
+                shards[c].queue.pop().expect("non-empty batch");
             self.access_timed(c, addr, dependent, level, sram_lat);
-            if queues[c].is_empty() {
+            drained += 1;
+            if shards[c].queue.is_empty() && remaining[c] == 0 {
                 tree.close(c);
             } else {
                 tree.set(c, self.core_clock[c]);
             }
         }
-        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
-            log.end(t0, "merge", "replay", 0, [("accesses", trace.len() as f64)]);
+        if drained > 0 {
+            if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+                log.end(t0, "merge", "replay", 0, [("accesses", drained as f64)]);
+            }
         }
-        self.finish()
+    }
+
+    /// Accumulate one completed access into its shard's totals
+    /// (the tail of [`access_timed`](Self::access_timed), shared with
+    /// the engine's inline-exact paths).
+    fn note_access(&mut self, core: usize, latency: Duration, done: SimTime) {
+        let totals = &mut self.core_totals[core];
+        totals.accesses += 1;
+        totals.total_latency += latency;
+        let end = done.since(SimTime::ZERO);
+        if end > totals.makespan {
+            totals.makespan = end;
+        }
+    }
+
+    /// Run the windowed replay with the concurrent timing engine:
+    /// split both DRAM models into per-channel lanes owned by gang
+    /// workers, sequence the exact merge order while deferring device
+    /// pricing to the gang, and flush whenever a decision needs a real
+    /// completion time. Bails back to the caller (leaving fully
+    /// consistent state for [`windowed_inline`](Self::windowed_inline))
+    /// when the flush pattern shows the trace serializes.
+    #[allow(clippy::too_many_arguments)]
+    fn windowed_engine(
+        &mut self,
+        trace: &[TraceAccess],
+        shards: &mut Vec<StreamShard>,
+        remaining: &mut [usize],
+        tree: &mut LoserTree<SimTime>,
+        next: &mut usize,
+        window: usize,
+        workers: usize,
+    ) {
+        let ddr_lanes = self.ddr.split_lanes();
+        let hbm_lanes = self.hbm.split_lanes();
+        let lane_count = ddr_lanes.len() + hbm_lanes.len();
+        let gang_threads = workers.min(lane_count).max(1);
+        let mut worker_lanes: Vec<Vec<(u8, DramLane)>> =
+            (0..gang_threads).map(|_| Vec::new()).collect();
+        let mut owner_ddr = vec![0usize; self.ddr.geometry().channels as usize];
+        let mut owner_hbm = vec![0usize; self.hbm.geometry().channels as usize];
+        let mut slot = 0usize;
+        for lane in ddr_lanes {
+            owner_ddr[lane.channel() as usize] = slot % gang_threads;
+            worker_lanes[slot % gang_threads].push((DEV_DDR, lane));
+            slot += 1;
+        }
+        for lane in hbm_lanes {
+            owner_hbm[lane.channel() as usize] = slot % gang_threads;
+            worker_lanes[slot % gang_threads].push((DEV_HBM, lane));
+            slot += 1;
+        }
+        self.timing_stats.owner_ops = vec![0u64; gang_threads];
+        self.timing_stats.owner_peak_ops = vec![0u64; gang_threads];
+        let gang: Gang<Arc<PricePlan>> = Gang::new(gang_threads);
+        let ctx = EngineCtx {
+            gang: &gang,
+            owner_ddr,
+            owner_hbm,
+            ddr_geo: self.ddr.geometry(),
+            hbm_geo: self.hbm.geometry(),
+            ddr_min: self.ddr.min_service(),
+            hbm_min: self.hbm.min_service(),
+            workers: gang_threads,
+        };
+        let (ddr_back, hbm_back) = std::thread::scope(|s| {
+            let handles: Vec<_> = worker_lanes
+                .into_iter()
+                .enumerate()
+                .map(|(me, mut lanes)| {
+                    let gang = &gang;
+                    s.spawn(move || {
+                        price_worker(gang, me, &mut lanes);
+                        lanes
+                    })
+                })
+                .collect();
+            // A sequencer panic must still shut the gang down, or the
+            // workers spin forever and the scope never joins (turning
+            // a clean panic into a hang).
+            let sequenced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.sequence_windows(trace, shards, remaining, tree, next, window, &ctx)
+            }));
+            gang.shutdown();
+            if let Err(payload) = sequenced {
+                for h in handles {
+                    let _ = h.join();
+                }
+                std::panic::resume_unwind(payload);
+            }
+            let mut ddr_back = Vec::new();
+            let mut hbm_back = Vec::new();
+            for h in handles {
+                for (dev, lane) in h.join().expect("pricing worker panicked") {
+                    if dev == DEV_DDR {
+                        ddr_back.push(lane);
+                    } else {
+                        hbm_back.push(lane);
+                    }
+                }
+            }
+            (ddr_back, hbm_back)
+        });
+        self.ddr.absorb_lanes(ddr_back);
+        self.hbm.absorb_lanes(hbm_back);
+    }
+
+    /// The engine's sequencer loop (runs on the merge thread while the
+    /// gang owns the lanes). Every decision either provably matches
+    /// the sequential replay under any completion times at or above
+    /// the deferred lower bounds, or forces a flush first.
+    #[allow(clippy::too_many_arguments)]
+    fn sequence_windows(
+        &mut self,
+        trace: &[TraceAccess],
+        shards: &mut Vec<StreamShard>,
+        remaining: &mut [usize],
+        tree: &mut LoserTree<SimTime>,
+        next: &mut usize,
+        window: usize,
+        ctx: &EngineCtx<'_>,
+    ) {
+        let mut st = EngineState {
+            ops: Vec::new(),
+            lists: (0..ctx.workers).map(|_| Vec::new()).collect(),
+            allocs: Vec::new(),
+            merges: Vec::new(),
+            pending: HashMap::new(),
+            deferred: vec![0; shards.len()],
+            blocked: Vec::new(),
+        };
+        let cycle = Duration::from_cycles(1, crate::calib::CORE_GHZ);
+        let tel_on = self.telemetry.is_some();
+        let mut t_merge = tel_on.then(Instant::now);
+        let mut drained = 0u64;
+        macro_rules! merge_span {
+            () => {
+                if drained > 0 {
+                    if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
+                        log.end(t0, "merge", "replay", 0, [("accesses", drained as f64)]);
+                    }
+                    drained = 0;
+                }
+                t_merge = tel_on.then(Instant::now);
+            };
+        }
+        loop {
+            // Degenerate-pattern bail-out: consistently tiny batches
+            // mean the trace serializes and the gang is pure overhead.
+            let ts = &self.timing_stats;
+            if ts.flushes >= ENGINE_BAILOUT_FLUSHES
+                && ts.ops < ts.flushes * ENGINE_BAILOUT_MIN_OPS_PER_FLUSH
+            {
+                self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Drain);
+                self.timing_stats.bailed_out = true;
+                break;
+            }
+            let Some(w) = tree.winner() else {
+                if !st.ops.is_empty() {
+                    self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Drain);
+                    continue;
+                }
+                break;
+            };
+            let issue = self.core_clock[w];
+            // A blocked dependent core sits, in the sequential replay,
+            // in the tree at its real completion time `done ≥ bound`.
+            // Overtaking it is only provably correct while
+            // `(key, slot)` orders strictly below every blocked
+            // `(bound, core)`.
+            if let Some(&(bound, b)) = st.blocked.iter().min_by_key(|&&(t, c)| (t, c)) {
+                if (issue, w) >= (bound, b) {
+                    self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Blocked);
+                    continue;
+                }
+            }
+            if shards[w].queue.is_empty() {
+                // Ghost winner: refill the classification window.
+                merge_span!();
+                let refilled = self.refill_window(trace, next, window, shards, remaining);
+                assert!(refilled, "ghost winner with no trace left");
+                continue;
+            }
+            let (addr, sram_lat, dependent, level) =
+                shards[w].queue.peek().expect("non-empty batch");
+            if level != LevelHit::Memory && level != LevelHit::McdramCache {
+                // Private-cache hit: clock arithmetic only, always
+                // exact.
+                let done = issue + sram_lat;
+                self.note_access(w, sram_lat, done);
+                self.core_clock[w] = if dependent { done } else { issue + cycle };
+                shards[w].queue.advance();
+                drained += 1;
+                if shards[w].queue.is_empty() && remaining[w] == 0 {
+                    tree.close(w);
+                } else {
+                    tree.set(w, self.core_clock[w]);
+                }
+                continue;
+            }
+            // Memory-level access: MSHR discipline plus device pricing.
+            if tel_on && st.deferred[w] > 0 {
+                // The occupancy histogram samples this core's retired
+                // file at every register call; placeholders would skew
+                // it.
+                self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Telemetry);
+                continue;
+            }
+            let line = addr & !(self.line_bytes - 1);
+            if let Some(&ai) = st.pending.get(&(w as u32, line)) {
+                let primary = &st.allocs[ai as usize];
+                if issue >= primary.done_lb {
+                    // The placeholder may already have retired in the
+                    // sequential replay — undecidable without the real
+                    // completion.
+                    self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Mshr);
+                    continue;
+                }
+                // Provably still in flight: a genuine secondary miss.
+                let bound = primary.done_lb;
+                match self.mshrs[w].register(line, issue) {
+                    MshrOutcome::Merged { .. } => {}
+                    other => unreachable!("pending line must merge, got {other:?}"),
+                }
+                let floor = issue + sram_lat;
+                st.merges.push(DefMerge {
+                    core: w as u32,
+                    alloc: ai,
+                    floor,
+                    issue,
+                    dependent,
+                });
+                self.core_totals[w].accesses += 1;
+                shards[w].queue.advance();
+                drained += 1;
+                if dependent {
+                    st.blocked.push((bound.max(floor), w));
+                    tree.close(w);
+                } else {
+                    self.core_clock[w] = issue + cycle;
+                    if shards[w].queue.is_empty() && remaining[w] == 0 {
+                        tree.close(w);
+                    } else {
+                        tree.set(w, self.core_clock[w]);
+                    }
+                }
+                continue;
+            }
+            if st.deferred[w] > 0
+                && self.mshrs[w].probe_occupancy(issue) >= self.mshrs[w].capacity()
+            {
+                // Placeholders count as in flight, so a full probe
+                // cannot rule out that the real file has free entries
+                // (no stall) — or none (stall). Resolve first.
+                self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Mshr);
+                continue;
+            }
+            // From here the register call is exact: with deferred
+            // state the probe guaranteed no stall; without it, this
+            // core's file holds only real completions and the
+            // sequential stall loop applies as-is.
+            let mut issue = issue;
+            let mut merged_done = None;
+            loop {
+                match self.mshrs[w].register(line, issue) {
+                    MshrOutcome::Allocated => break,
+                    MshrOutcome::Merged { ready_at } => {
+                        debug_assert_ne!(ready_at.as_ps(), u64::MAX, "merged into a placeholder");
+                        merged_done = Some(ready_at.max(issue + sram_lat));
+                        break;
+                    }
+                    MshrOutcome::Stall { free_at } => {
+                        debug_assert_eq!(st.deferred[w], 0, "stall while deferring");
+                        issue = free_at;
+                    }
+                }
+            }
+            if let Some(done) = merged_done {
+                // Merged into a fully-priced in-flight line: exact.
+                self.note_access(w, done.since(issue), done);
+                self.core_clock[w] = if dependent { done } else { issue + cycle };
+                shards[w].queue.advance();
+                drained += 1;
+                if shards[w].queue.is_empty() && remaining[w] == 0 {
+                    tree.close(w);
+                } else {
+                    tree.set(w, self.core_clock[w]);
+                }
+                continue;
+            }
+            // Allocated: emit the device op(s) and defer completion.
+            self.core_totals[w].memory_accesses += 1;
+            let is_hbm_target = match (&self.msc, level) {
+                (Some(_), LevelHit::McdramCache) => true,
+                (Some(_), _) => false,
+                (None, _) => self.placement.is_hbm(addr),
+            };
+            self.mesh.note_analytic_message(if is_hbm_target {
+                self.hops_hbm
+            } else {
+                self.hops_ddr
+            });
+            let resp_half = if is_hbm_target {
+                self.resp_half_hbm
+            } else {
+                self.resp_half_ddr
+            };
+            let arrive = issue + sram_lat + resp_half;
+            let (op, done_lb) = match (&self.msc, level) {
+                (Some(_), LevelHit::McdramCache) => {
+                    self.core_totals[w].mcdram_cache_hits += 1;
+                    let op = emit_op(
+                        &mut st,
+                        ctx,
+                        DEV_HBM,
+                        ctx.hbm_geo.map_packed(addr),
+                        arrive.as_ps(),
+                        NO_DEP,
+                    );
+                    (op, arrive + ctx.hbm_min + resp_half)
+                }
+                (Some(_), _) => {
+                    // Cache-mode miss: tag probe in MCDRAM, DDR fetch,
+                    // fill write back into MCDRAM (fill off the
+                    // critical path but ordered on its lane).
+                    let tag = emit_op(
+                        &mut st,
+                        ctx,
+                        DEV_HBM,
+                        ctx.hbm_geo.map_packed(addr),
+                        arrive.as_ps(),
+                        NO_DEP,
+                    );
+                    let data = emit_op(&mut st, ctx, DEV_DDR, ctx.ddr_geo.map_packed(addr), 0, tag);
+                    let _fill =
+                        emit_op(&mut st, ctx, DEV_HBM, ctx.hbm_geo.map_packed(addr), 0, data);
+                    (data, arrive + ctx.hbm_min + ctx.ddr_min + resp_half)
+                }
+                (None, _) => {
+                    if self.placement.is_hbm(addr) {
+                        let op = emit_op(
+                            &mut st,
+                            ctx,
+                            DEV_HBM,
+                            ctx.hbm_geo.map_packed(addr),
+                            arrive.as_ps(),
+                            NO_DEP,
+                        );
+                        (op, arrive + ctx.hbm_min + resp_half)
+                    } else {
+                        let op = emit_op(
+                            &mut st,
+                            ctx,
+                            DEV_DDR,
+                            ctx.ddr_geo.map_packed(addr),
+                            arrive.as_ps(),
+                            NO_DEP,
+                        );
+                        (op, arrive + ctx.ddr_min + resp_half)
+                    }
+                }
+            };
+            let ai = st.allocs.len() as u32;
+            st.allocs.push(DefAlloc {
+                core: w as u32,
+                op,
+                line,
+                issue,
+                resp_half,
+                done_lb,
+                dependent,
+            });
+            st.pending.insert((w as u32, line), ai);
+            st.deferred[w] += 1;
+            self.core_totals[w].accesses += 1;
+            shards[w].queue.advance();
+            drained += 1;
+            if dependent {
+                st.blocked.push((done_lb, w));
+                tree.close(w);
+            } else {
+                self.core_clock[w] = issue + cycle;
+                if shards[w].queue.is_empty() && remaining[w] == 0 {
+                    tree.close(w);
+                } else {
+                    tree.set(w, self.core_clock[w]);
+                }
+            }
+            if st.ops.len() >= ENGINE_OPS_CAP {
+                self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Capacity);
+            }
+        }
+        debug_assert!(st.ops.is_empty() && st.blocked.is_empty());
+        merge_span!();
+        let _ = (t_merge, drained);
+    }
+
+    /// Dispatch the pending batch to the gang and resolve every
+    /// deferred completion exactly: primaries in emission order, then
+    /// merges (which only reference earlier primaries), then unblock
+    /// the dependent cores at their now-known clocks.
+    fn engine_flush(
+        &mut self,
+        st: &mut EngineState,
+        ctx: &EngineCtx<'_>,
+        tree: &mut LoserTree<SimTime>,
+        shards: &[StreamShard],
+        remaining: &[usize],
+        cause: FlushCause,
+    ) {
+        if st.ops.is_empty() {
+            debug_assert!(st.allocs.is_empty() && st.merges.is_empty() && st.blocked.is_empty());
+            return;
+        }
+        {
+            let ts = &mut self.timing_stats;
+            ts.flushes += 1;
+            ts.ops += st.ops.len() as u64;
+            ts.max_ops_per_flush = ts.max_ops_per_flush.max(st.ops.len() as u64);
+            match cause {
+                FlushCause::Mshr => ts.flush_mshr += 1,
+                FlushCause::Blocked => ts.flush_blocked += 1,
+                FlushCause::Capacity => ts.flush_capacity += 1,
+                FlushCause::Telemetry => ts.flush_telemetry += 1,
+                FlushCause::Drain => ts.flush_drain += 1,
+            }
+            for (worker, list) in st.lists.iter().enumerate() {
+                ts.owner_ops[worker] += list.len() as u64;
+                ts.owner_peak_ops[worker] = ts.owner_peak_ops[worker].max(list.len() as u64);
+            }
+        }
+        let plan = Arc::new(PricePlan {
+            ops: std::mem::take(&mut st.ops),
+            lists: std::mem::take(&mut st.lists),
+        });
+        // The barrier in dispatch makes every worker's stores visible.
+        ctx.gang.dispatch(Arc::clone(&plan));
+        let mut done_of = vec![SimTime::ZERO; st.allocs.len()];
+        for (i, a) in st.allocs.iter().enumerate() {
+            let served = plan.ops[a.op as usize].out.load(Ordering::Acquire);
+            debug_assert_ne!(served, OP_UNSET, "gang left an op unpriced");
+            let done = SimTime::from_ps(served) + a.resp_half;
+            debug_assert!(done >= a.done_lb, "completion below its lower bound");
+            done_of[i] = done;
+            self.mshrs[a.core as usize].complete_at(a.line, done);
+            let totals = &mut self.core_totals[a.core as usize];
+            totals.total_latency += done.since(a.issue);
+            let end = done.since(SimTime::ZERO);
+            if end > totals.makespan {
+                totals.makespan = end;
+            }
+            if a.dependent {
+                self.core_clock[a.core as usize] = done;
+            }
+        }
+        for m in &st.merges {
+            let done = done_of[m.alloc as usize].max(m.floor);
+            let totals = &mut self.core_totals[m.core as usize];
+            totals.total_latency += done.since(m.issue);
+            let end = done.since(SimTime::ZERO);
+            if end > totals.makespan {
+                totals.makespan = end;
+            }
+            if m.dependent {
+                self.core_clock[m.core as usize] = done;
+            }
+        }
+        for &(_, c) in &st.blocked {
+            if !shards[c].queue.is_empty() || remaining[c] > 0 {
+                tree.set(c, self.core_clock[c]);
+            }
+        }
+        st.blocked.clear();
+        st.allocs.clear();
+        st.merges.clear();
+        st.pending.clear();
+        st.deferred.iter_mut().for_each(|d| *d = 0);
+        st.lists = (0..ctx.workers).map(|_| Vec::new()).collect();
     }
 
     /// Replay a trace pulled incrementally from `fill`, overlapping
@@ -942,6 +1971,19 @@ impl TraceSim {
     /// confined to a subset of cores (a single-core pointer chase is
     /// the extreme) buffers the full classified trace, trading memory,
     /// never correctness.
+    ///
+    /// [`set_streaming_lookahead_chunks`](Self::set_streaming_lookahead_chunks)
+    /// (or `TRACESIM_LOOKAHEAD_CHUNKS`) bounds that buildup: when the
+    /// classified backlog exceeds `cap × max_chunk` accesses the
+    /// consumer stops refilling and force-drains the cores that do
+    /// have work (the depth-2 pipe then backpressures the producer),
+    /// until the backlog halves. Draining around an empty core is
+    /// exact whenever that core never receives an earlier-clocked
+    /// access later — vacuously true for the single-core traces that
+    /// trigger unbounded buildup, which is what the cap is for. On
+    /// workloads that *do* later feed the starved cores the capped
+    /// replay is a bounded-memory approximation rather than
+    /// bit-identical, so the cap is off by default.
     pub fn run_streaming(
         &mut self,
         mut fill: impl FnMut(&mut Vec<TraceAccess>) -> usize + Send,
@@ -950,6 +1992,16 @@ impl TraceSim {
         self.last_peak_buffer = 0;
         self.peak_buffered_accesses = 0;
         let tel_on = self.telemetry.is_some();
+        // Explicit setter wins over the environment; 0 or unset means
+        // uncapped (the bit-exact default).
+        let lookahead_cap = self
+            .stream_lookahead_chunks
+            .or_else(|| {
+                std::env::var("TRACESIM_LOOKAHEAD_CHUNKS")
+                    .ok()
+                    .and_then(|v| parse_thread_count(&v))
+            })
+            .filter(|&n| n > 0);
         let hierarchies = std::mem::take(&mut self.hierarchies);
         let mut units: Vec<StreamShard> = hierarchies
             .into_iter()
@@ -978,8 +2030,15 @@ impl TraceSim {
                     // work; no winner may be selected while any exist.
                     let mut hungry = cores;
                     let mut max_chunk = 0usize;
+                    // Classified accesses buffered across all queues,
+                    // kept incrementally for the lookahead cap.
+                    let mut backlog = 0usize;
+                    // When set, refills pause (backpressuring the
+                    // producer through the bounded pipe) and the
+                    // non-empty queues drain until the backlog halves.
+                    let mut force_drain = false;
                     loop {
-                        while hungry > 0 && !stream_done {
+                        while hungry > 0 && !stream_done && !force_drain {
                             let Some((chunk, generated)) = rx.recv() else {
                                 stream_done = true;
                                 hungry = 0;
@@ -1029,7 +2088,7 @@ impl TraceSim {
                             }
                             hungry = 0;
                             let mut buffered = chunk_bytes;
-                            let mut backlog = 0usize;
+                            backlog = 0;
                             for (c, u) in units.iter().enumerate() {
                                 buffered += u.queue.buffered_bytes();
                                 backlog += u.queue.len();
@@ -1041,9 +2100,17 @@ impl TraceSim {
                             }
                             self.last_peak_buffer = self.last_peak_buffer.max(buffered);
                             self.peak_buffered_accesses = self.peak_buffered_accesses.max(backlog);
-                            if let Some(msg) = buffer_warning(backlog, max_chunk) {
-                                static BUFFER_WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                                BUFFER_WARN_ONCE.call_once(|| eprintln!("{msg}"));
+                            if let Some(cap) = lookahead_cap {
+                                if backlog > cap.saturating_mul(max_chunk) {
+                                    force_drain = true;
+                                }
+                            }
+                            if lookahead_cap.is_none() {
+                                if let Some(msg) = buffer_warning(backlog, max_chunk) {
+                                    static BUFFER_WARN_ONCE: std::sync::Once =
+                                        std::sync::Once::new();
+                                    BUFFER_WARN_ONCE.call_once(|| eprintln!("{msg}"));
+                                }
                             }
                         }
                         // Drain winners until a queue runs dry while
@@ -1057,6 +2124,7 @@ impl TraceSim {
                                 units[c].queue.pop().expect("winner has work");
                             self.access_timed(c, addr, dependent, level, sram_lat);
                             drained += 1;
+                            backlog -= 1;
                             if units[c].queue.is_empty() {
                                 tree.close(c);
                                 if !stream_done {
@@ -1065,9 +2133,25 @@ impl TraceSim {
                             } else {
                                 tree.set(c, self.core_clock[c]);
                             }
-                            if hungry > 0 && !stream_done {
+                            if force_drain {
+                                // Hysteresis: drain to half the cap so
+                                // refill and drain don't ping-pong on
+                                // every chunk.
+                                let cap = lookahead_cap.expect("force_drain only with a cap");
+                                if backlog * 2 <= cap.saturating_mul(max_chunk) {
+                                    force_drain = false;
+                                    if hungry > 0 && !stream_done {
+                                        break;
+                                    }
+                                }
+                            } else if hungry > 0 && !stream_done {
                                 break;
                             }
+                        }
+                        // All queues ran dry under force-drain: nothing
+                        // left to drain, so resume refilling.
+                        if force_drain && tree.winner().is_none() {
+                            force_drain = false;
                         }
                         if drained > 0 {
                             if let (Some(log), Some(t0)) = (&mut self.telemetry, t_merge) {
@@ -1321,7 +2405,9 @@ mod tests {
     fn parallel_replay_matches_sequential_in_unit() {
         // Small smoke version of tests/parallel_equivalence.rs: the
         // sharded path must be bit-identical to the reference at
-        // several worker counts, including more workers than cores.
+        // several worker counts (including more workers than cores),
+        // in both timing modes, and with a window far smaller than the
+        // trace so refills and ghost slots are exercised.
         let trace = stream_trace(4, 300);
         let mut seq = TraceSim::new(
             &cfg(MemSetup::DramOnly),
@@ -1331,17 +2417,135 @@ mod tests {
         );
         let expect = seq.run(&trace);
         for workers in [1, 2, 4, 8, 64] {
-            let mut par_sim = TraceSim::new(
-                &cfg(MemSetup::DramOnly),
-                4,
-                TracePlacement::AllDdr,
-                ByteSize::mib(1),
-            );
-            let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
-            assert_eq!(got, expect, "workers={workers}");
-            assert_eq!(par_sim.ddr_stats(), seq.ddr_stats(), "workers={workers}");
-            assert_eq!(par_sim.mesh_stats(), seq.mesh_stats(), "workers={workers}");
+            for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+                for window in [None, Some(64)] {
+                    let mut par_sim = TraceSim::new(
+                        &cfg(MemSetup::DramOnly),
+                        4,
+                        TracePlacement::AllDdr,
+                        ByteSize::mib(1),
+                    );
+                    par_sim.set_timing_mode(Some(mode));
+                    if let Some(w) = window {
+                        par_sim.set_replay_window(w);
+                    }
+                    let got = par::with_threads(workers, || par_sim.run_parallel(&trace));
+                    let at = format!("workers={workers} mode={mode:?} window={window:?}");
+                    assert_eq!(got, expect, "{at}");
+                    assert_eq!(par_sim.ddr_stats(), seq.ddr_stats(), "{at}");
+                    assert_eq!(par_sim.mesh_stats(), seq.mesh_stats(), "{at}");
+                    if mode == TimingMode::Concurrent && workers >= 2 {
+                        let ts = par_sim.last_timing_stats();
+                        assert!(
+                            ts.bailed_out || ts.ops > 0,
+                            "{at}: engine ran but priced nothing: {ts:?}"
+                        );
+                    }
+                    if window.is_some() {
+                        assert!(
+                            par_sim.last_timing_stats().windows > 1,
+                            "{at}: a 64-access window over {} accesses must refill",
+                            trace.len()
+                        );
+                    }
+                }
+            }
         }
+    }
+
+    #[test]
+    fn windowed_replay_buffers_less_than_whole_trace() {
+        // The windowed parallel path should hold ~one window of
+        // classified accesses, not the full trace.
+        let trace = stream_trace(4, 2000);
+        let mut sim = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        sim.set_replay_window(128);
+        let mut reference = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            4,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let expect = reference.run(&trace);
+        let got = par::with_threads(2, || sim.run_parallel(&trace));
+        assert_eq!(got, expect);
+        assert!(
+            sim.last_peak_buffered_accesses() < trace.len() / 2,
+            "peak {} should be window-bounded, trace is {}",
+            sim.last_peak_buffered_accesses(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn streaming_lookahead_cap_bounds_single_core_backlog() {
+        // A single-core pointer chase on a multi-core sim is the
+        // pathological streaming case: every other queue stays empty,
+        // so the uncapped pipeline materializes the whole classified
+        // trace. The cap must bound the backlog near cap × chunk while
+        // staying bit-identical (the starved cores never receive work,
+        // so draining around them is vacuously exact).
+        let total = 6000usize;
+        let chunk = 250usize;
+        let make_fill = move || {
+            let mut produced = 0usize;
+            move |buf: &mut Vec<TraceAccess>| {
+                let n = chunk.min(total - produced);
+                for i in 0..n {
+                    let j = (produced + i) as u64;
+                    // Dependent chase with a large stride: misses that
+                    // serialize, so the backlog grows chunk by chunk.
+                    buf.push(TraceAccess::chase(1, (j * 4096 + 64) % (1 << 30)));
+                }
+                produced += n;
+                n
+            }
+        };
+        let mut seq = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            8,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let expect = seq.run_streaming(make_fill());
+        let mut uncapped = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            8,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        let got_uncapped = par::with_threads(2, || uncapped.run_streaming(make_fill()));
+        assert_eq!(got_uncapped, expect);
+        assert!(
+            uncapped.last_peak_buffered_accesses() > total / 2,
+            "uncapped single-core backlog should approach the trace \
+             ({} of {total})",
+            uncapped.last_peak_buffered_accesses(),
+        );
+        let cap = 4usize;
+        let mut capped = TraceSim::new(
+            &cfg(MemSetup::DramOnly),
+            8,
+            TracePlacement::AllDdr,
+            ByteSize::mib(1),
+        );
+        capped.set_streaming_lookahead_chunks(Some(cap));
+        let got_capped = par::with_threads(2, || capped.run_streaming(make_fill()));
+        assert_eq!(
+            got_capped, expect,
+            "capped single-core replay must stay exact"
+        );
+        let bound = (cap + 2) * chunk;
+        assert!(
+            capped.last_peak_buffered_accesses() <= bound,
+            "capped backlog {} exceeds {bound}",
+            capped.last_peak_buffered_accesses(),
+        );
     }
 
     #[test]
@@ -1360,18 +2564,49 @@ mod tests {
 
     #[test]
     fn thread_count_parsing() {
-        // Empty, zero, and garbage are all rejected (worker_threads
-        // then warns once and falls back to the machine default).
+        // Empty and garbage are rejected (worker_threads then warns
+        // once and falls back to the machine default); numbers —
+        // including 0 — parse, and the clamp maps them into [1, cores].
         assert_eq!(parse_thread_count(""), None);
         assert_eq!(parse_thread_count("   "), None);
-        assert_eq!(parse_thread_count("0"), None);
-        assert_eq!(parse_thread_count(" 0 "), None);
         assert_eq!(parse_thread_count("garbage"), None);
         assert_eq!(parse_thread_count("-4"), None);
         assert_eq!(parse_thread_count("4x"), None);
+        assert_eq!(parse_thread_count("0"), Some(0));
+        assert_eq!(parse_thread_count(" 0 "), Some(0));
         assert_eq!(parse_thread_count("4"), Some(4));
         assert_eq!(parse_thread_count(" 8 "), Some(8));
         assert_eq!(parse_thread_count("1"), Some(1));
+    }
+
+    #[test]
+    fn thread_count_clamping() {
+        // TRACESIM_THREADS=0 and over-subscription both clamp into
+        // [1, cores] instead of erroring or oversubscribing.
+        assert_eq!(clamp_thread_count(0, 8), 1);
+        assert_eq!(clamp_thread_count(1, 8), 1);
+        assert_eq!(clamp_thread_count(8, 8), 8);
+        assert_eq!(clamp_thread_count(64, 8), 8);
+        assert_eq!(clamp_thread_count(3, 8), 3);
+        // Degenerate core counts never clamp to zero.
+        assert_eq!(clamp_thread_count(0, 0), 1);
+        assert_eq!(clamp_thread_count(5, 0), 1);
+    }
+
+    #[test]
+    fn timing_mode_parsing() {
+        assert_eq!(
+            parse_timing_mode("sequential"),
+            Some(TimingMode::Sequential)
+        );
+        assert_eq!(parse_timing_mode(" Seq "), Some(TimingMode::Sequential));
+        assert_eq!(
+            parse_timing_mode("concurrent"),
+            Some(TimingMode::Concurrent)
+        );
+        assert_eq!(parse_timing_mode("CONC"), Some(TimingMode::Concurrent));
+        assert_eq!(parse_timing_mode(""), None);
+        assert_eq!(parse_timing_mode("parallel"), None);
     }
 
     #[test]

@@ -282,6 +282,53 @@ mod tests {
     }
 
     #[test]
+    fn empty_shards_at_construction_never_win() {
+        // A tiny trace at many workers leaves some cores with zero
+        // accesses: those slots are never `set`, and the merge must
+        // behave as if they did not exist — in every tree size,
+        // including the n=1 tree whose replay loop body never runs.
+        for n in [1usize, 2, 3, 8, 9] {
+            let mut t: LoserTree<u64> = LoserTree::new(n);
+            assert_eq!(t.winner(), None, "n={n} with all shards empty");
+            // Open only the last slot (worst case for the tie-break
+            // padding: every virtual sibling must lose to it).
+            t.set(n - 1, 7);
+            assert_eq!(t.winner(), Some(n - 1), "n={n}");
+            assert_eq!(t.len(), 1);
+            t.close(n - 1);
+            assert_eq!(t.winner(), None);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_element_shards_merge_correctly() {
+        // Shard lengths 0 and 1 mixed with longer ones: the drained
+        // sequence must equal the globally sorted-by-(key, slot) order.
+        let shards: Vec<Vec<u64>> = vec![vec![], vec![5], vec![], vec![1, 9], vec![5], vec![]];
+        let mut cursors = vec![0usize; shards.len()];
+        let mut t: LoserTree<u64> = LoserTree::new(shards.len());
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(&k) = s.first() {
+                t.set(i, k);
+            }
+        }
+        assert_eq!(t.len(), 3, "only non-empty shards are open");
+        let mut drained = Vec::new();
+        while let Some(i) = t.winner() {
+            drained.push((shards[i][cursors[i]], i));
+            cursors[i] += 1;
+            match shards[i].get(cursors[i]) {
+                Some(&k) => t.set(i, k),
+                None => t.close(i),
+            }
+        }
+        assert_eq!(drained, vec![(1, 3), (5, 1), (5, 4), (9, 3)]);
+        let mut expect = drained.clone();
+        expect.sort();
+        assert_eq!(drained, expect);
+    }
+
+    #[test]
     fn randomized_against_naive_selection() {
         // Seeded stress: random set/close operations, winner always
         // equals the naive minimum.

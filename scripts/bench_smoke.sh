@@ -34,3 +34,17 @@ for _attempt in 1 2 3; do
     fi
 done
 [[ "$overhead_ok" == 1 ]]
+
+# Replay-inversion gate: the windowed parallel path must be at least
+# 95 % of the streaming path's throughput on the acceptance config.
+# Three attempts for the same shared-host timer-noise reason as above;
+# a genuine inversion (parallel structurally losing to streaming, the
+# regression this PR fixed) fails all three.
+gate_ok=0
+for _attempt in 1 2 3; do
+    if "$REPRO" bench-gate --config stream_64x50000 --tol 0.05; then
+        gate_ok=1
+        break
+    fi
+done
+[[ "$gate_ok" == 1 ]]

@@ -13,6 +13,15 @@ cargo build --release --offline
 TRACESIM_THREADS=1 cargo test -q --offline
 TRACESIM_THREADS=8 cargo test -q --offline
 
+# The equivalence suite again with the concurrent timing engine forced
+# on and forced off, under a watchdog: a bug in the engine's gang
+# barrier or spin-waits would present as a hang, and the timeout turns
+# that into a CI failure in minutes instead of a stuck job.
+TRACESIM_THREADS=4 TRACESIM_TIMING=concurrent timeout 900 \
+    cargo test -q --offline -p knl-hybrid-memory --test parallel_equivalence
+TRACESIM_THREADS=4 TRACESIM_TIMING=sequential timeout 900 \
+    cargo test -q --offline -p knl-hybrid-memory --test parallel_equivalence
+
 # Tiny replay-bench run + JSON validation (see scripts/bench_smoke.sh).
 scripts/bench_smoke.sh
 

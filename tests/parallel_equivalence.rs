@@ -8,7 +8,7 @@
 //! makes the parallel/streaming speedup trustworthy: "parallel ==
 //! sequential, only faster".
 
-use knl::tracesim::{TracePlacement, TraceSim, TraceSimReport};
+use knl::tracesim::{TimingMode, TraceAccess, TracePlacement, TraceSim, TraceSimReport};
 use knl::{MachineConfig, MemSetup};
 use simfabric::{par, ByteSize};
 use workloads::tracegen::{replay_streaming, TraceKind};
@@ -246,6 +246,120 @@ fn telemetry_registries_merge_to_sequential_values() {
                 deterministic_metrics(&stream_sim),
                 expect_metrics,
                 "streaming device metrics diverged: {ctx}"
+            );
+        }
+    }
+}
+
+/// A hand-built adversarial trace for the concurrent timing engine.
+/// Every core rotates through the four interaction patterns the
+/// ownership-partitioned sequencer has to get exactly right:
+///
+/// - **shared hot lines**: all cores hammer the same eight lines, so
+///   the same banks and rows serialize across owners and per-core
+///   MSHRs fill with overlapping in-flight lines;
+/// - **single-channel hammer**: a stride equal to one full channel
+///   round piles every access of the burst onto one DRAM lane;
+/// - **dependent chase**: per-core pointer chases that block the core
+///   on each completion (the blocked/overtake flush path);
+/// - **write bursts**: densely-strided writes that keep the MSHR file
+///   at capacity (the probe/stall flush path).
+///
+/// Repeated same-line accesses within a core also exercise
+/// secondary-miss merges against still-deferred primaries.
+fn contention_trace(cores: u32, per_core: u64) -> Vec<TraceAccess> {
+    let mut trace = Vec::new();
+    // DDR has 6 channels and MCDRAM 8; a 64-line stride is a whole
+    // number of rounds of both, so each burst stays on one channel.
+    let channel_round = 64 * 64u64;
+    for i in 0..per_core {
+        for core in 0..cores {
+            let private = 1u64 << 28 | u64::from(core) << 22;
+            match i % 4 {
+                0 => trace.push(TraceAccess::read(core, (i % 8) * 64)),
+                1 => trace.push(TraceAccess::read(core, (1 << 26) + (i / 4) * channel_round)),
+                2 => trace.push(TraceAccess::chase(core, private + (i * 4096) % (1 << 22))),
+                _ => trace.push(TraceAccess::write(core, private + (i / 4) * 64)),
+            }
+        }
+    }
+    trace
+}
+
+/// Satellite stress test: the adversarial contention trace must stay
+/// bit-identical to the sequential oracle across worker counts, forced
+/// timing modes, paper setups, and a replay window small enough to
+/// force many refills mid-contention.
+#[test]
+fn contention_stress_parallel_equals_sequential() {
+    let trace = contention_trace(CORES, PER_CORE);
+    for setup in [MemSetup::DramOnly, MemSetup::HbmOnly, MemSetup::CacheMode] {
+        let mut seq = fresh(setup);
+        let expect = seq.run(&trace);
+        assert!(
+            expect.memory_accesses > 0,
+            "contention trace must reach memory under {setup:?}"
+        );
+        for workers in WORKERS {
+            for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+                let mut sim = fresh(setup);
+                sim.set_timing_mode(Some(mode));
+                sim.set_replay_window(512);
+                let got = par::with_threads(workers, || sim.run_parallel(&trace));
+                let ctx = format!("contention {setup:?} workers={workers} mode={mode:?}");
+                assert_eq!(got, expect, "report diverged: {ctx}");
+                assert_eq!(
+                    sim.per_core_totals(),
+                    seq.per_core_totals(),
+                    "per-shard totals diverged: {ctx}"
+                );
+                assert_eq!(
+                    sim.ddr_stats(),
+                    seq.ddr_stats(),
+                    "DDR stats diverged: {ctx}"
+                );
+                assert_eq!(
+                    sim.hbm_stats(),
+                    seq.hbm_stats(),
+                    "HBM stats diverged: {ctx}"
+                );
+                assert_eq!(
+                    sim.mesh_stats(),
+                    seq.mesh_stats(),
+                    "mesh stats diverged: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// The same adversarial trace with telemetry enabled: order-sensitive
+/// recorders (MSHR occupancy, DRAM queue-wait histograms) must land on
+/// the sequential values even though the engine has to flush around
+/// them.
+#[test]
+fn contention_stress_telemetry_matches_sequential() {
+    let trace = contention_trace(CORES, PER_CORE / 2);
+    let setup = MemSetup::CacheMode;
+    let mut plain = fresh(setup);
+    let expect = plain.run(&trace);
+    let mut seq = fresh(setup);
+    seq.enable_telemetry();
+    assert_eq!(seq.run(&trace), expect, "telemetry changed results");
+    let expect_metrics = deterministic_metrics(&seq);
+    for workers in WORKERS {
+        for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+            let mut sim = fresh(setup);
+            sim.enable_telemetry();
+            sim.set_timing_mode(Some(mode));
+            sim.set_replay_window(512);
+            let got = par::with_threads(workers, || sim.run_parallel(&trace));
+            let ctx = format!("contention telemetry workers={workers} mode={mode:?}");
+            assert_eq!(got, expect, "report diverged: {ctx}");
+            assert_eq!(
+                deterministic_metrics(&sim),
+                expect_metrics,
+                "device metrics diverged: {ctx}"
             );
         }
     }

@@ -29,6 +29,12 @@
 //! repro bench-overhead [--config LABEL] [--iters N] [--tol F]
 //!                        # assert the telemetry-off vs -on streaming
 //!                        # wall-time ratio stays within tolerance
+//! repro migrate [--golden]
+//!                        # run the Cori-style migration T-sweep
+//!                        # (statics vs migrated, crossover verdict)
+//! repro migrate-overhead [--config LABEL] [--iters N] [--tol F]
+//!                        # assert a disabled migration scheduler adds
+//!                        # no replay overhead vs the static path
 //! repro trace [cores] [per_core] [--metrics PATH]
 //!                        # replay the paper workloads; optionally dump
 //!                        # the merged telemetry registry as JSON
@@ -81,6 +87,7 @@ fn figure_by_id(id: &str) -> Option<hybridmem::FigureData> {
         "ext-hybrid" => hybridmem::extensions::ext_hybrid_stream(),
         "ext-interleave" => hybridmem::extensions::ext_interleaved_stream(),
         "ext-energy" => hybridmem::extensions::ext_energy_stream(),
+        "ext-migrate" => hybridmem::ext_migration(),
         _ => return None,
     })
 }
@@ -381,6 +388,72 @@ fn main() {
                 }
             }
         }
+        "migrate" => {
+            // repro migrate [--golden]
+            let golden = args.iter().any(|a| a == "--golden");
+            let cfg = if golden {
+                hybridmem::MigrationSweepConfig::golden()
+            } else {
+                hybridmem::MigrationSweepConfig::cori()
+            };
+            let sweep = hybridmem::run_migration_sweep(&cfg);
+            print!("{}", hybridmem::render_migration_sweep(&sweep));
+            let speedup = sweep.crossover_speedup();
+            if speedup > 1.0 {
+                println!(
+                    "crossover: migration beats every static placement that fits the \
+                     {}-page budget",
+                    cfg.budget_pages
+                );
+            } else {
+                println!("no crossover at this scale (best migrated {speedup:.3}x of best static)");
+                // The golden configuration is deliberately tiny and
+                // latency-bound; only the repro-scale sweep gates.
+                if !golden {
+                    std::process::exit(1);
+                }
+            }
+        }
+        "migrate-overhead" => {
+            // repro migrate-overhead [--config LABEL] [--iters N] [--tol F]
+            let label = flag_value(&args, "--config").unwrap_or("stream_16x12500");
+            let cfg = bench::replay::ReplayConfig::parse_label(label).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.02);
+            let m = bench::replay::measure_migration_overhead(&cfg, iters);
+            // Same two-estimator gate as bench-overhead: a genuine
+            // per-access routing cost inflates both the median pair
+            // ratio and the best-times ratio; take the smaller.
+            let best_ratio = if m.off_secs > 0.0 {
+                m.on_secs / m.off_secs
+            } else {
+                1.0
+            };
+            let ratio = m.ratio().min(best_ratio);
+            println!(
+                "{label}: migration-off {:.4} s, disabled-scheduler {:.4} s over {iters} pairs -> median pair ratio {:.4}, best ratio {:.4} (tolerance {:.2}%)",
+                m.off_secs,
+                m.on_secs,
+                m.ratio(),
+                best_ratio,
+                tol * 100.0
+            );
+            if ratio > 1.0 + tol {
+                eprintln!(
+                    "migration-off overhead {:.2}% exceeds {:.2}%",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         "decompose" => {
             // repro decompose <GB> [sequential|random] [max_nodes]
             let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
@@ -406,7 +479,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, bench-replay, bench-check, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
                 );
                 std::process::exit(2);
             }

@@ -499,6 +499,63 @@ pub fn measure_overhead(cfg: &ReplayConfig, iters: usize) -> OverheadMeasurement
     }
 }
 
+/// Measure the cost the migration plumbing adds to a *static* replay:
+/// `iters` back-to-back pairs of an all-DDR run against a
+/// `Migrated { period: 0 }` run — a disabled spec, so no scheduler is
+/// built and routing must cost exactly one extra `Option` branch.
+/// Alternates pair order like [`measure_overhead`] and additionally
+/// asserts the two runs produce bit-identical reports (a disabled
+/// scheduler degenerates to the static placement).
+pub fn measure_migration_overhead(cfg: &ReplayConfig, iters: usize) -> OverheadMeasurement {
+    let mcfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    let disabled = TracePlacement::Migrated(memkind_sim::MigrationSpec::new(0, 0));
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    for i in 0..iters.max(1) {
+        let mut pair = [0.0f64; 2];
+        let mut reports = [None, None];
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for migrated in order {
+            let placement = if migrated {
+                disabled
+            } else {
+                TracePlacement::AllDdr
+            };
+            let mut sim = TraceSim::new(&mcfg, cfg.cores, placement, ByteSize::mib(8));
+            let mut source = cfg
+                .kind
+                .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+            let t0 = Instant::now();
+            let report = replay_streaming(&mut sim, source.as_mut());
+            pair[migrated as usize] = t0.elapsed().as_secs_f64();
+            assert!(
+                sim.migration_stats().is_none(),
+                "a period-0 spec must not build a scheduler"
+            );
+            reports[migrated as usize] = Some(report);
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "disabled migration must replay bit-identically to AllDdr"
+        );
+        off = off.min(pair[0]);
+        on = on.min(pair[1]);
+        if pair[0] > 0.0 {
+            pair_ratios.push(pair[1] / pair[0]);
+        }
+    }
+    OverheadMeasurement {
+        off_secs: off,
+        on_secs: on,
+        pair_ratios,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

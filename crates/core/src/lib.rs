@@ -16,6 +16,7 @@ pub mod experiment;
 pub mod extensions;
 pub mod figures;
 pub mod json;
+pub mod migration;
 pub mod paper;
 pub mod profile;
 pub mod report;
@@ -29,6 +30,10 @@ pub use experiment::{
 };
 pub use extensions::{decompose, DecompositionPlan};
 pub use figures::{all_figures, FigureData};
+pub use migration::{
+    ext_migration, render_migration_sweep, run_migration_sweep, MigrationSweep,
+    MigrationSweepConfig,
+};
 pub use paper::{compare_with_model, paper_reference};
 pub use profile::{
     check_chrome_trace, check_metrics, metrics_to_json, ChromeTraceSummary, MetricsSummary,

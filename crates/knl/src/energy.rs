@@ -48,19 +48,40 @@ pub struct EnergyReport {
     pub ddr_joules: f64,
     /// Joules spent on MCDRAM traffic.
     pub mcdram_joules: f64,
+    /// Joules spent copying pages between tiers (zero unless the run
+    /// used dynamic migration). Each migrated byte is read from one
+    /// device and written to the other, so it pays both per-bit
+    /// energies.
+    pub migration_joules: f64,
 }
 
 impl EnergyReport {
     /// Total memory energy.
     pub fn total_joules(&self) -> f64 {
-        self.ddr_joules + self.mcdram_joules
+        self.ddr_joules + self.mcdram_joules + self.migration_joules
     }
 
     /// Price traffic under `model`.
     pub fn from_traffic(model: &EnergyModel, ddr_bytes: f64, mcdram_bytes: f64) -> Self {
+        Self::with_migration(model, ddr_bytes, mcdram_bytes, 0.0)
+    }
+
+    /// Price traffic plus `migrated_bytes` of DDR↔MCDRAM page copies
+    /// (direction does not matter: a move reads one device and writes
+    /// the other either way).
+    pub fn with_migration(
+        model: &EnergyModel,
+        ddr_bytes: f64,
+        mcdram_bytes: f64,
+        migrated_bytes: f64,
+    ) -> Self {
         EnergyReport {
             ddr_joules: ddr_bytes * 8.0 * model.ddr_pj_per_bit * 1e-12,
             mcdram_joules: mcdram_bytes * 8.0 * model.mcdram_pj_per_bit * 1e-12,
+            migration_joules: migrated_bytes
+                * 8.0
+                * (model.ddr_pj_per_bit + model.mcdram_pj_per_bit)
+                * 1e-12,
         }
     }
 }
@@ -86,6 +107,25 @@ mod tests {
         assert!((r.ddr_joules - 0.176).abs() < 1e-6);
         assert!((r.mcdram_joules - 0.064).abs() < 1e-6);
         assert!((r.total_joules() - 0.24).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_migration_prices_like_plain_traffic() {
+        let m = EnergyModel::knl();
+        let plain = EnergyReport::from_traffic(&m, 1e9, 1e9);
+        let moved = EnergyReport::with_migration(&m, 1e9, 1e9, 0.0);
+        assert_eq!(plain, moved);
+        assert_eq!(moved.migration_joules, 0.0);
+        assert!((moved.total_joules() - 0.24).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migrated_bytes_pay_both_devices() {
+        let m = EnergyModel::knl();
+        // 1 GB of page copies: read + write across tiers.
+        let r = EnergyReport::with_migration(&m, 0.0, 0.0, 1e9);
+        assert!((r.migration_joules - 0.24).abs() < 1e-6);
+        assert_eq!(r.total_joules(), r.migration_joules);
     }
 
     #[test]

@@ -93,6 +93,7 @@ use cachesim::hierarchy::{Hierarchy, HierarchyConfig, LevelHit};
 use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
 use memdev::bank::{DramGeometry, DramLane, DramModel, DramStats};
+use memkind_sim::migrate::{MigrationCost, MigrationSpec, MigrationStats, PageScheduler};
 use mesh::MeshModel;
 use simfabric::merge::LoserTree;
 use simfabric::par;
@@ -157,14 +158,25 @@ pub enum TracePlacement {
     AllHbm,
     /// Addresses below the boundary on MCDRAM, the rest on DDR.
     SplitAt(u64),
+    /// Dynamic placement: pages start on DDR and a
+    /// [`PageScheduler`] periodically promotes the hottest pages to
+    /// MCDRAM (and demotes cold ones) under the spec's budget. Only
+    /// meaningful in flat mode; under a cache-mode setup (or a
+    /// disabled spec — zero period or budget) this degenerates to
+    /// [`TracePlacement::AllDdr`] routing.
+    Migrated(MigrationSpec),
 }
 
 impl TracePlacement {
+    /// Static routing only. [`TracePlacement::Migrated`] answers for
+    /// the *base* tier (DDR); the live answer comes from the
+    /// scheduler, consulted by [`TraceSim`]'s routing helper.
     fn is_hbm(self, addr: u64) -> bool {
         match self {
             TracePlacement::AllDdr => false,
             TracePlacement::AllHbm => true,
             TracePlacement::SplitAt(b) => addr < b,
+            TracePlacement::Migrated(_) => false,
         }
     }
 }
@@ -785,6 +797,12 @@ pub struct TraceSim {
     hbm: DramModel,
     msc: Option<MemorySideCache>,
     placement: TracePlacement,
+    /// Hot-page migration scheduler, present only for an *enabled*
+    /// [`TracePlacement::Migrated`] spec in flat mode. Ticked exactly
+    /// once per consumed access in merge order by every engine, so
+    /// rebalances land at identical trace offsets regardless of
+    /// worker count or timing mode.
+    migration: Option<Box<PageScheduler>>,
     line_bytes: u64,
     /// Precomputed average response-path latencies (half a round trip).
     resp_half_ddr: Duration,
@@ -866,6 +884,13 @@ impl TraceSim {
                 .setup
                 .has_mcdram_cache()
                 .then(|| MemorySideCache::new(msc_capacity, 64)),
+            migration: match placement {
+                TracePlacement::Migrated(spec) if !cfg.setup.has_mcdram_cache() => {
+                    PageScheduler::new(spec, MigrationCost::from_devices(&cfg.ddr, &cfg.mcdram))
+                        .map(Box::new)
+                }
+                _ => None,
+            },
             placement,
             line_bytes: 64,
             core_totals: vec![ShardTotals::default(); cores as usize],
@@ -1060,6 +1085,25 @@ impl TraceSim {
         for (i, &n) in ts.owner_peak_ops.iter().enumerate() {
             reg.gauge(&format!("replay.timing.owner.{i}.peak_batch_ops"), n as f64);
         }
+        if let Some(m) = &self.migration {
+            let ms = m.stats();
+            reg.counter("replay.migrate.rebalances", ms.rebalances);
+            reg.counter("replay.migrate.promoted_pages", ms.promoted_pages);
+            reg.counter("replay.migrate.demoted_pages", ms.demoted_pages);
+            reg.counter("replay.migrate.bytes_moved", ms.bytes_moved);
+            reg.counter("replay.migrate.sampled_accesses", ms.sampled_accesses);
+            reg.counter("replay.migrate.hbm_routed", ms.hbm_routed);
+            reg.gauge(
+                "replay.migrate.migration_time_us",
+                ms.migration_time.as_ns() / 1e3,
+            );
+            reg.gauge("replay.migrate.resident_pages", m.resident_pages() as f64);
+            reg.gauge(
+                "replay.migrate.peak_resident_pages",
+                ms.peak_resident_pages as f64,
+            );
+            reg.histogram("replay.migrate.window_hbm_permille", m.window_histogram());
+        }
         reg
     }
 
@@ -1106,6 +1150,46 @@ impl TraceSim {
         self.last_peak_buffer
     }
 
+    /// Migration counters, if a scheduler is active (an enabled
+    /// [`TracePlacement::Migrated`] spec in flat mode). The digest
+    /// inside fingerprints the full `(tick, page, direction)` move
+    /// sequence — the equivalence suite compares it across engines to
+    /// prove remaps land at identical trace offsets.
+    pub fn migration_stats(&self) -> Option<MigrationStats> {
+        self.migration.as_ref().map(|m| m.stats().clone())
+    }
+
+    /// Dynamic tier lookup: the scheduler's resident set when
+    /// migration is active, the static placement otherwise.
+    #[inline]
+    fn route_hbm(&self, addr: u64) -> bool {
+        match &self.migration {
+            Some(m) => m.is_hbm(addr),
+            None => self.placement.is_hbm(addr),
+        }
+    }
+
+    /// Advance the migration clock by one consumed access. Every
+    /// engine calls this exactly once per access, in the earliest-
+    /// `(clock, core)` merge order, with the winner's pre-stall clock
+    /// as `now` — the determinism contract the scheduler needs.
+    #[inline]
+    fn migrate_tick(&mut self, addr: u64, memory_level: bool, now: SimTime) {
+        if let Some(m) = &mut self.migration {
+            m.tick(addr, memory_level, now);
+        }
+    }
+
+    /// Floor an arrival under the migration transit window: accesses
+    /// to a page still being copied wait for the batch to land.
+    #[inline]
+    fn migrate_floor(&self, addr: u64, arrive: SimTime) -> SimTime {
+        match &self.migration {
+            Some(m) => m.transit_floor(addr, arrive),
+            None => arrive,
+        }
+    }
+
     /// Replay one access; returns its latency.
     pub fn access(&mut self, t: TraceAccess) -> Duration {
         let core = partition_by_core(t.core, self.hierarchies.len());
@@ -1130,6 +1214,10 @@ impl TraceSim {
         level: LevelHit,
         sram_lat: Duration,
     ) -> Duration {
+        // Migration ticks on the pre-stall clock of the consuming
+        // core — the value the windowed sequencer also has in hand at
+        // its consumption sites, keeping rebalance offsets identical.
+        self.migrate_tick(addr, level == LevelHit::Memory, self.core_clock[core]);
         let mut issue = self.core_clock[core];
         let mut done = issue + sram_lat;
         let mut merged = false;
@@ -1156,7 +1244,7 @@ impl TraceSim {
             let is_hbm_target = match (&self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => true,
                 (Some(_), _) => false, // DDR behind the cache
-                (None, _) => self.placement.is_hbm(addr),
+                (None, _) => self.route_hbm(addr),
             };
             // Mesh traversal charged analytically: per-link flit
             // reservation is far too pessimistic at memory rates (the
@@ -1174,6 +1262,9 @@ impl TraceSim {
                 } else {
                     self.resp_half_ddr
                 };
+            // A page mid-migration is unreachable until its batch
+            // lands; the floor is a no-op when migration is off.
+            let arrive = self.migrate_floor(addr, arrive);
             // Device service.
             let served = match (&mut self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => {
@@ -1189,7 +1280,7 @@ impl TraceSim {
                     data
                 }
                 (None, _) => {
-                    if self.placement.is_hbm(addr) {
+                    if is_hbm_target {
                         self.hbm.access(addr, arrive)
                     } else {
                         self.ddr.access(addr, arrive)
@@ -1656,7 +1747,9 @@ impl TraceSim {
                 shards[w].queue.peek().expect("non-empty batch");
             if level != LevelHit::Memory && level != LevelHit::McdramCache {
                 // Private-cache hit: clock arithmetic only, always
-                // exact.
+                // exact. Consumes the access, so the migration clock
+                // ticks here (never on a flush-retry path above).
+                self.migrate_tick(addr, false, issue);
                 let done = issue + sram_lat;
                 self.note_access(w, sram_lat, done);
                 self.core_clock[w] = if dependent { done } else { issue + cycle };
@@ -1688,7 +1781,9 @@ impl TraceSim {
                     continue;
                 }
                 // Provably still in flight: a genuine secondary miss.
+                // Past the flush-retry check, the access is consumed.
                 let bound = primary.done_lb;
+                self.migrate_tick(addr, level == LevelHit::Memory, issue);
                 match self.mshrs[w].register(line, issue) {
                     MshrOutcome::Merged { .. } => {}
                     other => unreachable!("pending line must merge, got {other:?}"),
@@ -1729,7 +1824,10 @@ impl TraceSim {
             // From here the register call is exact: with deferred
             // state the probe guaranteed no stall; without it, this
             // core's file holds only real completions and the
-            // sequential stall loop applies as-is.
+            // sequential stall loop applies as-is. The access is now
+            // definitely consumed (merged or allocated), so tick —
+            // with the pre-stall clock, matching `access_timed`.
+            self.migrate_tick(addr, level == LevelHit::Memory, issue);
             let mut issue = issue;
             let mut merged_done = None;
             loop {
@@ -1764,7 +1862,7 @@ impl TraceSim {
             let is_hbm_target = match (&self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => true,
                 (Some(_), _) => false,
-                (None, _) => self.placement.is_hbm(addr),
+                (None, _) => self.route_hbm(addr),
             };
             self.mesh.note_analytic_message(if is_hbm_target {
                 self.hops_hbm
@@ -1776,7 +1874,7 @@ impl TraceSim {
             } else {
                 self.resp_half_ddr
             };
-            let arrive = issue + sram_lat + resp_half;
+            let arrive = self.migrate_floor(addr, issue + sram_lat + resp_half);
             let (op, done_lb) = match (&self.msc, level) {
                 (Some(_), LevelHit::McdramCache) => {
                     self.core_totals[w].mcdram_cache_hits += 1;
@@ -1808,7 +1906,7 @@ impl TraceSim {
                     (data, arrive + ctx.hbm_min + ctx.ddr_min + resp_half)
                 }
                 (None, _) => {
-                    if self.placement.is_hbm(addr) {
+                    if is_hbm_target {
                         let op = emit_op(
                             &mut st,
                             ctx,

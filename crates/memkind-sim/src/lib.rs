@@ -14,7 +14,12 @@
 //!   range that traces and access streams can reference;
 //! * [`heap::MemkindHeap`] — the `hbw_malloc`-style front end mapping
 //!   virtual pages to NUMA nodes, queryable by the performance model
-//!   (`node_of(addr)`).
+//!   (`node_of(addr)`);
+//! * [`migrate::PageScheduler`] — the periodic hot-page DDR↔MCDRAM
+//!   scheduler (hotness sampling, decayed counters, capacity budget,
+//!   migration cost model) the trace simulator drives for dynamic
+//!   placements — the Cori tuning scenario the paper could not
+//!   measure.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,7 +27,11 @@
 pub mod arena;
 pub mod heap;
 pub mod kind;
+pub mod migrate;
 
 pub use arena::Arena;
 pub use heap::{Block, HeapError, HeapStats, MemkindHeap};
 pub use kind::Kind;
+pub use migrate::{
+    MigratePolicy, MigrationCost, MigrationSpec, MigrationStats, PageScheduler, PAGE_BYTES,
+};

@@ -504,6 +504,134 @@ pub fn bfs_trace(cores: u32, graph_bytes: u64, edges_per_core: u64, seed: u64) -
     ))
 }
 
+/// Phased hot/cold source: the migration stress workload. Each phase
+/// streams ~90% of its accesses over a small *hot* block placed high
+/// in the address space (above [`HotColdSource::HOT_BASE`], so no
+/// low-boundary static split can capture it), mixed with ~10% cold
+/// random probes over a large low region. Every phase the hot block
+/// moves to a fresh address range, so a static placement can at best
+/// capture one phase — a periodic hot-page migrator tracks all of
+/// them, which is exactly the crossover the `T`-sweep demonstrates.
+#[derive(Debug, Clone)]
+pub struct HotColdSource {
+    cores: u32,
+    phases: u32,
+    per_core: u64,
+    hot_lines: u64,
+    cold_lines: u64,
+    rngs: Vec<Rng>,
+    hot_cursor: Vec<u64>,
+    p: u32,
+    i: u64,
+    c: u32,
+    emitted: u64,
+}
+
+impl HotColdSource {
+    /// Hot blocks start here: far above any test-scale footprint, so
+    /// `SplitAt(boundary)` placements with a low boundary route every
+    /// hot access to DDR.
+    pub const HOT_BASE: u64 = 1 << 32;
+
+    /// Fraction of accesses aimed at the hot block.
+    pub const HOT_FRACTION: f64 = 0.9;
+
+    /// `accesses_per_core_per_phase` accesses per core in each of
+    /// `phases` phases; each phase's hot block is `hot_bytes` at a
+    /// fresh high range, cold probes cover `cold_bytes` at the bottom
+    /// of the address space.
+    pub fn new(
+        cores: u32,
+        phases: u32,
+        accesses_per_core_per_phase: u64,
+        hot_bytes: u64,
+        cold_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        let hot_lines = (hot_bytes / 64).max(1);
+        HotColdSource {
+            cores,
+            phases,
+            per_core: accesses_per_core_per_phase,
+            hot_lines,
+            cold_lines: (cold_bytes / 64).max(1),
+            rngs: (0..cores)
+                .map(|c| {
+                    Rng::seed_from_u64(
+                        seed ^ (0x407C01Du64 + c as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    )
+                })
+                .collect(),
+            // Offset each core's streaming walk so cores spread over
+            // banks instead of marching in lockstep.
+            hot_cursor: (0..cores).map(|c| core_base(c) / 64 % hot_lines).collect(),
+            p: 0,
+            i: 0,
+            c: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl TraceSource for HotColdSource {
+    fn next_access(&mut self) -> Option<TraceAccess> {
+        loop {
+            if self.p >= self.phases {
+                return None;
+            }
+            if self.i >= self.per_core {
+                self.p += 1;
+                self.i = 0;
+                self.c = 0;
+                continue;
+            }
+            if self.c >= self.cores {
+                self.c = 0;
+                self.i += 1;
+                continue;
+            }
+            let c = self.c as usize;
+            let rng = &mut self.rngs[c];
+            let addr = if rng.gen_bool(Self::HOT_FRACTION) {
+                // Streaming walk of this phase's hot block.
+                let line = self.hot_cursor[c] % self.hot_lines;
+                self.hot_cursor[c] += 1;
+                Self::HOT_BASE + (self.p as u64 * self.hot_lines + line) * 64
+            } else {
+                // Cold random probe over the low region.
+                rng.gen_range(0..self.cold_lines) * 64
+            };
+            let acc = TraceAccess::read(self.c, addr);
+            self.c += 1;
+            self.emitted += 1;
+            return Some(acc);
+        }
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some(self.cores as u64 * self.phases as u64 * self.per_core - self.emitted)
+    }
+}
+
+/// Phased hot/cold mix (the eager form of [`HotColdSource`]).
+pub fn hot_cold_trace(
+    cores: u32,
+    phases: u32,
+    accesses_per_core_per_phase: u64,
+    hot_bytes: u64,
+    cold_bytes: u64,
+    seed: u64,
+) -> Vec<TraceAccess> {
+    collect(&mut HotColdSource::new(
+        cores,
+        phases,
+        accesses_per_core_per_phase,
+        hot_bytes,
+        cold_bytes,
+        seed,
+    ))
+}
+
 /// The five application trace generators, as a closed enum so sweeps,
 /// benches and the differential test suite can iterate them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -660,6 +788,51 @@ mod tests {
         let writes = t.iter().filter(|a| a.write).count();
         // ~30% of the probe half.
         assert!(writes > 60 && writes < 180, "writes {writes}");
+    }
+
+    #[test]
+    fn hot_cold_trace_is_mostly_hot_and_phases_move_the_hot_block() {
+        let hot_bytes = 1 << 16;
+        let t = hot_cold_trace(4, 3, 500, hot_bytes, 1 << 22, 0xC0FFEE);
+        assert_eq!(t.len(), 4 * 3 * 500);
+        let hot: Vec<&TraceAccess> = t
+            .iter()
+            .filter(|a| a.addr >= HotColdSource::HOT_BASE)
+            .collect();
+        let frac = hot.len() as f64 / t.len() as f64;
+        assert!((0.85..0.95).contains(&frac), "hot fraction {frac}");
+        // Cold probes stay in the low region.
+        assert!(t
+            .iter()
+            .all(|a| a.addr >= HotColdSource::HOT_BASE || a.addr < 1 << 22));
+        // Each phase's hot block is a fresh disjoint range.
+        let phase_len = 4 * 500;
+        for (p, chunk) in t.chunks(phase_len).enumerate() {
+            let lo = HotColdSource::HOT_BASE + p as u64 * hot_bytes;
+            assert!(chunk
+                .iter()
+                .filter(|a| a.addr >= HotColdSource::HOT_BASE)
+                .all(|a| a.addr >= lo && a.addr < lo + hot_bytes));
+        }
+        assert!(t.iter().all(|a| !a.dependent && !a.write));
+    }
+
+    #[test]
+    fn hot_cold_source_streams_bit_identically_to_the_eager_form() {
+        let eager = hot_cold_trace(2, 2, 300, 1 << 16, 1 << 20, 7);
+        for chunk in [1usize, 13, 1 << 20] {
+            let mut src = HotColdSource::new(2, 2, 300, 1 << 16, 1 << 20, 7);
+            let total = src.remaining().unwrap();
+            assert_eq!(total as usize, eager.len());
+            let mut out = Vec::new();
+            while src.fill(&mut out, chunk) > 0 {}
+            assert_eq!(out, eager, "chunk={chunk}");
+            assert_eq!(src.remaining(), Some(0));
+            assert!(src.next_access().is_none());
+        }
+        assert!(collect(&mut HotColdSource::new(0, 2, 300, 1 << 16, 1 << 20, 7)).is_empty());
+        assert!(collect(&mut HotColdSource::new(2, 0, 300, 1 << 16, 1 << 20, 7)).is_empty());
+        assert!(collect(&mut HotColdSource::new(2, 2, 0, 1 << 16, 1 << 20, 7)).is_empty());
     }
 
     /// Every kind, as a boxed source with small test-scale parameters.

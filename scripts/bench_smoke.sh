@@ -48,3 +48,17 @@ for _attempt in 1 2 3; do
     fi
 done
 [[ "$gate_ok" == 1 ]]
+
+# Migration-off cost gate: carrying the (disabled) migration scheduler
+# hook in the replay hot path must cost nothing — a `Migrated` spec
+# with period 0 builds no scheduler and must replay bit-identically to
+# AllDdr (the verb asserts that) and within 2 % of its throughput.
+# Same two-estimator gate and three-attempt noise policy as above.
+migrate_ok=0
+for _attempt in 1 2 3; do
+    if "$REPRO" migrate-overhead --config stream_16x12500 --iters 40 --tol 0.02; then
+        migrate_ok=1
+        break
+    fi
+done
+[[ "$migrate_ok" == 1 ]]

@@ -22,6 +22,16 @@ TRACESIM_THREADS=4 TRACESIM_TIMING=concurrent timeout 900 \
 TRACESIM_THREADS=4 TRACESIM_TIMING=sequential timeout 900 \
     cargo test -q --offline -p knl-hybrid-memory --test parallel_equivalence
 
+# Migration gates, under the same watchdog. The equivalence runs above
+# already prove the scheduler remaps at identical trace offsets on
+# every engine (tests/parallel_equivalence.rs `migration_*`); here the
+# golden T-sweep table is pinned byte-for-byte, and the full-scale
+# sweep must still show the migration crossover — a T where the
+# migrated replay beats every static placement that fits the MCDRAM
+# budget (`repro migrate` exits nonzero when the crossover disappears).
+timeout 900 cargo test -q --offline -p knl-hybrid-memory --test migration_golden
+timeout 900 target/release/repro migrate
+
 # Tiny replay-bench run + JSON validation (see scripts/bench_smoke.sh).
 scripts/bench_smoke.sh
 

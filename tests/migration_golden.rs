@@ -1,0 +1,33 @@
+//! Golden-file test for the migration `T`-sweep.
+//!
+//! The rendered sweep table is a deterministic function of the golden
+//! [`MigrationSweepConfig`]: every makespan, page-move count and
+//! energy figure in it is pinned byte-for-byte. Any change to the
+//! scheduler's sampling, selection, cost model or engine threading
+//! that shifts even one remap by one access shows up here as a diff.
+//! Regenerate with `BLESS_GOLDEN=1 cargo test --test migration_golden`
+//! after an intentional model change, and review the diff.
+
+use hybridmem::{render_migration_sweep, run_migration_sweep, MigrationSweepConfig};
+
+/// Compare `got` against the golden file at `tests/golden/<name>`,
+/// or rewrite the golden when `BLESS_GOLDEN=1`.
+fn assert_golden(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run with BLESS_GOLDEN=1 to create)"));
+    assert_eq!(
+        got, want,
+        "{name} drifted from its golden; if intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_migration_sweep_is_byte_stable() {
+    let sweep = run_migration_sweep(&MigrationSweepConfig::golden());
+    assert_golden("migration_sweep.txt", &render_migration_sweep(&sweep));
+}

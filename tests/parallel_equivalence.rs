@@ -10,8 +10,9 @@
 
 use knl::tracesim::{TimingMode, TraceAccess, TracePlacement, TraceSim, TraceSimReport};
 use knl::{MachineConfig, MemSetup};
+use memkind_sim::MigrationSpec;
 use simfabric::{par, ByteSize};
-use workloads::tracegen::{replay_streaming, TraceKind};
+use workloads::tracegen::{replay_streaming, HotColdSource, TraceKind, TraceSource};
 
 const CORES: u32 = 8;
 const PER_CORE: u64 = 400;
@@ -363,6 +364,140 @@ fn contention_stress_telemetry_matches_sequential() {
             );
         }
     }
+}
+
+/// Period/budget for the migration equivalence runs: small enough that
+/// a 3200-access trace crosses many rebalance boundaries, so remap
+/// events interleave densely with the accesses every engine replays.
+const MIGRATE_SPEC: MigrationSpec = MigrationSpec::new(256, 16);
+
+fn fresh_migrated() -> TraceSim {
+    TraceSim::new(
+        &MachineConfig::knl7210(MemSetup::DramOnly, 64),
+        CORES,
+        TracePlacement::Migrated(MIGRATE_SPEC),
+        ByteSize::mib(4),
+    )
+}
+
+/// Replay `trace` under active migration sequentially, sharded (both
+/// forced timing modes, with a small window so remaps straddle window
+/// refills), and streaming; everything observable — including the
+/// scheduler's move-sequence digest — must be bit-identical. A remap
+/// landing one access early or late on any engine changes the routing
+/// of that access and shows up in the digest and device stats.
+fn check_migration(
+    label: &str,
+    trace: &[TraceAccess],
+    mut source: impl FnMut() -> Box<dyn TraceSource + Send>,
+) {
+    let mut seq = fresh_migrated();
+    let expect = seq.run(trace);
+    let expect_stats = seq
+        .migration_stats()
+        .expect("Migrated placement must build a scheduler");
+    assert!(
+        expect_stats.rebalances > 0,
+        "{label}: trace too short to cross a rebalance boundary"
+    );
+    for workers in WORKERS {
+        for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+            let mut sim = fresh_migrated();
+            sim.set_timing_mode(Some(mode));
+            sim.set_replay_window(512);
+            let got = par::with_threads(workers, || sim.run_parallel(trace));
+            let ctx = format!("migrated {label} workers={workers} mode={mode:?}");
+            assert_eq!(got, expect, "report diverged: {ctx}");
+            assert_eq!(
+                sim.migration_stats().as_ref(),
+                Some(&expect_stats),
+                "migration stats diverged: {ctx}"
+            );
+            assert_eq!(
+                sim.per_core_totals(),
+                seq.per_core_totals(),
+                "per-shard totals diverged: {ctx}"
+            );
+            assert_eq!(
+                sim.ddr_stats(),
+                seq.ddr_stats(),
+                "DDR stats diverged: {ctx}"
+            );
+            assert_eq!(
+                sim.hbm_stats(),
+                seq.hbm_stats(),
+                "HBM stats diverged: {ctx}"
+            );
+            assert_eq!(
+                sim.mesh_stats(),
+                seq.mesh_stats(),
+                "mesh stats diverged: {ctx}"
+            );
+        }
+
+        let mut stream_sim = fresh_migrated();
+        let got = par::with_threads(workers, || {
+            let mut src = source();
+            replay_streaming(&mut stream_sim, src.as_mut())
+        });
+        let ctx = format!("migrated streaming {label} workers={workers}");
+        assert_eq!(got, expect, "report diverged: {ctx}");
+        assert_eq!(
+            stream_sim.migration_stats().as_ref(),
+            Some(&expect_stats),
+            "migration stats diverged: {ctx}"
+        );
+        assert_eq!(
+            stream_sim.ddr_stats(),
+            seq.ddr_stats(),
+            "DDR stats diverged: {ctx}"
+        );
+        assert_eq!(
+            stream_sim.hbm_stats(),
+            seq.hbm_stats(),
+            "HBM stats diverged: {ctx}"
+        );
+    }
+}
+
+/// Migration equivalence across the five paper generators: remaps must
+/// land at the same trace offset no matter how the replay is sharded.
+#[test]
+fn migration_parallel_equals_sequential() {
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(CORES, PER_CORE, SEED);
+        check_migration(&format!("{kind:?}"), &trace, || {
+            kind.source(CORES, PER_CORE, SEED)
+        });
+    }
+}
+
+/// Same contract on the phased hot/cold workload the `T`-sweep uses —
+/// the one trace where the scheduler actually promotes and demotes
+/// whole waves of pages every period.
+#[test]
+fn migration_hot_cold_parallel_equals_sequential() {
+    let (phases, per_core) = (3, 160);
+    let (hot, cold) = (64 << 10, 4 << 20);
+    let mk = || -> Box<dyn TraceSource + Send> {
+        Box::new(HotColdSource::new(CORES, phases, per_core, hot, cold, SEED))
+    };
+    let trace = {
+        let mut src = mk();
+        let mut out = Vec::new();
+        while let Some(a) = src.next_access() {
+            out.push(a);
+        }
+        out
+    };
+    let mut seq = fresh_migrated();
+    seq.run(&trace);
+    let stats = seq.migration_stats().unwrap();
+    assert!(
+        stats.promoted_pages > 0 && stats.demoted_pages > 0,
+        "hot/cold trace must drive promotions and demotions, got {stats:?}"
+    );
+    check_migration("HotCold", &trace, mk);
 }
 
 #[test]

@@ -4,11 +4,15 @@
 
 use cachesim::cache::{AccessKind, Cache, CacheConfig};
 use cachesim::replacement::ReplacementPolicy;
+use knl::tracesim::{TracePlacement, TraceSim};
+use knl::MachineConfig;
 use knl_hybrid_memory::prelude::*;
+use memkind_sim::migrate::{MigrationCost, MigrationSpec, PageScheduler};
 use memkind_sim::{Arena, MemkindHeap};
 use numamem::system::PAGE_BYTES;
 use numamem::{MemPolicy, NumaSystem, NumaTopology};
 use simfabric::prng::Rng;
+use simfabric::SimTime;
 use workloads::graph500::Graph;
 use workloads::tinymembench::ChaseBuffer;
 
@@ -177,6 +181,139 @@ fn bfs_always_validates() {
                 }
             }
         }
+    }
+}
+
+/// Page-migration tier accounting: under arbitrary seeded access
+/// streams, random periods and random budgets, the scheduler never
+/// holds more pages resident in MCDRAM than the budget, and every page
+/// sits in exactly one tier — the resident count always equals
+/// promotions minus demotions, and bytes moved price every crossing.
+#[test]
+fn migration_occupancy_within_budget() {
+    let mut rng = Rng::seed_from_u64(0x1007_0008);
+    let cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    let cost = MigrationCost::from_devices(&cfg.ddr, &cfg.mcdram);
+    for case in 0..64 {
+        let period = rng.gen_range(1u64..64);
+        let budget = rng.gen_range(1u32..16);
+        let pages = rng.gen_range(1u64..48);
+        let len = rng.gen_range(1usize..800);
+        let mut s = PageScheduler::new(MigrationSpec::new(period, budget), cost)
+            .expect("enabled spec must build");
+        let mut mem_ticks = 0u64;
+        for i in 0..len {
+            let page = rng.gen_range(0u64..pages);
+            let memory_level = rng.gen_bool(0.8);
+            mem_ticks += u64::from(memory_level);
+            s.tick(
+                page * memkind_sim::PAGE_BYTES,
+                memory_level,
+                SimTime::from_ps(i as u64 * 100),
+            );
+            let stats = s.stats();
+            let ctx = format!("case {case} tick {i} (T={period} budget={budget})");
+            assert!(s.resident_pages() <= u64::from(budget), "{ctx}");
+            assert!(stats.peak_resident_pages <= u64::from(budget), "{ctx}");
+            assert_eq!(
+                s.resident_pages(),
+                stats.promoted_pages - stats.demoted_pages,
+                "tier accounting leaked a page: {ctx}"
+            );
+            assert_eq!(
+                stats.bytes_moved,
+                (stats.promoted_pages + stats.demoted_pages) * memkind_sim::PAGE_BYTES,
+                "{ctx}"
+            );
+        }
+        let stats = s.stats();
+        assert_eq!(
+            stats.sampled_accesses, mem_ticks,
+            "case {case}: sampled accesses lost"
+        );
+        assert_eq!(
+            stats.rebalances,
+            len as u64 / period,
+            "case {case}: rebalance cadence drifted"
+        );
+    }
+}
+
+/// Degenerate migration specs are exactly the static all-DDR
+/// placement: a zero period or zero budget builds no scheduler at all,
+/// and a period longer than the whole trace never reaches a rebalance
+/// point — all three must replay bit-identically to `AllDdr`.
+#[test]
+fn migration_degenerates_to_static_placement() {
+    let mut rng = Rng::seed_from_u64(0x1007_0009);
+    let cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    for case in 0..8 {
+        let cores = rng.gen_range(1u32..5);
+        let per_core = rng.gen_range(50u64..200);
+        let trace =
+            workloads::tracegen::hot_cold_trace(cores, 2, per_core, 64 << 10, 1 << 20, rng.gen());
+        let mk =
+            |placement: TracePlacement| TraceSim::new(&cfg, cores, placement, ByteSize::mib(4));
+        let mut base = mk(TracePlacement::AllDdr);
+        let expect = base.run(&trace);
+        // Period or budget of zero: no scheduler is even built.
+        for spec in [MigrationSpec::new(0, 8), MigrationSpec::new(1, 0)] {
+            let mut sim = mk(TracePlacement::Migrated(spec));
+            assert_eq!(sim.run(&trace), expect, "case {case} {spec:?}");
+            assert!(
+                sim.migration_stats().is_none(),
+                "case {case}: disabled {spec:?} built a scheduler"
+            );
+            assert_eq!(sim.ddr_stats(), base.ddr_stats(), "case {case} {spec:?}");
+        }
+        // A period strictly longer than the trace ticks but never
+        // rebalances. (A period *equal* to the trace length fires one
+        // rebalance on the final tick, so `+ 1` is the exact edge.)
+        let spec = MigrationSpec::new(trace.len() as u64 + 1, 8);
+        let mut sim = mk(TracePlacement::Migrated(spec));
+        assert_eq!(sim.run(&trace), expect, "case {case}: infinite period");
+        let stats = sim.migration_stats().expect("scheduler must exist");
+        assert_eq!(stats.rebalances, 0, "case {case}");
+        assert_eq!(stats.promoted_pages, 0, "case {case}");
+        assert_eq!(sim.ddr_stats(), base.ddr_stats(), "case {case}");
+        assert_eq!(sim.hbm_stats(), base.hbm_stats(), "case {case}");
+    }
+}
+
+/// Migration rearranges *where* accesses land, never how many there
+/// are: replay under an aggressive scheduler conserves the access
+/// count, the memory-access count, and the per-device row totals sum.
+#[test]
+fn migration_conserves_accesses() {
+    let mut rng = Rng::seed_from_u64(0x1007_000A);
+    let cfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    for case in 0..8 {
+        let cores = rng.gen_range(1u32..5);
+        let per_core = rng.gen_range(50u64..200);
+        let trace =
+            workloads::tracegen::hot_cold_trace(cores, 2, per_core, 64 << 10, 1 << 20, rng.gen());
+        let period = rng.gen_range(16u64..128);
+        let budget = rng.gen_range(1u32..32);
+        let mk =
+            |placement: TracePlacement| TraceSim::new(&cfg, cores, placement, ByteSize::mib(4));
+        let mut base = mk(TracePlacement::AllDdr);
+        let expect = base.run(&trace);
+        let mut sim = mk(TracePlacement::Migrated(MigrationSpec::new(period, budget)));
+        let got = sim.run(&trace);
+        let ctx = format!("case {case} (T={period} budget={budget})");
+        assert_eq!(got.accesses, expect.accesses, "{ctx}");
+        assert_eq!(got.memory_accesses, expect.memory_accesses, "{ctx}");
+        let rows = |sim: &TraceSim| sim.ddr_stats().total() + sim.hbm_stats().total();
+        assert_eq!(rows(&sim), rows(&base), "device row totals leaked: {ctx}");
+        let stats = sim.migration_stats().unwrap();
+        assert_eq!(
+            stats.sampled_accesses, got.memory_accesses,
+            "{ctx}: scheduler must sample each memory access exactly once"
+        );
+        assert!(
+            stats.hbm_routed <= stats.sampled_accesses,
+            "{ctx}: routed more accesses than were sampled"
+        );
     }
 }
 

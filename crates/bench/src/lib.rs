@@ -6,6 +6,7 @@
 
 pub mod harness;
 pub mod replay;
+pub mod sweep;
 
 /// Define a bench group function that runs each target against a
 /// default-configured [`harness::Criterion`].

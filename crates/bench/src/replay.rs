@@ -278,8 +278,10 @@ pub fn bench_report(configs: &[ReplayConfig]) -> Json {
 }
 
 /// Validate a `bench_trace_replay/v1` report (the CI smoke gate):
-/// schema tag, non-empty config list, and every config carrying all
-/// three paths with positive throughput.
+/// schema tag, non-empty config list, every config carrying all
+/// three paths with positive throughput, and a well-formed
+/// `sweep_reuse` section (the classify-once engine's speedup record —
+/// required, so a regenerated report can never silently drop it).
 pub fn check_report(report: &Json) -> Result<(), String> {
     let schema = report.str_field("schema")?;
     if schema != "bench_trace_replay/v1" {
@@ -317,7 +319,10 @@ pub fn check_report(report: &Json) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    let sweep = report
+        .get("sweep_reuse")
+        .ok_or("missing sweep_reuse section (regenerate with repro bench-replay)")?;
+    crate::sweep::check_sweep_section(sweep)
 }
 
 /// Compare the parallel and streaming throughput of a measurement:
@@ -568,16 +573,36 @@ mod tests {
 
     #[test]
     fn smoke_report_round_trips_and_validates() {
+        let sweep_cfg = crate::sweep::SweepBenchConfig {
+            kind: TraceKind::Stream,
+            cores: 2,
+            accesses_per_core: 200,
+            periods: vec![100],
+            budget_pages: 16,
+        };
         let report = simfabric::par::with_threads(2, || {
-            bench_report(&[ReplayConfig {
-                kind: TraceKind::Stream,
-                cores: 4,
-                accesses_per_core: 500,
-            }])
+            crate::sweep::bench_report_with_sweep(
+                &[ReplayConfig {
+                    kind: TraceKind::Stream,
+                    cores: 4,
+                    accesses_per_core: 500,
+                }],
+                &sweep_cfg,
+                1,
+            )
         });
         check_report(&report).expect("fresh report validates");
         let parsed = hybridmem::json::parse(&report.to_pretty()).expect("parses");
         check_report(&parsed).expect("parsed report validates");
+        // A report without the sweep section is rejected outright.
+        let bare = bench_report(&[ReplayConfig {
+            kind: TraceKind::Stream,
+            cores: 2,
+            accesses_per_core: 200,
+        }]);
+        assert!(check_report(&bare)
+            .unwrap_err()
+            .contains("missing sweep_reuse"));
     }
 
     #[test]

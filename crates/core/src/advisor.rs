@@ -6,8 +6,10 @@
 //! application profile goes in, a memory-configuration recommendation
 //! with a model-predicted speedup comes out.
 
+use crate::sweep::{replay_point, TraceSpec};
 use knl::access::{RandomOp, Region, Reuse, StreamOp};
-use knl::{Machine, MemSetup};
+use knl::tracesim::{TracePlacement, TraceSimReport};
+use knl::{Machine, MachineConfig, MemSetup};
 use simfabric::ByteSize;
 use workloads::AccessClass;
 
@@ -138,6 +140,107 @@ pub fn advise(profile: &AppProfile) -> Recommendation {
     }
 }
 
+/// One placement candidate of a replayed advisor query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedCandidate {
+    /// Display label of the placement.
+    pub label: String,
+    /// Whether the placement fits a fast tier of `budget` bytes
+    /// (all-HBM does not; it is reported as the upper bound).
+    pub fits_budget: bool,
+    /// The replay report.
+    pub report: TraceSimReport,
+}
+
+/// The verdict of a replayed advisor query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedAdvice {
+    /// The trace the query replayed (the spec's canonical label).
+    pub trace: String,
+    /// Every candidate, fixed order: DDR, split, cache, HBM.
+    pub candidates: Vec<ReplayedCandidate>,
+    /// Index of the fastest budget-fitting candidate.
+    pub best: usize,
+    /// Makespan speedup of the best candidate over all-DDR.
+    pub speedup_vs_ddr: f64,
+}
+
+impl ReplayedAdvice {
+    /// The recommended candidate.
+    pub fn recommended(&self) -> &ReplayedCandidate {
+        &self.candidates[self.best]
+    }
+}
+
+/// The advisor-as-a-service form of [`advise`]: instead of the
+/// analytic proxy model, replay the application's *trace* against
+/// every placement that fits a `budget`-sized fast tier (all-DDR, a
+/// boundary split, cache mode — plus unconstrained all-HBM as the
+/// bound) and recommend the fastest. Repeated queries are what the
+/// classify-once engine exists for: the three flat placements share
+/// one classified artifact and cache mode a second, both served from
+/// the global cache — so a follow-up query over the same trace (a
+/// different budget, say) replays without classifying anything.
+pub fn advise_replayed(spec: &TraceSpec, budget: ByteSize) -> ReplayedAdvice {
+    let flat = MachineConfig::knl7210(MemSetup::DramOnly, 64);
+    let cache = MachineConfig::knl7210(MemSetup::CacheMode, 64);
+    let msc = ByteSize::mib(8);
+    let candidates: Vec<ReplayedCandidate> = [
+        (
+            "DDR (flat)".to_string(),
+            &flat,
+            TracePlacement::AllDdr,
+            msc,
+            true,
+        ),
+        (
+            format!("split@{}KiB", budget.as_u64() >> 10),
+            &flat,
+            TracePlacement::SplitAt(budget.as_u64()),
+            msc,
+            true,
+        ),
+        (
+            format!("cache({}KiB)", budget.as_u64() >> 10),
+            &cache,
+            TracePlacement::AllDdr,
+            budget,
+            true,
+        ),
+        (
+            "HBM (flat, unconstrained)".to_string(),
+            &flat,
+            TracePlacement::AllHbm,
+            msc,
+            false,
+        ),
+    ]
+    .into_iter()
+    .map(
+        |(label, cfg, placement, msc, fits_budget)| ReplayedCandidate {
+            label,
+            fits_budget,
+            report: replay_point(spec, cfg, placement, msc).1,
+        },
+    )
+    .collect();
+    let best = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.fits_budget)
+        .min_by_key(|(i, c)| (c.report.makespan, *i))
+        .map(|(i, _)| i)
+        .expect("budget-fitting candidates exist");
+    let ddr = candidates[0].report.makespan.as_ps() as f64;
+    let speedup_vs_ddr = ddr / candidates[best].report.makespan.as_ps() as f64;
+    ReplayedAdvice {
+        trace: spec.label().to_string(),
+        candidates,
+        best,
+        speedup_vs_ddr,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +291,37 @@ mod tests {
         let r = advise(&profile(AccessClass::Random, 8, true));
         assert!(r.threads > 64, "should recommend hyper-threading");
         assert!(r.expected_speedup > 1.0);
+    }
+
+    #[test]
+    fn replayed_advice_covers_placements_and_repeated_queries_share_artifacts() {
+        use workloads::tracegen::TraceKind;
+        let spec = TraceSpec::from_kind(TraceKind::Stream, 4, 400, 0xAD51);
+        let first = advise_replayed(&spec, ByteSize::kib(256));
+        assert_eq!(first.candidates.len(), 4);
+        assert_eq!(first.trace, spec.label());
+        assert!(first.candidates[first.best].fits_budget);
+        assert!(first.speedup_vs_ddr >= 1.0 - 1e-12);
+        assert!(!first.candidates[3].fits_budget, "all-HBM is the bound");
+        // A second query over the same trace reuses the flat artifact
+        // for all three flat placements; only the cache-mode point
+        // rebuilds, because a new budget resizes the memory-side cache
+        // and so changes its classify signature (key invalidation).
+        let before = knl::with_global_classify_cache(|c| c.stats());
+        let second = advise_replayed(&spec, ByteSize::kib(512));
+        let after = knl::with_global_classify_cache(|c| c.stats());
+        if crate::sweep::sweep_reuse_enabled() {
+            assert_eq!(
+                after.misses - before.misses,
+                1,
+                "only the resized cache-mode artifact may rebuild"
+            );
+            assert!(after.hits - before.hits >= 3, "flat placements must hit");
+        }
+        // Same trace, same DDR baseline either way.
+        assert_eq!(
+            first.candidates[0].report, second.candidates[0].report,
+            "all-DDR is budget-independent"
+        );
     }
 }

@@ -209,13 +209,13 @@ pub struct TraceReplay {
 
 /// A sweep replaying workload-shaped traces through the line-accurate
 /// trace simulator — the trace-level complement of the analytic
-/// [`SizeSweep`]/[`ThreadSweep`]. Replays run on the streaming engine
-/// ([`TraceSim::run_streaming`] fed by each kind's
-/// [`TraceKind::source`]), which overlaps trace generation with
-/// sharded classification and never materializes the full trace. The
-/// worker count comes from `TRACESIM_THREADS` (or the ambient [`par`]
-/// override) and the output is bit-identical to the sequential
-/// reference at any setting.
+/// [`SizeSweep`]/[`ThreadSweep`]. Each kind is classified once per
+/// hierarchy config into a bounded artifact (streamed from
+/// [`TraceKind::source`], never materializing the full trace) and
+/// each setup replays the artifact through the timing stage
+/// ([`crate::sweep`]). The worker count comes from `TRACESIM_THREADS`
+/// (or the ambient [`par`] override) and the output is bit-identical
+/// to the sequential reference at any setting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSweep {
     /// Trace generators to replay.
@@ -249,9 +249,12 @@ impl TraceSweep {
         }
     }
 
-    /// Replay every (kind × setup) point. Each setup streams the trace
-    /// from a fresh source (regeneration is cheaper than holding the
-    /// materialized trace across setups); the replays themselves are
+    /// Replay every (kind × setup) point. Each kind classifies once
+    /// per hierarchy config through the global classify cache (all
+    /// flat setups share one artifact; cache mode gets its own) and
+    /// the timing stage replays the artifact per setup — see
+    /// [`crate::sweep`]; `SWEEP_REUSE=0` restores the old
+    /// regenerate-per-setup streaming path. The replays themselves are
     /// internally parallel, so points run in sequence rather than
     /// oversubscribing the worker pool.
     pub fn run(&self) -> Vec<TraceReplay> {
@@ -279,16 +282,21 @@ impl TraceSweep {
     fn run_inner(&self, telemetry: bool) -> (Vec<TraceReplay>, simfabric::MetricsRegistry) {
         let mut out = Vec::with_capacity(self.kinds.len() * self.setups.len());
         let mut metrics = simfabric::MetricsRegistry::new();
+        let msc = ByteSize::mib(8);
         for &kind in &self.kinds {
+            let spec = crate::sweep::TraceSpec::from_kind(
+                kind,
+                self.cores,
+                self.accesses_per_core,
+                self.seed,
+            );
             for &setup in &self.setups {
                 let cfg = MachineConfig::knl7210(setup, 64);
-                let mut sim =
-                    TraceSim::new(&cfg, self.cores, Self::placement(setup), ByteSize::mib(8));
+                let mut sim = TraceSim::new(&cfg, self.cores, Self::placement(setup), msc);
                 if telemetry {
                     sim.enable_telemetry();
                 }
-                let mut source = kind.source(self.cores, self.accesses_per_core, self.seed);
-                let report = workloads::tracegen::replay_streaming(&mut sim, source.as_mut());
+                let report = crate::sweep::replay_into(&mut sim, &spec, &cfg, msc);
                 if telemetry {
                     metrics
                         .merge_prefixed(&Self::point_prefix(kind, setup), &sim.metrics_registry());

@@ -21,9 +21,12 @@ pub mod paper;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
+pub mod sweep;
 pub mod validate;
 
-pub use advisor::{advise, AppProfile, Recommendation};
+pub use advisor::{
+    advise, advise_replayed, AppProfile, Recommendation, ReplayedAdvice, ReplayedCandidate,
+};
 pub use archive::{diff, Archive, Divergence};
 pub use experiment::{
     AppSpec, Measurement, Series, SizeSweep, ThreadSweep, TraceReplay, TraceSweep,
@@ -39,5 +42,6 @@ pub use profile::{
     check_chrome_trace, check_metrics, metrics_to_json, ChromeTraceSummary, MetricsSummary,
 };
 pub use report::{render_figure, render_trace_replays, series_csv};
-pub use sensitivity::{all_scans, SensitivityScan};
+pub use sensitivity::{all_scans, scan_split_boundary_replayed, SensitivityScan};
+pub use sweep::{classified_for, replay_into, replay_point, sweep_reuse_enabled, TraceSpec};
 pub use validate::{validate_all, ShapeCheck};

@@ -26,11 +26,12 @@
 
 use crate::experiment::{Measurement, Series};
 use crate::figures::FigureData;
+use crate::sweep::{replay_point, TraceSpec};
 use knl::tracesim::{TracePlacement, TraceSim, TraceSimReport};
 use knl::{EnergyModel, EnergyReport, MachineConfig, MemSetup};
 use memkind_sim::migrate::{MigrationSpec, MigrationStats, PAGE_BYTES};
 use simfabric::ByteSize;
-use workloads::tracegen::{collect, HotColdSource};
+use workloads::tracegen::HotColdSource;
 
 /// Parameters of one migration `T`-sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,14 +97,23 @@ impl MigrationSweepConfig {
         self.cores as u64 * self.phases as u64 * self.accesses_per_core_per_phase
     }
 
-    fn trace_source(&self) -> HotColdSource {
-        HotColdSource::new(
+    /// The sweep's workload as a [`TraceSpec`], so every point —
+    /// statics, cache mode, and all migrated periods — replays one
+    /// classified artifact per hierarchy config instead of
+    /// regenerating and re-classifying the stream per point.
+    pub fn trace_spec(&self) -> TraceSpec {
+        let (cores, phases, per, hot, cold, seed) = (
             self.cores,
             self.phases,
             self.accesses_per_core_per_phase,
             self.hot_bytes,
             self.cold_bytes,
             self.seed,
+        );
+        TraceSpec::new(
+            format!("hotcold:{cores}x{phases}x{per}:hot={hot}:cold={cold}:seed={seed:#x}"),
+            cores,
+            move || Box::new(HotColdSource::new(cores, phases, per, hot, cold, seed)),
         )
     }
 }
@@ -180,23 +190,17 @@ impl MigrationSweep {
 
 fn run_flat(cfg: &MigrationSweepConfig, placement: TracePlacement) -> (TraceSim, TraceSimReport) {
     let mcfg = MachineConfig::knl7210(MemSetup::DramOnly, 64);
-    let mut sim = TraceSim::new(&mcfg, cfg.cores, placement, ByteSize::mib(8));
-    let trace = collect(&mut cfg.trace_source());
-    let report = sim.run(&trace);
-    (sim, report)
+    replay_point(&cfg.trace_spec(), &mcfg, placement, ByteSize::mib(8))
 }
 
 fn run_cache(cfg: &MigrationSweepConfig) -> (TraceSim, TraceSimReport) {
     let mcfg = MachineConfig::knl7210(MemSetup::CacheMode, 64);
-    let mut sim = TraceSim::new(
+    replay_point(
+        &cfg.trace_spec(),
         &mcfg,
-        cfg.cores,
         TracePlacement::AllDdr,
         ByteSize::bytes(cfg.budget_bytes()),
-    );
-    let trace = collect(&mut cfg.trace_source());
-    let report = sim.run(&trace);
-    (sim, report)
+    )
 }
 
 fn price(sim: &TraceSim, moved_bytes: u64) -> EnergyReport {
@@ -212,9 +216,11 @@ fn price(sim: &TraceSim, moved_bytes: u64) -> EnergyReport {
 }
 
 /// Run the full sweep: four static baselines, then one migrated run
-/// per period. Sequential replay — bit-identical to the parallel and
-/// streaming engines by the equivalence suite, so the sweep itself
-/// needs no engine knob.
+/// per period. Every flat point (statics and all migrated periods)
+/// replays one shared classified artifact, and cache mode a second —
+/// classification runs twice where it used to run `3 + periods` times.
+/// Bit-identical to regenerating per point (the classified-equivalence
+/// suite pins it), so the sweep itself needs no engine knob.
 pub fn run_migration_sweep(cfg: &MigrationSweepConfig) -> MigrationSweep {
     let mut statics = Vec::new();
     let budget = cfg.budget_bytes();

@@ -1,0 +1,610 @@
+//! Classified-trace artifacts: the reusable half of replay.
+//!
+//! The trace simulator's classification stage (private L1/L2/TLB and
+//! memory-side-cache tags) is timing-independent *and* setup-
+//! independent across every configuration sharing the same hierarchy
+//! config — see the [`tracesim`](crate::tracesim) module docs. This
+//! module materializes that stage as a [`ClassifiedTrace`]: the
+//! per-core SoA batches ([17 bytes per
+//! access](crate::tracesim::CLASSIFIED_ACCESS_BYTES)) plus the
+//! canonical [`ClassifyKey`] describing exactly what was classified
+//! (generator spec × cores × cache/TLB config). A multi-setup sweep
+//! builds the artifact once — streamed, so the raw trace never
+//! materializes — and replays it N times through
+//! [`TraceSim::run_classified`](crate::tracesim::TraceSim::run_classified),
+//! skipping the generators and cache models entirely.
+//!
+//! # Key and invalidation
+//!
+//! A key names its artifact completely: if any key component changes —
+//! different generator/seed/length, different core count, different
+//! memory mode or MSC capacity (which change hierarchy behaviour) —
+//! the canonical string changes, the [`ClassifyCache`] lookup misses,
+//! and the artifact is rebuilt. There is no partial invalidation to
+//! get wrong: keys are compared whole, and
+//! `run_classified` additionally asserts the signature against the
+//! replaying simulator so a hand-constructed mismatch panics instead
+//! of silently replaying the wrong classification. Placement, worker
+//! count, timing mode, and migration specs are deliberately *not* in
+//! the key — they only affect the timing stage.
+//!
+//! # Cache observability
+//!
+//! [`ClassifyCache`] is LRU by total payload bytes and exports
+//! `replay.classify.*` counters/gauges through the telemetry registry
+//! (hits, misses, evictions, current and high-water bytes). An
+//! artifact larger than the whole budget warns once per process
+//! ([`classify_cache_warning`], mirroring the streaming replay's
+//! buffered-accesses warning) because every sweep over it silently
+//! degenerates to rebuild-per-setup.
+
+use crate::config::MachineConfig;
+use crate::tracesim::{
+    classify_into, hierarchy_config, partition_by_core, worker_threads, ClassifiedSoa, TraceAccess,
+    CLASSIFIED_ACCESS_BYTES,
+};
+use cachesim::hierarchy::{Hierarchy, LevelHit};
+use simfabric::par;
+use simfabric::telemetry::MetricsRegistry;
+use simfabric::ByteSize;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Canonical identity of a classified trace: which access stream was
+/// classified (`trace_spec`), over how many simulated cores, through
+/// which private-hierarchy configuration (`classify_sig`, see
+/// [`classify_signature`]). Two keys are equal iff their canonical
+/// strings are equal; everything that can change classification is in
+/// the string, and nothing that can't.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassifyKey {
+    trace_spec: String,
+    cores: u32,
+    classify_sig: String,
+}
+
+impl ClassifyKey {
+    /// Build a key. `trace_spec` must canonically name the generator
+    /// and its parameters (kind, per-core length, seed — see
+    /// `workloads::tracegen::TraceKind::spec`); the caller owns that
+    /// contract, the key just compares it.
+    pub fn new(trace_spec: impl Into<String>, cores: u32, classify_sig: impl Into<String>) -> Self {
+        ClassifyKey {
+            trace_spec: trace_spec.into(),
+            cores,
+            classify_sig: classify_sig.into(),
+        }
+    }
+
+    /// The generator half of the key.
+    pub fn trace_spec(&self) -> &str {
+        &self.trace_spec
+    }
+
+    /// Simulated cores the trace was partitioned over.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The cache/TLB-config half of the key.
+    pub fn classify_sig(&self) -> &str {
+        &self.classify_sig
+    }
+
+    /// The canonical string form (used in logs and metrics labels).
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|cores={}|{}",
+            self.trace_spec, self.cores, self.classify_sig
+        )
+    }
+}
+
+/// The canonical classification signature of a machine config: every
+/// input of [`hierarchy_config`] that changes private-hierarchy
+/// behaviour, and nothing else. Flat-mode setups (`DramOnly`,
+/// `HbmOnly`, hybrid) share one signature — their placements differ
+/// only in the timing stage — while cache mode gets its own (the
+/// memory-side-cache tags classify, and their capacity matters).
+pub fn classify_signature(cfg: &MachineConfig, msc_capacity: ByteSize) -> String {
+    if cfg.setup.has_mcdram_cache() {
+        format!(
+            "cache:ddr={}ps:hbm={}ps:msc={}B",
+            cfg.ddr.idle_latency.as_ps(),
+            cfg.mcdram.idle_latency.as_ps(),
+            msc_capacity.as_u64()
+        )
+    } else {
+        format!("flat:ddr={}ps", cfg.ddr.idle_latency.as_ps())
+    }
+}
+
+/// A fully classified trace: per-core SoA arrays of
+/// `(addr, sram_latency, flags)` in program order, plus the
+/// [`ClassifyKey`] that names them. Build once with
+/// [`build_streaming`](Self::build_streaming), replay any number of
+/// times with
+/// [`TraceSim::run_classified`](crate::tracesim::TraceSim::run_classified).
+#[derive(Debug)]
+pub struct ClassifiedTrace {
+    key: ClassifyKey,
+    per_core: Vec<ClassifiedSoa>,
+    accesses: u64,
+    level_hits: [u64; 4],
+}
+
+impl ClassifiedTrace {
+    /// Classify a streamed trace into an artifact. `fill` appends the
+    /// next bounded chunk and returns how many accesses it added
+    /// (returning 0 ends the stream — the same contract as
+    /// [`TraceSim::run_streaming`](crate::tracesim::TraceSim::run_streaming)),
+    /// so the raw trace never materializes; each chunk is partitioned
+    /// by core and classified on [`worker_threads`] workers exactly as
+    /// the replay engines would. The artifact is bit-for-bit the
+    /// classification those engines would produce — one shared kernel
+    /// ([`classify_into`]) guarantees it.
+    pub fn build_streaming(
+        cfg: &MachineConfig,
+        cores: u32,
+        msc_capacity: ByteSize,
+        trace_spec: &str,
+        mut fill: impl FnMut(&mut Vec<TraceAccess>) -> usize,
+    ) -> ClassifiedTrace {
+        let key = ClassifyKey::new(trace_spec, cores, classify_signature(cfg, msc_capacity));
+        let hier_cfg = hierarchy_config(cfg, msc_capacity);
+        struct Builder {
+            hier: Hierarchy,
+            pending: Vec<TraceAccess>,
+            queue: ClassifiedSoa,
+        }
+        let mut builders: Vec<Builder> = (0..cores)
+            .map(|_| Builder {
+                hier: Hierarchy::new(hier_cfg),
+                pending: Vec::new(),
+                queue: ClassifiedSoa::new(),
+            })
+            .collect();
+        let mut accesses = 0u64;
+        par::with_threads(worker_threads(), || {
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                let n = fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                accesses += buf.len() as u64;
+                for &t in &buf {
+                    builders[partition_by_core(t.core, cores as usize)]
+                        .pending
+                        .push(t);
+                }
+                par::par_update(&mut builders, |_, b| {
+                    classify_into(&mut b.hier, &mut b.pending, &mut b.queue);
+                });
+            }
+        });
+        let mut level_hits = [0u64; 4];
+        for b in &builders {
+            for (i, lvl) in [
+                LevelHit::L1,
+                LevelHit::L2,
+                LevelHit::McdramCache,
+                LevelHit::Memory,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                level_hits[i] += b.hier.hits_at(lvl);
+            }
+        }
+        ClassifiedTrace {
+            key,
+            per_core: builders.into_iter().map(|b| b.queue).collect(),
+            accesses,
+            level_hits,
+        }
+    }
+
+    /// Classify an already-materialized trace (test convenience; the
+    /// sweep paths use [`build_streaming`](Self::build_streaming)).
+    pub fn build_from_trace(
+        cfg: &MachineConfig,
+        cores: u32,
+        msc_capacity: ByteSize,
+        trace_spec: &str,
+        trace: &[TraceAccess],
+    ) -> ClassifiedTrace {
+        let mut offset = 0usize;
+        Self::build_streaming(cfg, cores, msc_capacity, trace_spec, |buf| {
+            let chunk = 64 * 1024;
+            let end = (offset + chunk).min(trace.len());
+            buf.extend_from_slice(&trace[offset..end]);
+            let n = end - offset;
+            offset = end;
+            n
+        })
+    }
+
+    /// The key this artifact was built under.
+    pub fn key(&self) -> &ClassifyKey {
+        &self.key
+    }
+
+    /// Cores the trace was partitioned over.
+    pub fn cores(&self) -> u32 {
+        self.per_core.len() as u32
+    }
+
+    /// Total classified accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Classified accesses belonging to core `c`.
+    pub fn per_core_len(&self, c: usize) -> usize {
+        self.per_core[c].len()
+    }
+
+    /// Payload bytes (17 per access) — the unit the [`ClassifyCache`]
+    /// budget is measured in.
+    pub fn bytes(&self) -> usize {
+        self.accesses as usize * CLASSIFIED_ACCESS_BYTES
+    }
+
+    /// Classification-stage hit totals, indexed L1 / L2 / MCDRAM-cache
+    /// / memory. The timing-only replay never touches the private
+    /// hierarchies, so these artifact-level totals are where the
+    /// cache-behaviour counters live for sweep consumers.
+    pub fn level_hits(&self) -> [u64; 4] {
+        self.level_hits
+    }
+
+    /// Core `c`'s SoA arrays for the replay's window copies.
+    pub(crate) fn core_arrays(&self, c: usize) -> (&[u64], &[u64], &[u8]) {
+        self.per_core[c].arrays()
+    }
+}
+
+/// Default [`ClassifyCache`] budget: 256 MiB of classified payload
+/// (~15.8 M accesses), several paper-scale sweep artifacts.
+pub const CLASSIFY_CACHE_DEFAULT_BYTES: usize = 256 << 20;
+
+/// Warn-once condition for the classify cache, mirroring the streaming
+/// replay's `buffer_warning`: an artifact larger than the entire cache
+/// budget can never be retained, so every sweep over that trace
+/// silently degenerates to rebuild-per-setup. Pure so the threshold is
+/// testable without capturing stderr.
+pub fn classify_cache_warning(entry_bytes: usize, cap_bytes: usize) -> Option<String> {
+    if cap_bytes > 0 && entry_bytes > cap_bytes {
+        Some(format!(
+            "tracesim: classified artifact of {entry_bytes} bytes exceeds the \
+             {cap_bytes}-byte classify-cache budget; multi-setup sweeps over this \
+             trace will re-classify it every time (raise TRACESIM_CLASSIFY_CACHE_MB \
+             or shrink the trace)"
+        ))
+    } else {
+        None
+    }
+}
+
+/// Counters for [`ClassifyCache`] behaviour, exported as
+/// `replay.classify.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Built artifacts retained.
+    pub inserts: u64,
+    /// Artifacts dropped to make room (LRU order).
+    pub evictions: u64,
+    /// Built artifacts too large to ever retain (warned once).
+    pub rejected: u64,
+}
+
+/// An LRU cache of classified-trace artifacts, bounded by total
+/// payload bytes. Lookup is by whole [`ClassifyKey`] — any key change
+/// is a miss, which *is* the invalidation story: nothing is ever
+/// patched in place. A zero-byte capacity disables retention entirely
+/// (every lookup builds), which the bench overhead gate uses to price
+/// the plumbing.
+#[derive(Debug)]
+pub struct ClassifyCache {
+    cap_bytes: usize,
+    /// Front = least recently used; back = most recently used.
+    lru: VecDeque<Arc<ClassifiedTrace>>,
+    bytes: usize,
+    peak_bytes: usize,
+    stats: ClassifyCacheStats,
+}
+
+impl ClassifyCache {
+    /// An empty cache with a `cap_bytes` payload budget (0 disables
+    /// retention).
+    pub fn new(cap_bytes: usize) -> Self {
+        ClassifyCache {
+            cap_bytes,
+            lru: VecDeque::new(),
+            bytes: 0,
+            peak_bytes: 0,
+            stats: ClassifyCacheStats::default(),
+        }
+    }
+
+    /// Return the artifact for `key`, building it with `build` on a
+    /// miss. Hits move the entry to the MRU position; misses insert
+    /// (evicting LRU entries until the new artifact fits) unless the
+    /// cache is disabled or the artifact exceeds the whole budget
+    /// (warned once per process).
+    pub fn get_or_build(
+        &mut self,
+        key: &ClassifyKey,
+        build: impl FnOnce() -> ClassifiedTrace,
+    ) -> Arc<ClassifiedTrace> {
+        if let Some(pos) = self.lru.iter().position(|e| e.key() == key) {
+            let entry = self.lru.remove(pos).expect("position came from iter");
+            self.lru.push_back(Arc::clone(&entry));
+            self.stats.hits += 1;
+            return entry;
+        }
+        self.stats.misses += 1;
+        let built = Arc::new(build());
+        debug_assert_eq!(
+            built.key(),
+            key,
+            "builder produced an artifact under a different key"
+        );
+        let entry_bytes = built.bytes();
+        if self.cap_bytes == 0 {
+            return built;
+        }
+        if let Some(msg) = classify_cache_warning(entry_bytes, self.cap_bytes) {
+            simfabric::env::warn_once("tracesim.classify_cache.oversize", &msg);
+            self.stats.rejected += 1;
+            return built;
+        }
+        while self.bytes + entry_bytes > self.cap_bytes {
+            let evicted = self.lru.pop_front().expect("over budget implies entries");
+            self.bytes -= evicted.bytes();
+            self.stats.evictions += 1;
+        }
+        self.bytes += entry_bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.stats.inserts += 1;
+        self.lru.push_back(Arc::clone(&built));
+        built
+    }
+
+    /// Retained artifacts.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Retained payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// High-water mark of retained payload bytes — the "buffered
+    /// classified bytes" gauge.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// The byte budget.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Behaviour counters so far.
+    pub fn stats(&self) -> ClassifyCacheStats {
+        self.stats
+    }
+
+    /// Drop every retained artifact (counters and high-water stay).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+        self.bytes = 0;
+    }
+
+    /// Snapshot the cache as `replay.classify.*` metrics for the
+    /// telemetry registry: hit/miss/insert/eviction counters plus
+    /// current, high-water, and budget byte gauges.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("replay.classify.hits", self.stats.hits);
+        reg.counter("replay.classify.misses", self.stats.misses);
+        reg.counter("replay.classify.inserts", self.stats.inserts);
+        reg.counter("replay.classify.evictions", self.stats.evictions);
+        reg.counter("replay.classify.rejected", self.stats.rejected);
+        reg.gauge("replay.classify.entries", self.lru.len() as f64);
+        reg.gauge("replay.classify.bytes", self.bytes as f64);
+        reg.gauge("replay.classify.peak_bytes", self.peak_bytes as f64);
+        reg.gauge("replay.classify.cap_bytes", self.cap_bytes as f64);
+        reg
+    }
+}
+
+/// Capacity for the process-wide cache: `TRACESIM_CLASSIFY_CACHE_MB`
+/// (MiB; 0 disables retention; garbage warns once via
+/// [`simfabric::env`]), defaulting to
+/// [`CLASSIFY_CACHE_DEFAULT_BYTES`].
+pub fn classify_cache_capacity_from_env() -> usize {
+    match simfabric::env::usize_var("TRACESIM_CLASSIFY_CACHE_MB") {
+        Some(mib) => mib << 20,
+        None => CLASSIFY_CACHE_DEFAULT_BYTES,
+    }
+}
+
+/// Run `f` against the process-wide classify cache (created on first
+/// use with [`classify_cache_capacity_from_env`]). Sweep consumers
+/// share artifacts through this instance, so a figure sweep, the
+/// migration T-sweep, and an advisor query over the same trace all hit
+/// the same entries.
+pub fn with_global_classify_cache<R>(f: impl FnOnce(&mut ClassifyCache) -> R) -> R {
+    static CACHE: OnceLock<Mutex<ClassifyCache>> = OnceLock::new();
+    let cache =
+        CACHE.get_or_init(|| Mutex::new(ClassifyCache::new(classify_cache_capacity_from_env())));
+    f(&mut cache.lock().expect("classify cache poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemSetup;
+
+    fn flat_cfg() -> MachineConfig {
+        MachineConfig::knl7210(MemSetup::DramOnly, 64)
+    }
+
+    fn tiny_trace(cores: u32, per_core: u64) -> Vec<TraceAccess> {
+        let mut out = Vec::new();
+        for i in 0..per_core {
+            for c in 0..cores {
+                out.push(TraceAccess::read(c, (c as u64) << 24 | i * 64));
+            }
+        }
+        out
+    }
+
+    fn tiny_artifact(label: &str, cores: u32, per_core: u64) -> ClassifiedTrace {
+        ClassifiedTrace::build_from_trace(
+            &flat_cfg(),
+            cores,
+            ByteSize::mib(4),
+            label,
+            &tiny_trace(cores, per_core),
+        )
+    }
+
+    #[test]
+    fn key_components_all_reach_the_canonical_string() {
+        let base = ClassifyKey::new("stream:4x8", 4, "flat:ddr=1ps");
+        for other in [
+            ClassifyKey::new("gups:4x8", 4, "flat:ddr=1ps"),
+            ClassifyKey::new("stream:4x8", 8, "flat:ddr=1ps"),
+            ClassifyKey::new("stream:4x8", 4, "cache:ddr=1ps:hbm=2ps:msc=64B"),
+        ] {
+            assert_ne!(base, other);
+            assert_ne!(base.canonical(), other.canonical());
+        }
+    }
+
+    #[test]
+    fn flat_setups_share_a_signature_and_cache_mode_does_not() {
+        let msc = ByteSize::mib(4);
+        let ddr = classify_signature(&MachineConfig::knl7210(MemSetup::DramOnly, 64), msc);
+        let hbm = classify_signature(&MachineConfig::knl7210(MemSetup::HbmOnly, 64), msc);
+        let cache = classify_signature(&MachineConfig::knl7210(MemSetup::CacheMode, 64), msc);
+        assert_eq!(ddr, hbm, "flat placements must share one artifact");
+        assert_ne!(
+            ddr, cache,
+            "MSC tags classify, so cache mode must not alias"
+        );
+        let bigger = classify_signature(
+            &MachineConfig::knl7210(MemSetup::CacheMode, 64),
+            ByteSize::mib(8),
+        );
+        assert_ne!(cache, bigger, "MSC capacity is part of the signature");
+    }
+
+    #[test]
+    fn artifact_accounts_every_access() {
+        let ct = tiny_artifact("tiny:4x16", 4, 16);
+        assert_eq!(ct.accesses(), 64);
+        assert_eq!(ct.cores(), 4);
+        assert_eq!((0..4).map(|c| ct.per_core_len(c)).sum::<usize>(), 64);
+        assert_eq!(ct.bytes(), 64 * CLASSIFIED_ACCESS_BYTES);
+        assert_eq!(ct.level_hits().iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn cache_hits_evicts_lru_and_tracks_bytes() {
+        let a = tiny_artifact("a", 2, 8);
+        let entry_bytes = a.bytes();
+        // Room for exactly two artifacts of this size.
+        let mut cache = ClassifyCache::new(entry_bytes * 2);
+        let key_a = a.key().clone();
+        let key_b = ClassifyKey::new("b", 2, key_a.classify_sig());
+        let key_c = ClassifyKey::new("c", 2, key_a.classify_sig());
+
+        cache.get_or_build(&key_a, || a);
+        cache.get_or_build(&key_b, || tiny_artifact("b", 2, 8));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.bytes(), entry_bytes * 2);
+
+        // Hit A so B becomes the LRU entry…
+        cache.get_or_build(&key_a, || unreachable!("hit must not rebuild"));
+        assert_eq!(cache.stats().hits, 1);
+        // …then C evicts B, not A.
+        cache.get_or_build(&key_c, || tiny_artifact("c", 2, 8));
+        assert_eq!(cache.stats().evictions, 1);
+        cache.get_or_build(&key_a, || unreachable!("A must have survived"));
+        let mut rebuilt = false;
+        cache.get_or_build(&key_b, || {
+            rebuilt = true;
+            tiny_artifact("b", 2, 8)
+        });
+        assert!(rebuilt, "B was evicted and must rebuild");
+        assert_eq!(cache.peak_bytes(), entry_bytes * 2);
+    }
+
+    fn real_sig() -> String {
+        classify_signature(&flat_cfg(), ByteSize::mib(4))
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut cache = ClassifyCache::new(0);
+        let key = ClassifyKey::new("a", 2, real_sig());
+        cache.get_or_build(&key, || tiny_artifact("a", 2, 8));
+        cache.get_or_build(&key, || tiny_artifact("a", 2, 8));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn oversize_artifacts_warn_and_are_rejected_not_cached() {
+        assert!(classify_cache_warning(10, 5).is_some());
+        assert!(classify_cache_warning(5, 10).is_none());
+        assert!(
+            classify_cache_warning(10, 0).is_none(),
+            "disabled cache never warns"
+        );
+        let mut cache = ClassifyCache::new(1);
+        let key = ClassifyKey::new("big", 2, real_sig());
+        cache.get_or_build(&key, || tiny_artifact("big", 2, 8));
+        assert_eq!(cache.stats().rejected, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn metrics_cover_counters_and_gauges() {
+        let mut cache = ClassifyCache::new(1 << 20);
+        let key = ClassifyKey::new("a", 2, real_sig());
+        cache.get_or_build(&key, || tiny_artifact("a", 2, 8));
+        cache.get_or_build(&key, || unreachable!("second lookup hits"));
+        let reg = cache.metrics_registry();
+        use simfabric::telemetry::MetricValue;
+        assert_eq!(
+            reg.get("replay.classify.hits"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            reg.get("replay.classify.misses"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert!(matches!(
+            reg.get("replay.classify.peak_bytes"),
+            Some(MetricValue::Gauge(b)) if *b > 0.0
+        ));
+    }
+}

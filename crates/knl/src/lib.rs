@@ -25,6 +25,7 @@
 
 pub mod access;
 pub mod calib;
+pub mod classified;
 pub mod config;
 pub mod energy;
 pub mod latency;
@@ -32,6 +33,9 @@ pub mod machine;
 pub mod tracesim;
 
 pub use access::{RandomOp, Region, StreamOp};
+pub use classified::{
+    classify_signature, with_global_classify_cache, ClassifiedTrace, ClassifyCache, ClassifyKey,
+};
 pub use config::{MachineConfig, MemSetup};
 pub use energy::{EnergyModel, EnergyReport};
 pub use latency::dual_random_read_latency;

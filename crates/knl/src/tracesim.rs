@@ -83,10 +83,39 @@
 //! buffering is tracked per run and exposed via
 //! [`TraceSim::last_peak_trace_buffer_bytes`].
 //!
+//! # Classify once, replay many ([`TraceSim::run_classified`])
+//!
+//! Because classification is timing-independent, it is also
+//! *setup-independent* across every configuration that shares the same
+//! private-hierarchy config: flat-mode placements (`AllDdr`, `AllHbm`,
+//! `SplitAt`, `Migrated`), device presets, and worker counts all
+//! replay the exact same classified stream. A multi-setup sweep can
+//! therefore classify **once** into a [`ClassifiedTrace`] artifact
+//! (the same 17 B/access SoA batches, held per core, keyed by a
+//! canonical [`ClassifyKey`](crate::classified::ClassifyKey) of
+//! generator spec × cores × cache/TLB config) and replay it N times
+//! through [`TraceSim::run_classified`], whose refills memcpy
+//! window-sized slices instead of running generators and cache models.
+//! Artifacts are built streamed and bounded
+//! ([`ClassifiedTrace::build_streaming`]) and cached in an LRU bounded
+//! by bytes ([`ClassifyCache`](crate::classified::ClassifyCache)); a
+//! key mismatch can never alias — `run_classified` asserts the
+//! signature and the cache treats any changed key as a miss.
+//!
+//! # Batched mesh pricing
+//!
+//! The mesh's analytic message accounting (a counter bump per memory
+//! access) batches into a detached [`MeshTally`] folded back at
+//! window/chunk boundaries and in [`TraceSim::finish`] — bit-identical
+//! by construction (pure counter sums, proven by the differential
+//! suite), on by default, opt out with `TRACESIM_MESH_BATCH=0` (see
+//! [`mesh_batch_from_env`]).
+//!
 //! Per-shard totals are folded with [`ShardTotals::merge`], an
 //! order-independent (commutative, associative, integer-only)
 //! reduction, so worker count never leaks into results.
 
+use crate::classified::{classify_signature, ClassifiedTrace};
 use crate::config::{MachineConfig, MemSetup};
 use cachesim::cache::AccessKind;
 use cachesim::hierarchy::{Hierarchy, HierarchyConfig, LevelHit};
@@ -94,7 +123,7 @@ use cachesim::mcdram_cache::MemorySideCache;
 use cachesim::mshr::{Mshr, MshrOutcome};
 use memdev::bank::{DramGeometry, DramLane, DramModel, DramStats};
 use memkind_sim::migrate::{MigrationCost, MigrationSpec, MigrationStats, PageScheduler};
-use mesh::MeshModel;
+use mesh::{MeshModel, MeshTally};
 use simfabric::merge::LoserTree;
 use simfabric::par;
 use simfabric::par::Gang;
@@ -270,7 +299,7 @@ pub fn partition_by_core(core: u32, shards: usize) -> usize {
 /// silently dropped as a parse error.
 #[doc(hidden)]
 pub fn parse_thread_count(raw: &str) -> Option<usize> {
-    raw.trim().parse::<usize>().ok()
+    simfabric::env::parse_usize(raw)
 }
 
 /// Clamp a requested worker count to what the machine can usefully
@@ -288,41 +317,30 @@ pub fn clamp_thread_count(requested: usize, cores: usize) -> usize {
 /// Environment-sourced values are clamped to `[1, cores]` (warning
 /// once when the clamp changes the value); a set-but-unparsable
 /// `TRACESIM_THREADS` falls through to the machine default and warns
-/// once to stderr (a silently ignored knob is worse than a noisy one).
-/// Programmatic overrides are taken as-is — tests deliberately
-/// over-subscribe to shake out scheduling-dependent bugs.
+/// once to stderr via [`simfabric::env`] (a silently ignored knob is
+/// worse than a noisy one — every `TRACESIM_*` knob shares that
+/// contract now). Programmatic overrides are taken as-is — tests
+/// deliberately over-subscribe to shake out scheduling-dependent bugs.
 pub fn worker_threads() -> usize {
     if let Some(n) = par::thread_override() {
         return n.max(1);
     }
-    match std::env::var("TRACESIM_THREADS") {
-        Ok(raw) => match parse_thread_count(&raw) {
-            Some(n) => {
-                let cores = par::num_threads();
-                let clamped = clamp_thread_count(n, cores);
-                if clamped != n {
-                    static CLAMP_ONCE: std::sync::Once = std::sync::Once::new();
-                    CLAMP_ONCE.call_once(|| {
-                        eprintln!(
-                            "tracesim: clamping TRACESIM_THREADS={n} to {clamped} \
-                             (machine supports {cores})"
-                        );
-                    });
-                }
-                clamped
+    match simfabric::env::usize_var("TRACESIM_THREADS") {
+        Some(n) => {
+            let cores = par::num_threads();
+            let clamped = clamp_thread_count(n, cores);
+            if clamped != n {
+                simfabric::env::warn_once(
+                    "TRACESIM_THREADS.clamp",
+                    &format!(
+                        "tracesim: clamping TRACESIM_THREADS={n} to {clamped} \
+                         (machine supports {cores})"
+                    ),
+                );
             }
-            None => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "tracesim: ignoring unparsable TRACESIM_THREADS={raw:?} \
-                         (expected a non-negative integer)"
-                    );
-                });
-                par::num_threads()
-            }
-        },
-        Err(_) => par::num_threads(),
+            clamped
+        }
+        None => par::num_threads(),
     }
 }
 
@@ -357,22 +375,12 @@ pub fn parse_timing_mode(raw: &str) -> Option<TimingMode> {
 /// run the inline loop either way. Unparsable values warn once and
 /// fall back to the default.
 pub fn timing_mode_from_env() -> TimingMode {
-    match std::env::var("TRACESIM_TIMING") {
-        Ok(raw) => match parse_timing_mode(&raw) {
-            Some(mode) => mode,
-            None => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "tracesim: ignoring unparsable TRACESIM_TIMING={raw:?} \
-                         (expected \"sequential\" or \"concurrent\")"
-                    );
-                });
-                TimingMode::Concurrent
-            }
-        },
-        Err(_) => TimingMode::Concurrent,
-    }
+    simfabric::env::parsed(
+        "TRACESIM_TIMING",
+        "\"sequential\" or \"concurrent\"",
+        parse_timing_mode,
+    )
+    .unwrap_or(TimingMode::Concurrent)
 }
 
 /// Default classification window for [`TraceSim::run_parallel`], in
@@ -380,6 +388,27 @@ pub fn timing_mode_from_env() -> TimingMode {
 /// enough that the classified batch is still cache-resident when the
 /// timing phase consumes it.
 pub const PAR_WINDOW: usize = 1 << 16;
+
+/// Replay window from the `TRACESIM_PAR_WINDOW` environment variable
+/// (accesses per classification window); unset, unparsable (warn-once
+/// via [`simfabric::env`]) or `0` fall back to [`PAR_WINDOW`].
+/// [`TraceSim::set_replay_window`] overrides it programmatically.
+pub fn replay_window_from_env() -> usize {
+    simfabric::env::usize_var("TRACESIM_PAR_WINDOW")
+        .filter(|&n| n > 0)
+        .unwrap_or(PAR_WINDOW)
+}
+
+/// Whether replay batches analytic mesh pricing (see the module docs):
+/// per-access hop counts accumulate in a detached [`MeshTally`] and
+/// fold into the [`MeshModel`] once per classification window /
+/// stream chunk instead of touching the shared counters per access.
+/// Proven bit-identical (pure counter sums), so it defaults to **on**;
+/// `TRACESIM_MESH_BATCH=0` (or
+/// [`TraceSim::set_mesh_batching`]) restores per-access pricing.
+pub fn mesh_batch_from_env() -> bool {
+    simfabric::env::bool_var("TRACESIM_MESH_BATCH").unwrap_or(true)
+}
 
 /// Streaming-replay backlog threshold: warn when the classified
 /// backlog exceeds this many times the largest chunk the producer has
@@ -442,7 +471,7 @@ fn unpack_level(flags: u8) -> LevelHit {
 /// cursor; [`compact`](Self::compact) reclaims the consumed prefix
 /// when the batch is refilled mid-stream.
 #[derive(Debug, Default)]
-struct ClassifiedSoa {
+pub(crate) struct ClassifiedSoa {
     addr: Vec<u64>,
     lat_ps: Vec<u64>,
     flags: Vec<u8>,
@@ -450,11 +479,11 @@ struct ClassifiedSoa {
 }
 
 impl ClassifiedSoa {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self::default()
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.addr.len() - self.head
     }
 
@@ -468,7 +497,7 @@ impl ClassifiedSoa {
         self.flags.reserve(extra);
     }
 
-    fn push(
+    pub(crate) fn push(
         &mut self,
         addr: u64,
         sram_lat: Duration,
@@ -526,8 +555,84 @@ impl ClassifiedSoa {
 
     /// Bytes of classified trace currently buffered.
     fn buffered_bytes(&self) -> usize {
-        self.len() * (8 + 8 + 1)
+        self.len() * CLASSIFIED_ACCESS_BYTES
     }
+
+    /// Unconsumed accesses as raw parallel slices
+    /// `(addr, lat_ps, flags)` — the storage view a
+    /// [`ClassifiedTrace`] artifact keeps.
+    pub(crate) fn arrays(&self) -> (&[u64], &[u64], &[u8]) {
+        (
+            &self.addr[self.head..],
+            &self.lat_ps[self.head..],
+            &self.flags[self.head..],
+        )
+    }
+
+    /// Append a pre-classified range (a [`ClassifiedTrace`] window) —
+    /// the timing-only replay's refill is this memcpy instead of a
+    /// generator + hierarchy pass.
+    pub(crate) fn extend_from_arrays(&mut self, addr: &[u64], lat_ps: &[u64], flags: &[u8]) {
+        debug_assert!(addr.len() == lat_ps.len() && addr.len() == flags.len());
+        self.addr.extend_from_slice(addr);
+        self.lat_ps.extend_from_slice(lat_ps);
+        self.flags.extend_from_slice(flags);
+    }
+}
+
+/// Bytes per access in the SoA layout (u64 address + u64 latency +
+/// packed flag byte) — the unit `ClassifiedTrace::bytes` and the
+/// classify-cache budget are measured in.
+pub const CLASSIFIED_ACCESS_BYTES: usize = 8 + 8 + 1;
+
+/// Classify `pending` through `hier` into `queue` (compacting first so
+/// refills don't grow without bound), clearing `pending`. The one
+/// classification kernel shared by the windowed replay, the streaming
+/// replay, and [`ClassifiedTrace`] artifact builds — they cannot
+/// drift apart.
+pub(crate) fn classify_into(
+    hier: &mut Hierarchy,
+    pending: &mut Vec<TraceAccess>,
+    queue: &mut ClassifiedSoa,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    queue.compact();
+    queue.reserve(pending.len());
+    for &t in pending.iter() {
+        let kind = if t.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let (level, sram_lat) = hier.access(t.addr, kind);
+        queue.push(t.addr, sram_lat, t.write, t.dependent, level);
+    }
+    pending.clear();
+}
+
+/// The private-hierarchy configuration replay uses under `cfg`: the
+/// KNL cache-mode hierarchy (with the memory-side-cache tags sized to
+/// `msc_capacity`) when the setup has an MCDRAM cache, the flat
+/// hierarchy otherwise. The hierarchy's own memory/MCDRAM-cache
+/// latencies are zeroed — the bank models provide all device timing.
+/// [`TraceSim::new`] and [`ClassifiedTrace::build_streaming`] must
+/// agree on this, byte for byte, for an artifact to be replayable.
+pub(crate) fn hierarchy_config(cfg: &MachineConfig, msc_capacity: ByteSize) -> HierarchyConfig {
+    let mut hier_cfg = match cfg.setup {
+        MemSetup::CacheMode => HierarchyConfig::knl_cache_mode(
+            cfg.ddr.idle_latency,
+            cfg.mcdram.idle_latency,
+            msc_capacity,
+        ),
+        _ => HierarchyConfig::knl_flat(cfg.ddr.idle_latency),
+    };
+    // The memory latency charged by the hierarchy is superseded by
+    // the bank model; zero it out and let devices provide timing.
+    hier_cfg.memory_latency = Duration::ZERO;
+    hier_cfg.mcdram_cache_latency = Duration::ZERO;
+    hier_cfg
 }
 
 /// Per-core state of the streaming pipeline: the private hierarchy,
@@ -537,6 +642,27 @@ struct StreamShard {
     hier: Hierarchy,
     pending: Vec<TraceAccess>,
     queue: ClassifiedSoa,
+}
+
+/// What feeds the windowed replay's refills: a raw trace that each
+/// window partitions and classifies through the private hierarchies
+/// ([`TraceSim::run_parallel`]), or a prebuilt [`ClassifiedTrace`]
+/// whose per-core SoA arrays are copied in window-sized slices — the
+/// timing-only fast path of [`TraceSim::run_classified`]. Both
+/// variants uphold the same refill contract the ghost-slot merge
+/// relies on: a refill gives every dry core with work left at least
+/// one access, and buffering stays bounded by roughly one window.
+enum ReplayInput<'a> {
+    /// Unclassified trace; `next` is the global trace-order cursor.
+    Raw {
+        trace: &'a [TraceAccess],
+        next: usize,
+    },
+    /// Prebuilt artifact; `next` holds one cursor per core.
+    Classified {
+        ct: &'a ClassifiedTrace,
+        next: Vec<usize>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -810,6 +936,16 @@ pub struct TraceSim {
     /// Round-trip hop counts for analytic mesh message accounting.
     hops_ddr: u64,
     hops_hbm: u64,
+    /// Batched mesh pricing (see [`mesh_batch_from_env`]): when on,
+    /// analytic messages accumulate in `mesh_tally` and fold into the
+    /// mesh at window boundaries and in [`finish`](Self::finish).
+    mesh_batch: bool,
+    mesh_tally: MeshTally,
+    /// Canonical classification signature of this simulator's
+    /// hierarchy config (see [`classify_signature`]); a
+    /// [`ClassifiedTrace`] replays here only if its key carries the
+    /// same signature.
+    classify_sig: String,
     /// Per-core raw totals; the report is their order-independent
     /// reduction.
     core_totals: Vec<ShardTotals>,
@@ -849,19 +985,7 @@ impl TraceSim {
         placement: TracePlacement,
         msc_capacity: ByteSize,
     ) -> Self {
-        let hier_cfg = match cfg.setup {
-            MemSetup::CacheMode => HierarchyConfig::knl_cache_mode(
-                cfg.ddr.idle_latency,
-                cfg.mcdram.idle_latency,
-                msc_capacity,
-            ),
-            _ => HierarchyConfig::knl_flat(cfg.ddr.idle_latency),
-        };
-        // The memory latency charged by the hierarchy is superseded by
-        // the bank model; zero it out and let devices provide timing.
-        let mut hier_cfg = hier_cfg;
-        hier_cfg.memory_latency = Duration::ZERO;
-        hier_cfg.mcdram_cache_latency = Duration::ZERO;
+        let hier_cfg = hierarchy_config(cfg, msc_capacity);
         let mesh = MeshModel::knl(cfg.cluster);
         let resp_half_ddr = mesh.avg_memory_latency(false).scale(0.5);
         let resp_half_hbm = mesh.avg_memory_latency(true).scale(0.5);
@@ -878,6 +1002,9 @@ impl TraceSim {
             resp_half_hbm,
             hops_ddr,
             hops_hbm,
+            mesh_batch: mesh_batch_from_env(),
+            mesh_tally: MeshTally::default(),
+            classify_sig: classify_signature(cfg, msc_capacity),
             ddr: DramModel::ddr4_knl(),
             hbm: DramModel::mcdram_knl(),
             msc: cfg
@@ -898,7 +1025,7 @@ impl TraceSim {
             peak_buffered_accesses: 0,
             last_pipe_stats: par::PipeStats::default(),
             timing_mode: None,
-            replay_window: PAR_WINDOW,
+            replay_window: replay_window_from_env(),
             stream_lookahead_chunks: None,
             timing_stats: TimingEngineStats::default(),
             telemetry: None,
@@ -923,6 +1050,29 @@ impl TraceSim {
     /// Tests shrink this to force many window refills on small traces.
     pub fn set_replay_window(&mut self, accesses: usize) {
         self.replay_window = accesses.max(1);
+    }
+
+    /// Force batched mesh pricing on or off for subsequent `run*`
+    /// calls, overriding the `TRACESIM_MESH_BATCH` default. Both
+    /// settings are bit-identical (the differential suite proves it);
+    /// the flag exists so the proof has something to compare.
+    pub fn set_mesh_batching(&mut self, on: bool) {
+        self.mesh_batch = on;
+    }
+
+    /// Whether analytic mesh pricing is batched (see
+    /// [`mesh_batch_from_env`]).
+    pub fn mesh_batching(&self) -> bool {
+        self.mesh_batch
+    }
+
+    /// This simulator's classification signature — the cache/TLB half
+    /// of a [`ClassifyKey`](crate::classified::ClassifyKey). An
+    /// artifact built under a different signature (other memory mode,
+    /// other MSC capacity, other idle latencies) must be rebuilt, not
+    /// replayed: [`run_classified`](Self::run_classified) checks.
+    pub fn classify_signature(&self) -> &str {
+        &self.classify_sig
     }
 
     /// Cap [`run_streaming`](Self::run_streaming)'s classified
@@ -1169,6 +1319,30 @@ impl TraceSim {
         }
     }
 
+    /// Count one analytic mesh message of `hops` hops: straight onto
+    /// the shared counters per-access, or into the detached tally when
+    /// batching — identical totals either way (pure sums), but the
+    /// batched path touches one hot cache line instead of the mesh's
+    /// counter pair on every memory access.
+    #[inline]
+    fn note_mesh_message(&mut self, hops: u64) {
+        if self.mesh_batch {
+            self.mesh_tally.note(hops);
+        } else {
+            self.mesh.note_analytic_message(hops);
+        }
+    }
+
+    /// Fold the pending mesh tally into the shared counters. Called at
+    /// classification-window / stream-chunk boundaries and from
+    /// [`finish`](Self::finish), so [`mesh_stats`](Self::mesh_stats)
+    /// is exact after any completed `run*` call.
+    fn flush_mesh_tally(&mut self) {
+        if !self.mesh_tally.is_empty() {
+            self.mesh.absorb_tally(std::mem::take(&mut self.mesh_tally));
+        }
+    }
+
     /// Advance the migration clock by one consumed access. Every
     /// engine calls this exactly once per access, in the earliest-
     /// `(clock, core)` merge order, with the winner's pre-stall clock
@@ -1251,7 +1425,7 @@ impl TraceSim {
             // KNL mesh is provisioned well beyond memory bandwidth),
             // so the request half of the average round trip is added
             // as latency instead. Messages and hops are still counted.
-            self.mesh.note_analytic_message(if is_hbm_target {
+            self.note_mesh_message(if is_hbm_target {
                 self.hops_hbm
             } else {
                 self.hops_ddr
@@ -1428,73 +1602,183 @@ impl TraceSim {
                     tree.set(c, self.core_clock[c]);
                 }
             }
-            let mut next = 0usize;
+            let mut input = ReplayInput::Raw { trace, next: 0 };
             if engine {
                 self.windowed_engine(
-                    trace,
+                    &mut input,
                     &mut shards,
                     &mut remaining,
                     &mut tree,
-                    &mut next,
                     window,
                     workers,
                 );
             }
             // Everything if the engine was off; the tail if it bailed
             // out; a no-op if it ran to completion.
-            self.windowed_inline(
-                trace,
-                &mut shards,
-                &mut remaining,
-                &mut tree,
-                &mut next,
-                window,
-            );
+            self.windowed_inline(&mut input, &mut shards, &mut remaining, &mut tree, window);
             self.hierarchies = shards.into_iter().map(|u| u.hier).collect();
         });
         self.finish()
     }
 
-    /// Classify the next window of `trace` into the per-shard batches.
-    /// Returns `false` when the trace is exhausted.
+    /// Replay a prebuilt [`ClassifiedTrace`] artifact: the timing-only
+    /// fast path of the classify-once / replay-many sweep engine. The
+    /// generators never run and the private cache hierarchies are
+    /// never consulted — each refill is a memcpy of the artifact's SoA
+    /// slices — yet the merge discipline, MSHR/mesh/bank models,
+    /// migration ticks, worker counts, and both [`TimingMode`]s behave
+    /// exactly as in [`run_parallel`](Self::run_parallel), so the
+    /// report and every device statistic are **bit-identical** to a
+    /// fresh [`run`](Self::run) of the same trace (the differential
+    /// suite proves it across generators × setups × workers × modes).
+    ///
+    /// Because classification never happens here, this simulator's
+    /// private-hierarchy counters stay at zero; classification-stage
+    /// totals live on the artifact ([`ClassifiedTrace::level_hits`]).
+    ///
+    /// # Panics
+    ///
+    /// When the artifact does not fit this simulator: core count or
+    /// [`classify_signature`](Self::classify_signature) mismatch —
+    /// replaying it would be silently wrong, which is exactly what the
+    /// [`ClassifyKey`](crate::classified::ClassifyKey) exists to
+    /// prevent (a changed key must invalidate, not alias).
+    pub fn run_classified(&mut self, ct: &ClassifiedTrace) -> TraceSimReport {
+        let cores = self.hierarchies.len();
+        assert_eq!(
+            ct.cores() as usize,
+            cores,
+            "classified trace built for {} cores cannot replay on {} cores",
+            ct.cores(),
+            cores
+        );
+        assert_eq!(
+            ct.key().classify_sig(),
+            self.classify_sig,
+            "classified trace key {:?} does not match this simulator's \
+             classification signature {:?} — rebuild the artifact",
+            ct.key().classify_sig(),
+            self.classify_sig
+        );
+        self.last_pipe_stats = par::PipeStats::default();
+        self.last_peak_buffer = 0;
+        self.peak_buffered_accesses = 0;
+        self.timing_stats = TimingEngineStats::default();
+        if ct.accesses() == 0 {
+            return self.finish();
+        }
+        let window = self.replay_window.max(1);
+        let workers = worker_threads();
+        let engine = self.timing_mode() == TimingMode::Concurrent && workers >= 2;
+        par::with_threads(workers, || {
+            let mut remaining: Vec<usize> = (0..cores).map(|c| ct.per_core_len(c)).collect();
+            let hierarchies = std::mem::take(&mut self.hierarchies);
+            let mut shards: Vec<StreamShard> = hierarchies
+                .into_iter()
+                .map(|h| StreamShard {
+                    hier: h,
+                    pending: Vec::new(),
+                    queue: ClassifiedSoa::new(),
+                })
+                .collect();
+            let mut tree: LoserTree<SimTime> = LoserTree::new(cores);
+            for (c, &left) in remaining.iter().enumerate() {
+                if left > 0 {
+                    tree.set(c, self.core_clock[c]);
+                }
+            }
+            let mut input = ReplayInput::Classified {
+                ct,
+                next: vec![0; cores],
+            };
+            if engine {
+                self.windowed_engine(
+                    &mut input,
+                    &mut shards,
+                    &mut remaining,
+                    &mut tree,
+                    window,
+                    workers,
+                );
+            }
+            self.windowed_inline(&mut input, &mut shards, &mut remaining, &mut tree, window);
+            self.hierarchies = shards.into_iter().map(|u| u.hier).collect();
+        });
+        self.finish()
+    }
+
+    /// Refill the per-shard batches with the next window of input —
+    /// classifying a raw trace slice, or copying prebuilt slices from
+    /// a [`ClassifiedTrace`]. Returns `false` when the input is
+    /// exhausted. Also the window boundary at which the batched mesh
+    /// tally folds back into the shared counters.
     fn refill_window(
         &mut self,
-        trace: &[TraceAccess],
-        next: &mut usize,
+        input: &mut ReplayInput<'_>,
         window: usize,
         shards: &mut Vec<StreamShard>,
         remaining: &mut [usize],
     ) -> bool {
-        if *next >= trace.len() {
-            return false;
-        }
+        self.flush_mesh_tally();
         let cores = shards.len();
-        let end = (*next + window).min(trace.len());
-        let slice = &trace[*next..end];
-        let t_classify = self.telemetry.is_some().then(Instant::now);
-        for &t in slice {
-            let c = partition_by_core(t.core, cores);
-            shards[c].pending.push(t);
-            remaining[c] -= 1;
+        let mut raw_bytes = 0usize;
+        match input {
+            ReplayInput::Raw { trace, next } => {
+                if *next >= trace.len() {
+                    return false;
+                }
+                let end = (*next + window).min(trace.len());
+                let slice = &trace[*next..end];
+                let t_classify = self.telemetry.is_some().then(Instant::now);
+                for &t in slice {
+                    let c = partition_by_core(t.core, cores);
+                    shards[c].pending.push(t);
+                    remaining[c] -= 1;
+                }
+                par::par_update(shards, |_, u| {
+                    classify_into(&mut u.hier, &mut u.pending, &mut u.queue);
+                });
+                raw_bytes = slice.len() * std::mem::size_of::<TraceAccess>();
+                *next = end;
+                if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
+                    log.end(
+                        t0,
+                        "classify",
+                        "replay",
+                        0,
+                        [("accesses", slice.len() as f64)],
+                    );
+                }
+            }
+            ReplayInput::Classified { ct, next } => {
+                // Top up every dry core with its next slice; cores
+                // split the window budget evenly, so a full refill
+                // copies at most ~one window across all shards.
+                let per_core = (window / cores.max(1)).max(1);
+                let mut copied = 0usize;
+                for (c, shard) in shards.iter_mut().enumerate() {
+                    if remaining[c] == 0 || !shard.queue.is_empty() {
+                        continue;
+                    }
+                    let take = per_core.min(remaining[c]);
+                    let start = next[c];
+                    let (addr, lat_ps, flags) = ct.core_arrays(c);
+                    shard.queue.compact();
+                    shard.queue.extend_from_arrays(
+                        &addr[start..start + take],
+                        &lat_ps[start..start + take],
+                        &flags[start..start + take],
+                    );
+                    next[c] = start + take;
+                    remaining[c] -= take;
+                    copied += take;
+                }
+                if copied == 0 {
+                    return false;
+                }
+            }
         }
-        par::par_update(shards, |_, u| {
-            if u.pending.is_empty() {
-                return;
-            }
-            u.queue.compact();
-            u.queue.reserve(u.pending.len());
-            for &t in &u.pending {
-                let kind = if t.write {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                let (level, sram_lat) = u.hier.access(t.addr, kind);
-                u.queue.push(t.addr, sram_lat, t.write, t.dependent, level);
-            }
-            u.pending.clear();
-        });
-        let mut buffered = slice.len() * std::mem::size_of::<TraceAccess>();
+        let mut buffered = raw_bytes;
         let mut backlog = 0usize;
         for u in shards.iter() {
             buffered += u.queue.buffered_bytes();
@@ -1503,16 +1787,6 @@ impl TraceSim {
         self.last_peak_buffer = self.last_peak_buffer.max(buffered);
         self.peak_buffered_accesses = self.peak_buffered_accesses.max(backlog);
         self.timing_stats.windows += 1;
-        *next = end;
-        if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
-            log.end(
-                t0,
-                "classify",
-                "replay",
-                0,
-                [("accesses", slice.len() as f64)],
-            );
-        }
         true
     }
 
@@ -1520,11 +1794,10 @@ impl TraceSim {
     /// discipline to [`run`](Self::run), with ghost-slot refills.
     fn windowed_inline(
         &mut self,
-        trace: &[TraceAccess],
+        input: &mut ReplayInput<'_>,
         shards: &mut Vec<StreamShard>,
         remaining: &mut [usize],
         tree: &mut LoserTree<SimTime>,
-        next: &mut usize,
         window: usize,
     ) {
         let tel_on = self.telemetry.is_some();
@@ -1540,7 +1813,7 @@ impl TraceSim {
                     }
                     drained = 0;
                 }
-                let refilled = self.refill_window(trace, next, window, shards, remaining);
+                let refilled = self.refill_window(input, window, shards, remaining);
                 assert!(refilled, "ghost winner with no trace left");
                 t_merge = tel_on.then(Instant::now);
                 continue;
@@ -1585,11 +1858,10 @@ impl TraceSim {
     #[allow(clippy::too_many_arguments)]
     fn windowed_engine(
         &mut self,
-        trace: &[TraceAccess],
+        input: &mut ReplayInput<'_>,
         shards: &mut Vec<StreamShard>,
         remaining: &mut [usize],
         tree: &mut LoserTree<SimTime>,
-        next: &mut usize,
         window: usize,
         workers: usize,
     ) {
@@ -1641,7 +1913,7 @@ impl TraceSim {
             // workers spin forever and the scope never joins (turning
             // a clean panic into a hang).
             let sequenced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.sequence_windows(trace, shards, remaining, tree, next, window, &ctx)
+                self.sequence_windows(input, shards, remaining, tree, window, &ctx)
             }));
             gang.shutdown();
             if let Err(payload) = sequenced {
@@ -1674,11 +1946,10 @@ impl TraceSim {
     #[allow(clippy::too_many_arguments)]
     fn sequence_windows(
         &mut self,
-        trace: &[TraceAccess],
+        input: &mut ReplayInput<'_>,
         shards: &mut Vec<StreamShard>,
         remaining: &mut [usize],
         tree: &mut LoserTree<SimTime>,
-        next: &mut usize,
         window: usize,
         ctx: &EngineCtx<'_>,
     ) {
@@ -1739,7 +2010,7 @@ impl TraceSim {
             if shards[w].queue.is_empty() {
                 // Ghost winner: refill the classification window.
                 merge_span!();
-                let refilled = self.refill_window(trace, next, window, shards, remaining);
+                let refilled = self.refill_window(input, window, shards, remaining);
                 assert!(refilled, "ghost winner with no trace left");
                 continue;
             }
@@ -1864,7 +2135,7 @@ impl TraceSim {
                 (Some(_), _) => false,
                 (None, _) => self.route_hbm(addr),
             };
-            self.mesh.note_analytic_message(if is_hbm_target {
+            self.note_mesh_message(if is_hbm_target {
                 self.hops_hbm
             } else {
                 self.hops_ddr
@@ -2092,13 +2363,11 @@ impl TraceSim {
         let tel_on = self.telemetry.is_some();
         // Explicit setter wins over the environment; 0 or unset means
         // uncapped (the bit-exact default).
+        // Garbage values warn once via `simfabric::env` — the same
+        // contract as every other `TRACESIM_*` knob.
         let lookahead_cap = self
             .stream_lookahead_chunks
-            .or_else(|| {
-                std::env::var("TRACESIM_LOOKAHEAD_CHUNKS")
-                    .ok()
-                    .and_then(|v| parse_thread_count(&v))
-            })
+            .or_else(|| simfabric::env::usize_var("TRACESIM_LOOKAHEAD_CHUNKS"))
             .filter(|&n| n > 0);
         let hierarchies = std::mem::take(&mut self.hierarchies);
         let mut units: Vec<StreamShard> = hierarchies
@@ -2159,22 +2428,11 @@ impl TraceSim {
                                 units[partition_by_core(t.core, cores)].pending.push(t);
                             }
                             par::par_update(&mut units, |_, u| {
-                                if u.pending.is_empty() {
-                                    return;
-                                }
-                                u.queue.compact();
-                                u.queue.reserve(u.pending.len());
-                                for &t in &u.pending {
-                                    let kind = if t.write {
-                                        AccessKind::Write
-                                    } else {
-                                        AccessKind::Read
-                                    };
-                                    let (level, sram_lat) = u.hier.access(t.addr, kind);
-                                    u.queue.push(t.addr, sram_lat, t.write, t.dependent, level);
-                                }
-                                u.pending.clear();
+                                classify_into(&mut u.hier, &mut u.pending, &mut u.queue);
                             });
+                            // Chunk boundary: fold the batched mesh
+                            // tally back into the shared counters.
+                            self.flush_mesh_tally();
                             if let (Some(log), Some(t0)) = (&mut self.telemetry, t_classify) {
                                 log.end(
                                     t0,
@@ -2270,7 +2528,10 @@ impl TraceSim {
 
     /// Finalize and return the report (the order-independent reduction
     /// of the per-core totals). Idempotent, and safe on an empty run.
+    /// Also folds any batched mesh accounting into the shared
+    /// counters, so mesh statistics are exact after every `run*` call.
     pub fn finish(&mut self) -> TraceSimReport {
+        self.flush_mesh_tally();
         let t_finish = self.telemetry.is_some().then(Instant::now);
         let report = self.totals().into_report(self.line_bytes);
         if let (Some(log), Some(t0)) = (&mut self.telemetry, t_finish) {

@@ -12,6 +12,8 @@
 //!   meters, online mean/variance) in [`stats`],
 //! * an opt-in telemetry layer (named-metric registry, phase spans,
 //!   Chrome `trace_event` export) in [`telemetry`],
+//! * warn-once parsing for tuning-knob environment variables in
+//!   [`env`],
 //! * shared error types ([`SimError`]).
 //!
 //! # Determinism
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod env;
 pub mod error;
 pub mod event;
 pub mod merge;

@@ -24,8 +24,11 @@
 //! the golden-vector suite (`tests/tracegen_golden.rs`) and the
 //! chunking-invariance tests below pin that.
 
+use knl::classified::ClassifiedTrace;
+use knl::config::MachineConfig;
 use knl::tracesim::{TraceAccess, TraceSim, TraceSimReport};
 use simfabric::prng::Rng;
+use simfabric::ByteSize;
 
 /// De-aliased per-core base addresses (physically scattered pages
 /// never alias all cores onto one DRAM bank; synthetic traces must
@@ -94,6 +97,25 @@ pub fn replay_streaming(
     source: &mut (dyn TraceSource + Send),
 ) -> TraceSimReport {
     sim.run_streaming(|buf| source.fill(buf, DEFAULT_CHUNK))
+}
+
+/// Classify `source` into a [`ClassifiedTrace`] artifact in
+/// [`DEFAULT_CHUNK`]-sized chunks — the classify-once counterpart of
+/// [`replay_streaming`]: the raw trace never materializes, and the
+/// artifact replays against any number of timing setups via
+/// [`TraceSim::run_classified`]. `trace_spec` must canonically name
+/// the stream (use [`TraceKind::spec`] for the app generators) — it
+/// becomes the generator half of the artifact's key.
+pub fn classify_streaming(
+    cfg: &MachineConfig,
+    cores: u32,
+    msc_capacity: ByteSize,
+    trace_spec: &str,
+    source: &mut (dyn TraceSource + Send),
+) -> ClassifiedTrace {
+    ClassifiedTrace::build_streaming(cfg, cores, msc_capacity, trace_spec, |buf| {
+        source.fill(buf, DEFAULT_CHUNK)
+    })
 }
 
 /// STREAM source: each core sweeps a disjoint contiguous block in
@@ -667,6 +689,21 @@ impl TraceKind {
             TraceKind::XsBench => "XSBench",
             TraceKind::Bfs => "Graph500",
         }
+    }
+
+    /// The canonical trace-spec label for the stream
+    /// [`source`](Self::source) yields with these parameters — the
+    /// generator half of a classify key. Everything that changes the
+    /// stream (kind, cores, per-core length, seed) reaches the string;
+    /// two equal labels always name bit-identical streams.
+    pub fn spec(self, cores: u32, accesses_per_core: u64, seed: u64) -> String {
+        format!(
+            "{}:{}x{}:seed={:#x}",
+            self.name(),
+            cores,
+            accesses_per_core,
+            seed
+        )
     }
 
     /// A streaming source over the same deterministic stream

@@ -49,6 +49,24 @@ for _attempt in 1 2 3; do
 done
 [[ "$gate_ok" == 1 ]]
 
+# Sweep-reuse gate: the classify-once / replay-many engine must beat
+# regenerate-per-point by >= 1.5x on the bundled smoke sweep, and its
+# plumbing must stay within 2 % of the direct path when the artifact
+# cache is disabled (SWEEP_REUSE=0). Both arms are asserted pointwise
+# bit-identical inside the verb — reports and migration move digests —
+# so this can only fail on speed, never by timing a diverged engine.
+# Same three-attempt timer-noise policy as above; a genuine regression
+# (classification sneaking back into the per-point loop) fails all
+# three.
+sweep_ok=0
+for _attempt in 1 2 3; do
+    if "$REPRO" bench-sweep --smoke --iters 6 --min-speedup 1.5 --tol 0.02; then
+        sweep_ok=1
+        break
+    fi
+done
+[[ "$sweep_ok" == 1 ]]
+
 # Migration-off cost gate: carrying the (disabled) migration scheduler
 # hook in the replay hot path must cost nothing — a `Migrated` spec
 # with period 0 builds no scheduler and must replay bit-identically to

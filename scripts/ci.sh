@@ -22,6 +22,16 @@ TRACESIM_THREADS=4 TRACESIM_TIMING=concurrent timeout 900 \
 TRACESIM_THREADS=4 TRACESIM_TIMING=sequential timeout 900 \
     cargo test -q --offline -p knl-hybrid-memory --test parallel_equivalence
 
+# The classify-once / replay-many contract under the same forced-mode
+# watchdog: one classified artifact replayed against every placement
+# (including active migration, where the move digest is compared) must
+# stay bit-identical to fresh per-setup streaming replays
+# (tests/classified_equivalence.rs).
+TRACESIM_THREADS=4 TRACESIM_TIMING=concurrent timeout 900 \
+    cargo test -q --offline -p knl-hybrid-memory --test classified_equivalence
+TRACESIM_THREADS=4 TRACESIM_TIMING=sequential timeout 900 \
+    cargo test -q --offline -p knl-hybrid-memory --test classified_equivalence
+
 # Migration gates, under the same watchdog. The equivalence runs above
 # already prove the scheduler remaps at identical trace offsets on
 # every engine (tests/parallel_equivalence.rs `migration_*`); here the

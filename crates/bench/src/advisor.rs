@@ -1,0 +1,438 @@
+//! Advisor-service benchmark: prices the batch query engine
+//! ([`AdvisorService`]) against the naive loop it replaced.
+//!
+//! The naive arm answers a batch the way callers did before the
+//! service existed — one [`answer`] per query, no dedup, no result
+//! cache. The engine arm runs the same batch through a **fresh cold**
+//! [`AdvisorService`] (within-batch dedup and result caching only; no
+//! prior run's warmth flatters it). Both arms are asserted pointwise
+//! bit-identical, so the measured speedup can never come from a
+//! diverged engine. A second, untimed warm round on the same service
+//! records the cross-batch hit rate the report publishes.
+//!
+//! The bundled batch is repeat-heavy on purpose — hundreds of queries
+//! over a dozen distinct configurations, with budgets and thread
+//! counts jittered inside their canonicalization buckets — because
+//! that is the workload the service exists for (placement advice at
+//! volume repeats the same few configurations with cosmetic
+//! variation).
+//!
+//! Backs `repro bench-advisor` (the CI speedup + single-query
+//! overhead gate) and the `advisor_service` section of
+//! `BENCH_trace_replay.json`.
+
+use crate::replay::{OverheadMeasurement, BENCH_SEED};
+use hybridmem::json::Json;
+use hybridmem::service::RESULT_CACHE_DEFAULT_BYTES;
+use hybridmem::{answer, canonicalize, AdvisorQuery, AdvisorService};
+use memkind_sim::migrate::PAGE_BYTES;
+use simfabric::{ByteSize, Rng};
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::tracegen::TraceKind;
+
+/// One advisor-bench scenario: how many queries to draw over which
+/// distinct configuration pool.
+#[derive(Debug, Clone)]
+pub struct AdvisorBenchConfig {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Trace kinds in the configuration pool.
+    pub kinds: Vec<TraceKind>,
+    /// Fast-tier budget buckets (pages) in the pool — the pool is the
+    /// cross product of kinds and buckets.
+    pub budgets_pages: Vec<u64>,
+    /// Simulated core count of every pooled trace.
+    pub cores: u32,
+    /// Accesses per core of every pooled trace.
+    pub accesses_per_core: u64,
+}
+
+impl AdvisorBenchConfig {
+    /// Stable identifier, e.g. `advisor_200q_12c`.
+    pub fn label(&self) -> String {
+        format!("advisor_{}q_{}c", self.queries, self.pool_size())
+    }
+
+    /// Distinct configurations in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.kinds.len() * self.budgets_pages.len()
+    }
+
+    /// The batch: `queries` draws from the pool, weighted toward its
+    /// head (repeat-heavy, like real advice traffic), each draw's
+    /// budget and thread count jittered *within* its canonicalization
+    /// bucket so the batch also exercises key folding. Deterministic
+    /// in [`BENCH_SEED`].
+    pub fn batch(&self) -> Vec<AdvisorQuery> {
+        let pool: Vec<(TraceKind, u64)> = self
+            .kinds
+            .iter()
+            .flat_map(|&k| self.budgets_pages.iter().map(move |&p| (k, p)))
+            .collect();
+        let n = pool.len() as u64;
+        // Linearly decaying weights: entry i drawn with weight n - i.
+        let total: u64 = (1..=n).sum();
+        let mut rng = Rng::seed_from_u64(BENCH_SEED ^ 0xAD5E);
+        (0..self.queries)
+            .map(|_| {
+                let mut r = rng.next_below(total);
+                let mut idx = 0usize;
+                while r >= n - idx as u64 {
+                    r -= n - idx as u64;
+                    idx += 1;
+                }
+                let (kind, pages) = pool[idx];
+                AdvisorQuery {
+                    kind,
+                    cores: self.cores,
+                    accesses_per_core: self.accesses_per_core,
+                    seed: BENCH_SEED,
+                    // Any byte count in ((pages-1)·4096, pages·4096]
+                    // canonicalizes to the same bucket.
+                    budget: ByteSize::bytes(
+                        (pages - 1) * PAGE_BYTES + 1 + rng.next_below(PAGE_BYTES),
+                    ),
+                    // Any request in 1..=64 folds to one SMT level.
+                    threads: 1 + rng.next_below(64) as u32,
+                    migrate_period: 0,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The bundled 200-query scenario for `repro bench-replay` /
+/// `repro bench-advisor`: 12 distinct configurations (3 kinds × 4
+/// budget buckets) behind 200 repeat-heavy queries.
+pub fn standard_advisor_config() -> AdvisorBenchConfig {
+    AdvisorBenchConfig {
+        queries: 200,
+        kinds: vec![TraceKind::Stream, TraceKind::Gups, TraceKind::XsBench],
+        budgets_pages: vec![16, 32, 64, 128],
+        cores: 8,
+        accesses_per_core: 1_500,
+    }
+}
+
+/// Tiny scenario for the CI smoke gate (seconds, not minutes): 60
+/// queries over 6 distinct configurations.
+pub fn smoke_advisor_config() -> AdvisorBenchConfig {
+    AdvisorBenchConfig {
+        queries: 60,
+        kinds: vec![TraceKind::Stream, TraceKind::XsBench],
+        budgets_pages: vec![16, 32, 64],
+        cores: 4,
+        accesses_per_core: 600,
+    }
+}
+
+/// Paired wall-time comparison of the naive loop and the batch
+/// engine, plus the warm-round cache statistics.
+#[derive(Debug, Clone)]
+pub struct AdvisorMeasurement {
+    /// The scenario measured.
+    pub config: AdvisorBenchConfig,
+    /// Distinct canonical keys the batch folded into.
+    pub distinct: usize,
+    /// Best naive-arm wall time (seconds).
+    pub naive_secs: f64,
+    /// Best engine-arm (cold service) wall time (seconds).
+    pub engine_secs: f64,
+    /// naive/engine ratio of each adjacent pair, in run order.
+    pub pair_ratios: Vec<f64>,
+    /// Result-cache hits of an untimed warm re-run of the batch on
+    /// the last cold service (distinct keys served without compute).
+    pub warm_hits: usize,
+    /// Distinct keys the warm round computed (0 unless the cache
+    /// evicted).
+    pub warm_computed: usize,
+}
+
+impl AdvisorMeasurement {
+    /// Estimated speedup of the engine over the naive loop: the
+    /// median of per-pair ratios (same estimator and drift rationale
+    /// as [`OverheadMeasurement::ratio`]).
+    pub fn speedup(&self) -> f64 {
+        let mut sorted = self.pair_ratios.clone();
+        if sorted.is_empty() {
+            return 1.0;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
+    /// Ratio of best times — the second estimator of the
+    /// two-estimator gate.
+    pub fn best_speedup(&self) -> f64 {
+        if self.engine_secs > 0.0 {
+            self.naive_secs / self.engine_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Warm-round hit rate over distinct keys (1.0 = every repeat
+    /// batch is pure cache).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.distinct > 0 {
+            self.warm_hits as f64 / self.distinct as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `iters` back-to-back naive/engine batch pairs (order
+/// alternating pair to pair), asserting the arms pointwise
+/// bit-identical every pair. The engine arm constructs a fresh
+/// service inside the timed region — construction cost is part of
+/// the price. Prefer an even `iters` so both orderings contribute
+/// equally.
+pub fn measure_advisor(cfg: &AdvisorBenchConfig, iters: usize) -> AdvisorMeasurement {
+    let batch = cfg.batch();
+    let mut naive_best = f64::INFINITY;
+    let mut engine_best = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    let mut distinct = 0;
+    let mut warm_hits = 0;
+    let mut warm_computed = 0;
+    for i in 0..iters.max(1) {
+        let mut secs = [0.0f64; 2]; // [naive, engine]
+        let mut naive_out = Vec::new();
+        let mut engine_out = Vec::new();
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for engine in order {
+            let t0 = Instant::now();
+            if engine {
+                let service =
+                    AdvisorService::new(RESULT_CACHE_DEFAULT_BYTES, simfabric::par::num_threads());
+                let (answers, stats) = service.advise_batch(&batch);
+                secs[1] = t0.elapsed().as_secs_f64();
+                distinct = stats.distinct;
+                engine_out = answers;
+                // Untimed warm round: same batch, same service — the
+                // cross-batch behavior the report publishes.
+                let (warm, warm_stats) = service.advise_batch(&batch);
+                warm_hits = warm_stats.cache_hits;
+                warm_computed = warm_stats.computed;
+                for (cold, warm) in engine_out.iter().zip(&warm) {
+                    assert_eq!(**cold, **warm, "warm round diverged from cold");
+                }
+            } else {
+                naive_out = batch
+                    .iter()
+                    .map(|q| Arc::new(answer(&canonicalize(q))))
+                    .collect();
+                secs[0] = t0.elapsed().as_secs_f64();
+            }
+        }
+        assert_eq!(naive_out.len(), engine_out.len());
+        for (i, (n, e)) in naive_out.iter().zip(&engine_out).enumerate() {
+            assert_eq!(**n, **e, "engine diverged from naive loop at query {i}");
+        }
+        naive_best = naive_best.min(secs[0]);
+        engine_best = engine_best.min(secs[1]);
+        if secs[1] > 0.0 {
+            pair_ratios.push(secs[0] / secs[1]);
+        }
+    }
+    AdvisorMeasurement {
+        config: cfg.clone(),
+        distinct,
+        naive_secs: naive_best,
+        engine_secs: engine_best,
+        pair_ratios,
+        warm_hits,
+        warm_computed,
+    }
+}
+
+/// Measure what the service *plumbing* costs on the path that cannot
+/// amortize it: `iters` pairs of a direct [`answer`] call against a
+/// single-query [`AdvisorService::advise`] on a zero-capacity service
+/// (retention off, so every call takes the full canonicalize → probe
+/// → compute → distribute path). The pair prices canonicalization,
+/// the cache probe and the batch scaffolding, nothing else.
+pub fn measure_single_query_overhead(
+    cfg: &AdvisorBenchConfig,
+    iters: usize,
+) -> OverheadMeasurement {
+    let query = &cfg.batch()[0];
+    let key = canonicalize(query);
+    let service = AdvisorService::new(0, 1);
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    for i in 0..iters.max(1) {
+        let mut pair = [0.0f64; 2]; // [direct, service]
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for routed in order {
+            let t0 = Instant::now();
+            let advice = if routed {
+                (*service.advise(query)).clone()
+            } else {
+                answer(&key)
+            };
+            pair[routed as usize] = t0.elapsed().as_secs_f64();
+            assert_eq!(advice.trace, key.spec().label().to_string());
+        }
+        off = off.min(pair[0]);
+        on = on.min(pair[1]);
+        if pair[0] > 0.0 {
+            pair_ratios.push(pair[1] / pair[0]);
+        }
+    }
+    OverheadMeasurement {
+        off_secs: off,
+        on_secs: on,
+        pair_ratios,
+    }
+}
+
+/// Render a measurement as the `advisor_service` section of the
+/// `bench_trace_replay/v1` report.
+pub fn advisor_report_section(m: &AdvisorMeasurement) -> Json {
+    Json::obj([
+        ("label", Json::Str(m.config.label())),
+        ("queries", Json::Num(m.config.queries as f64)),
+        ("distinct", Json::Num(m.distinct as f64)),
+        ("naive_secs", Json::Num(m.naive_secs)),
+        ("engine_secs", Json::Num(m.engine_secs)),
+        ("speedup_engine_vs_naive", Json::Num(m.speedup())),
+        ("best_speedup", Json::Num(m.best_speedup())),
+        ("warm_hit_rate", Json::Num(m.warm_hit_rate())),
+        ("warm_computed", Json::Num(m.warm_computed as f64)),
+        (
+            "pair_ratios",
+            Json::Arr(m.pair_ratios.iter().map(|&r| Json::Num(r)).collect()),
+        ),
+    ])
+}
+
+/// Validate an `advisor_service` section (called from
+/// [`check_report`](crate::replay::check_report)).
+pub fn check_advisor_section(section: &Json) -> Result<(), String> {
+    let label = section.str_field("label")?;
+    let queries = section.num_field("queries")?;
+    let distinct = section.num_field("distinct")?;
+    if distinct < 1.0 || queries < distinct {
+        return Err(format!(
+            "{label}: {queries} queries over {distinct} distinct keys (need queries >= distinct >= 1)"
+        ));
+    }
+    for field in [
+        "naive_secs",
+        "engine_secs",
+        "speedup_engine_vs_naive",
+        "best_speedup",
+    ] {
+        let v = section.num_field(field)?;
+        if v <= 0.0 || !v.is_finite() {
+            return Err(format!("{label}: non-positive {field} {v}"));
+        }
+    }
+    let warm = section.num_field("warm_hit_rate")?;
+    if !(0.0..=1.0).contains(&warm) {
+        return Err(format!("{label}: warm_hit_rate {warm} outside [0, 1]"));
+    }
+    section.num_field("warm_computed")?;
+    if section.arr_field("pair_ratios")?.is_empty() {
+        return Err(format!("{label}: empty pair_ratios"));
+    }
+    Ok(())
+}
+
+/// [`bench_report_with_sweep`](crate::sweep::bench_report_with_sweep)
+/// plus the `advisor_service` section — what `repro bench-replay`
+/// writes.
+pub fn bench_report_with_service(
+    configs: &[crate::replay::ReplayConfig],
+    sweep_cfg: &crate::sweep::SweepBenchConfig,
+    advisor_cfg: &AdvisorBenchConfig,
+    iters: usize,
+) -> Json {
+    let mut report = crate::sweep::bench_report_with_sweep(configs, sweep_cfg, iters);
+    let m = measure_advisor(advisor_cfg, iters);
+    if let Json::Obj(map) = &mut report {
+        map.insert("advisor_service".to_string(), advisor_report_section(&m));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro() -> AdvisorBenchConfig {
+        AdvisorBenchConfig {
+            queries: 12,
+            kinds: vec![TraceKind::Stream],
+            budgets_pages: vec![8, 16],
+            cores: 2,
+            accesses_per_core: 150,
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_repeat_heavy() {
+        let cfg = micro();
+        let a = cfg.batch();
+        let b = cfg.batch();
+        assert_eq!(a, b, "batches must be deterministic");
+        assert_eq!(a.len(), 12);
+        let distinct: std::collections::HashSet<_> =
+            a.iter().map(hybridmem::canonicalize).collect();
+        assert!(
+            distinct.len() <= cfg.pool_size(),
+            "jitter must stay inside canonicalization buckets"
+        );
+        assert!(distinct.len() < a.len(), "batch must contain repeats");
+        assert_eq!(cfg.label(), "advisor_12q_2c");
+    }
+
+    #[test]
+    fn arms_are_bit_identical_and_measured() {
+        let m = measure_advisor(&micro(), 2);
+        assert!(m.distinct >= 1 && m.distinct <= 2);
+        assert!(m.naive_secs > 0.0 && m.engine_secs > 0.0);
+        assert_eq!(m.pair_ratios.len(), 2);
+        assert!(m.speedup() > 0.0);
+        assert_eq!(m.warm_hits, m.distinct, "warm round must be pure cache");
+        assert_eq!(m.warm_computed, 0);
+        assert!((m.warm_hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn advisor_section_round_trips_and_validates() {
+        let m = measure_advisor(&micro(), 1);
+        let section = advisor_report_section(&m);
+        check_advisor_section(&section).expect("fresh section validates");
+        let parsed = hybridmem::json::parse(&section.to_pretty()).expect("parse");
+        check_advisor_section(&parsed).expect("parsed section validates");
+        assert!(check_advisor_section(&Json::obj([])).is_err());
+    }
+
+    #[test]
+    fn single_query_overhead_compares_identical_work() {
+        let m = measure_single_query_overhead(&micro(), 2);
+        assert!(m.off_secs > 0.0 && m.on_secs > 0.0);
+        assert_eq!(m.pair_ratios.len(), 2);
+        // Identical compute either way: the plumbing ratio is near 1.
+        // Generous bound — a correctness test, not a timing gate.
+        assert!(m.ratio() < 1.5, "plumbing ratio {}", m.ratio());
+    }
+}

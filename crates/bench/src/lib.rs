@@ -4,6 +4,7 @@
 //! on, and `src/bin/repro.rs` for the binary that regenerates every
 //! table and figure as text/CSV.
 
+pub mod advisor;
 pub mod harness;
 pub mod replay;
 pub mod sweep;

@@ -280,8 +280,10 @@ pub fn bench_report(configs: &[ReplayConfig]) -> Json {
 /// Validate a `bench_trace_replay/v1` report (the CI smoke gate):
 /// schema tag, non-empty config list, every config carrying all
 /// three paths with positive throughput, and a well-formed
-/// `sweep_reuse` section (the classify-once engine's speedup record —
-/// required, so a regenerated report can never silently drop it).
+/// `sweep_reuse` section (the classify-once engine's speedup record)
+/// and a well-formed `advisor_service` section (the batch query
+/// engine's) — both required, so a regenerated report can never
+/// silently drop them.
 pub fn check_report(report: &Json) -> Result<(), String> {
     let schema = report.str_field("schema")?;
     if schema != "bench_trace_replay/v1" {
@@ -322,7 +324,11 @@ pub fn check_report(report: &Json) -> Result<(), String> {
     let sweep = report
         .get("sweep_reuse")
         .ok_or("missing sweep_reuse section (regenerate with repro bench-replay)")?;
-    crate::sweep::check_sweep_section(sweep)
+    crate::sweep::check_sweep_section(sweep)?;
+    let advisor = report
+        .get("advisor_service")
+        .ok_or("missing advisor_service section (regenerate with repro bench-replay)")?;
+    crate::advisor::check_advisor_section(advisor)
 }
 
 /// Compare the parallel and streaming throughput of a measurement:
@@ -580,20 +586,42 @@ mod tests {
             periods: vec![100],
             budget_pages: 16,
         };
+        let advisor_cfg = crate::advisor::AdvisorBenchConfig {
+            queries: 8,
+            kinds: vec![TraceKind::Stream],
+            budgets_pages: vec![8, 16],
+            cores: 2,
+            accesses_per_core: 150,
+        };
         let report = simfabric::par::with_threads(2, || {
-            crate::sweep::bench_report_with_sweep(
+            crate::advisor::bench_report_with_service(
                 &[ReplayConfig {
                     kind: TraceKind::Stream,
                     cores: 4,
                     accesses_per_core: 500,
                 }],
                 &sweep_cfg,
+                &advisor_cfg,
                 1,
             )
         });
         check_report(&report).expect("fresh report validates");
         let parsed = hybridmem::json::parse(&report.to_pretty()).expect("parses");
         check_report(&parsed).expect("parsed report validates");
+        // A report with the sweep section but no advisor section is
+        // rejected too.
+        let sweep_only = crate::sweep::bench_report_with_sweep(
+            &[ReplayConfig {
+                kind: TraceKind::Stream,
+                cores: 2,
+                accesses_per_core: 200,
+            }],
+            &sweep_cfg,
+            1,
+        );
+        assert!(check_report(&sweep_only)
+            .unwrap_err()
+            .contains("missing advisor_service"));
         // A report without the sweep section is rejected outright.
         let bare = bench_report(&[ReplayConfig {
             kind: TraceKind::Stream,

@@ -157,7 +157,11 @@ pub struct ReplayedCandidate {
 pub struct ReplayedAdvice {
     /// The trace the query replayed (the spec's canonical label).
     pub trace: String,
-    /// Every candidate, fixed order: DDR, split, cache, HBM.
+    /// Thread count the recommendation is issued for (echoed from the
+    /// query; the trace replay itself is per-core).
+    pub threads: u32,
+    /// Every candidate, fixed order: DDR, split, cache, migrated,
+    /// HBM (the unconstrained bound last).
     pub candidates: Vec<ReplayedCandidate>,
     /// Index of the fastest budget-fitting candidate.
     pub best: usize,
@@ -172,19 +176,48 @@ impl ReplayedAdvice {
     }
 }
 
-/// The advisor-as-a-service form of [`advise`]: instead of the
-/// analytic proxy model, replay the application's *trace* against
-/// every placement that fits a `budget`-sized fast tier (all-DDR, a
-/// boundary split, cache mode — plus unconstrained all-HBM as the
-/// bound) and recommend the fastest. Repeated queries are what the
-/// classify-once engine exists for: the three flat placements share
-/// one classified artifact and cache mode a second, both served from
-/// the global cache — so a follow-up query over the same trace (a
-/// different budget, say) replays without classifying anything.
-pub fn advise_replayed(spec: &TraceSpec, budget: ByteSize) -> ReplayedAdvice {
-    let flat = MachineConfig::knl7210(MemSetup::DramOnly, 64);
-    let cache = MachineConfig::knl7210(MemSetup::CacheMode, 64);
+/// The largest power of two at or below `n` (0 for 0).
+fn prev_power_of_two(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        1 << (63 - n.leading_zeros())
+    }
+}
+
+/// Migration rebalance period (accesses) used by
+/// [`advise_replayed`]'s `Migrated` candidate when the caller has no
+/// opinion; [`advise_replayed_query`] takes it as a parameter.
+pub const DEFAULT_MIGRATE_PERIOD: u64 = 4_096;
+
+/// The pure query function behind the advisor service: replay `spec`
+/// against every placement that fits a `budget`-sized fast tier —
+/// all-DDR, a boundary split, cache mode, periodic migration with
+/// period `migrate_period` and a `budget`-page move budget — plus
+/// unconstrained all-HBM as the upper bound, and recommend the
+/// fastest fitting one. Everything that can change the answer is in
+/// the argument list (that is the service's `QueryKey` contract);
+/// equal arguments produce bit-identical advice.
+///
+/// Repeated queries are what the classify-once engine exists for: the
+/// flat placements (DDR, split, migrated, HBM) share one classified
+/// artifact and cache mode a second, both served from the global
+/// cache — so a follow-up query over the same trace (a different
+/// budget, say) replays without classifying anything.
+pub fn advise_replayed_query(
+    spec: &TraceSpec,
+    budget: ByteSize,
+    threads: u32,
+    migrate_period: u64,
+) -> ReplayedAdvice {
+    let flat = MachineConfig::knl7210(MemSetup::DramOnly, threads);
+    let cache = MachineConfig::knl7210(MemSetup::CacheMode, threads);
     let msc = ByteSize::mib(8);
+    let budget_pages = (budget.as_u64() / memkind_sim::migrate::PAGE_BYTES).max(1) as u32;
+    // The memory-side cache is direct-mapped over power-of-two slots,
+    // so the cache-mode candidate gets the largest power-of-two
+    // capacity that fits the budget (never below one 64 B line).
+    let cache_capacity = ByteSize::bytes(prev_power_of_two(budget.as_u64()).max(64));
     let candidates: Vec<ReplayedCandidate> = [
         (
             "DDR (flat)".to_string(),
@@ -201,10 +234,20 @@ pub fn advise_replayed(spec: &TraceSpec, budget: ByteSize) -> ReplayedAdvice {
             true,
         ),
         (
-            format!("cache({}KiB)", budget.as_u64() >> 10),
+            format!("cache({}KiB)", cache_capacity.as_u64() >> 10),
             &cache,
             TracePlacement::AllDdr,
-            budget,
+            cache_capacity,
+            true,
+        ),
+        (
+            format!("migrated(T={migrate_period})"),
+            &flat,
+            TracePlacement::Migrated(memkind_sim::MigrationSpec::new(
+                migrate_period,
+                budget_pages,
+            )),
+            msc,
             true,
         ),
         (
@@ -235,10 +278,18 @@ pub fn advise_replayed(spec: &TraceSpec, budget: ByteSize) -> ReplayedAdvice {
     let speedup_vs_ddr = ddr / candidates[best].report.makespan.as_ps() as f64;
     ReplayedAdvice {
         trace: spec.label().to_string(),
+        threads,
         candidates,
         best,
         speedup_vs_ddr,
     }
+}
+
+/// The advisor-as-a-service form of [`advise`] at its defaults: 64
+/// threads, [`DEFAULT_MIGRATE_PERIOD`]. See [`advise_replayed_query`]
+/// for the full parameter set the service canonicalizes over.
+pub fn advise_replayed(spec: &TraceSpec, budget: ByteSize) -> ReplayedAdvice {
+    advise_replayed_query(spec, budget, 64, DEFAULT_MIGRATE_PERIOD)
 }
 
 #[cfg(test)]
@@ -298,15 +349,21 @@ mod tests {
         use workloads::tracegen::TraceKind;
         let spec = TraceSpec::from_kind(TraceKind::Stream, 4, 400, 0xAD51);
         let first = advise_replayed(&spec, ByteSize::kib(256));
-        assert_eq!(first.candidates.len(), 4);
+        assert_eq!(first.candidates.len(), 5);
         assert_eq!(first.trace, spec.label());
+        assert_eq!(first.threads, 64);
         assert!(first.candidates[first.best].fits_budget);
         assert!(first.speedup_vs_ddr >= 1.0 - 1e-12);
-        assert!(!first.candidates[3].fits_budget, "all-HBM is the bound");
+        assert!(
+            first.candidates[3].label.starts_with("migrated(T="),
+            "periodic migration must be in the candidate set"
+        );
+        assert!(!first.candidates[4].fits_budget, "all-HBM is the bound");
         // A second query over the same trace reuses the flat artifact
-        // for all three flat placements; only the cache-mode point
-        // rebuilds, because a new budget resizes the memory-side cache
-        // and so changes its classify signature (key invalidation).
+        // for all four flat placements (migration included — placement
+        // never classifies); only the cache-mode point rebuilds,
+        // because a new budget resizes the memory-side cache and so
+        // changes its classify signature (key invalidation).
         let before = knl::with_global_classify_cache(|c| c.stats());
         let second = advise_replayed(&spec, ByteSize::kib(512));
         let after = knl::with_global_classify_cache(|c| c.stats());
@@ -316,7 +373,7 @@ mod tests {
                 1,
                 "only the resized cache-mode artifact may rebuild"
             );
-            assert!(after.hits - before.hits >= 3, "flat placements must hit");
+            assert!(after.hits - before.hits >= 4, "flat placements must hit");
         }
         // Same trace, same DDR baseline either way.
         assert_eq!(

@@ -100,6 +100,45 @@ impl Json {
         out
     }
 
+    /// Serialize on one line with no whitespace — the JSON-lines form
+    /// the advisor service's batch files use (one document per line).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -437,6 +476,18 @@ mod tests {
             ("flag", Json::Bool(true)),
         ]);
         let text = v.to_pretty();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let v = Json::obj([
+            ("name", Json::Str("a\nb".into())),
+            ("vals", Json::Arr(vec![Json::Num(1.5), Json::Null])),
+            ("empty", Json::obj([])),
+        ]);
+        let text = v.to_compact();
+        assert!(!text.contains('\n') && !text.contains(' '), "{text}");
         assert_eq!(parse(&text).unwrap(), v);
     }
 

@@ -21,6 +21,7 @@ pub mod paper;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
+pub mod service;
 pub mod sweep;
 pub mod validate;
 
@@ -43,5 +44,9 @@ pub use profile::{
 };
 pub use report::{render_figure, render_trace_replays, series_csv};
 pub use sensitivity::{all_scans, scan_split_boundary_replayed, SensitivityScan};
+pub use service::{
+    advice_to_json, answer, canonicalize, check_advice, fold_threads, AdviceSummary, AdvisorQuery,
+    AdvisorService, BatchStats, QueryKey, ResultCache,
+};
 pub use sweep::{classified_for, replay_into, replay_point, sweep_reuse_enabled, TraceSpec};
 pub use validate::{validate_all, ShapeCheck};

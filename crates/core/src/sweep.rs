@@ -112,23 +112,25 @@ pub fn sweep_reuse_enabled() -> bool {
 /// The classified artifact for `spec` under `cfg`, through the global
 /// [`ClassifyCache`]: built (streamed, never materializing the raw
 /// trace) on first use, shared by every later sweep point whose key
-/// matches — across experiments, not just within one sweep.
+/// matches — across experiments, not just within one sweep. Builds go
+/// through the in-flight guard
+/// ([`SharedClassifyCache`](knl::SharedClassifyCache)), so concurrent
+/// callers missing on one key — advisor-service workers, say — run
+/// one classification and share its artifact.
 pub fn classified_for(
     spec: &TraceSpec,
     cfg: &MachineConfig,
     msc_capacity: ByteSize,
 ) -> Arc<ClassifiedTrace> {
     let key = spec.key(cfg, msc_capacity);
-    with_global_classify_cache(|cache| {
-        cache.get_or_build(&key, || {
-            classify_streaming(
-                cfg,
-                spec.cores,
-                msc_capacity,
-                spec.label(),
-                spec.source().as_mut(),
-            )
-        })
+    knl::global_classify_cache().get_or_build(&key, || {
+        classify_streaming(
+            cfg,
+            spec.cores,
+            msc_capacity,
+            spec.label(),
+            spec.source().as_mut(),
+        )
     })
 }
 

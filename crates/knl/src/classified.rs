@@ -47,8 +47,8 @@ use cachesim::hierarchy::{Hierarchy, LevelHit};
 use simfabric::par;
 use simfabric::telemetry::MetricsRegistry;
 use simfabric::ByteSize;
-use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Canonical identity of a classified trace: which access stream was
 /// classified (`trace_spec`), over how many simulated cores, through
@@ -338,32 +338,63 @@ impl ClassifyCache {
     /// (evicting LRU entries until the new artifact fits) unless the
     /// cache is disabled or the artifact exceeds the whole budget
     /// (warned once per process).
+    ///
+    /// The build runs with the cache borrowed, so callers sharing one
+    /// cache across threads serialize their builds; use
+    /// [`SharedClassifyCache::get_or_build`] for the concurrent path,
+    /// which builds outside the lock and deduplicates in-flight
+    /// builds of the same key.
     pub fn get_or_build(
         &mut self,
         key: &ClassifyKey,
         build: impl FnOnce() -> ClassifiedTrace,
     ) -> Arc<ClassifiedTrace> {
-        if let Some(pos) = self.lru.iter().position(|e| e.key() == key) {
-            let entry = self.lru.remove(pos).expect("position came from iter");
-            self.lru.push_back(Arc::clone(&entry));
-            self.stats.hits += 1;
+        if let Some(entry) = self.lookup(key) {
             return entry;
         }
-        self.stats.misses += 1;
         let built = Arc::new(build());
         debug_assert_eq!(
             built.key(),
             key,
             "builder produced an artifact under a different key"
         );
+        self.insert_built(Arc::clone(&built));
+        built
+    }
+
+    /// The cached artifact under `key`, moved to the MRU position and
+    /// counted as a hit. `None` counts nothing — the miss is counted
+    /// by [`insert_built`](Self::insert_built) when the build
+    /// completes, so a lookup retried around an in-flight build never
+    /// double-counts.
+    pub fn lookup(&mut self, key: &ClassifyKey) -> Option<Arc<ClassifiedTrace>> {
+        let pos = self.lru.iter().position(|e| e.key() == key)?;
+        let entry = self.lru.remove(pos).expect("position came from iter");
+        self.lru.push_back(Arc::clone(&entry));
+        self.stats.hits += 1;
+        Some(entry)
+    }
+
+    /// Count one shared hit: a concurrent caller that obtained the
+    /// artifact from an in-flight build instead of building its own.
+    pub fn note_shared_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Account a freshly built artifact: counts the miss and retains
+    /// the entry (evicting LRU entries until it fits) unless the
+    /// cache is disabled or the artifact exceeds the whole budget
+    /// (warned once per process).
+    pub fn insert_built(&mut self, built: Arc<ClassifiedTrace>) {
+        self.stats.misses += 1;
         let entry_bytes = built.bytes();
         if self.cap_bytes == 0 {
-            return built;
+            return;
         }
         if let Some(msg) = classify_cache_warning(entry_bytes, self.cap_bytes) {
             simfabric::env::warn_once("tracesim.classify_cache.oversize", &msg);
             self.stats.rejected += 1;
-            return built;
+            return;
         }
         while self.bytes + entry_bytes > self.cap_bytes {
             let evicted = self.lru.pop_front().expect("over budget implies entries");
@@ -373,8 +404,7 @@ impl ClassifyCache {
         self.bytes += entry_bytes;
         self.peak_bytes = self.peak_bytes.max(self.bytes);
         self.stats.inserts += 1;
-        self.lru.push_back(Arc::clone(&built));
-        built
+        self.lru.push_back(built);
     }
 
     /// Retained artifacts.
@@ -443,16 +473,189 @@ pub fn classify_cache_capacity_from_env() -> usize {
     }
 }
 
-/// Run `f` against the process-wide classify cache (created on first
-/// use with [`classify_cache_capacity_from_env`]). Sweep consumers
-/// share artifacts through this instance, so a figure sweep, the
-/// migration T-sweep, and an advisor query over the same trace all hit
-/// the same entries.
+/// State of one in-flight build slot in a [`SharedClassifyCache`].
+#[derive(Debug)]
+enum SlotState {
+    /// The builder is still classifying.
+    Pending,
+    /// The build finished; waiters take the shared artifact.
+    Ready(Arc<ClassifiedTrace>),
+    /// The builder panicked; waiters retry (one of them becomes the
+    /// next builder).
+    Failed,
+}
+
+/// One in-flight build: waiters block on the condvar until the
+/// builder flips the state off `Pending`.
+#[derive(Debug)]
+struct BuildSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl BuildSlot {
+    fn finish(&self, state: SlotState) {
+        *self.state.lock().expect("build slot poisoned") = state;
+        self.ready.notify_all();
+    }
+
+    /// Block until the builder finishes; `None` means it panicked.
+    fn wait(&self) -> Option<Arc<ClassifiedTrace>> {
+        let mut st = self.state.lock().expect("build slot poisoned");
+        loop {
+            match &*st {
+                SlotState::Pending => st = self.ready.wait(st).expect("build slot poisoned"),
+                SlotState::Ready(ct) => return Some(Arc::clone(ct)),
+                SlotState::Failed => return None,
+            }
+        }
+    }
+}
+
+/// Removes the in-flight slot and marks it failed if the builder
+/// unwinds before publishing a result, so waiters retry instead of
+/// hanging on a dead build.
+struct BuildGuard<'a> {
+    shared: &'a SharedClassifyCache,
+    key: &'a ClassifyKey,
+    slot: &'a Arc<BuildSlot>,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared
+                .inflight
+                .lock()
+                .expect("inflight map poisoned")
+                .remove(self.key);
+            self.slot.finish(SlotState::Failed);
+        }
+    }
+}
+
+/// A [`ClassifyCache`] safe for concurrent callers: lookups go
+/// through the cache mutex as before, but builds run *outside* any
+/// lock, guarded by an in-flight map so two threads missing on the
+/// same [`ClassifyKey`] produce one build — the loser blocks until
+/// the winner's artifact is ready and shares it (counted as a hit).
+/// Distinct keys build concurrently; the single-`Mutex` cache only
+/// covers the (cheap) lookup and insert steps.
+#[derive(Debug)]
+pub struct SharedClassifyCache {
+    cache: Mutex<ClassifyCache>,
+    inflight: Mutex<HashMap<ClassifyKey, Arc<BuildSlot>>>,
+}
+
+impl SharedClassifyCache {
+    /// A shared cache with a `cap_bytes` payload budget (0 disables
+    /// retention, exactly as in [`ClassifyCache::new`]).
+    pub fn new(cap_bytes: usize) -> Self {
+        SharedClassifyCache {
+            cache: Mutex::new(ClassifyCache::new(cap_bytes)),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Run `f` against the inner [`ClassifyCache`] (stats snapshots,
+    /// metrics export, direct `get_or_build` for single-threaded
+    /// paths). `f` must not block on another classify build, which
+    /// would deadlock against a builder's insert.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut ClassifyCache) -> R) -> R {
+        f(&mut self.cache.lock().expect("classify cache poisoned"))
+    }
+
+    /// The artifact for `key`: a cache hit, the result of another
+    /// thread's in-flight build (wait-for-result), or a fresh build —
+    /// in which case `build` runs on this thread with no lock held,
+    /// and the result is published to both the cache and any waiters.
+    /// Build-once is guaranteed per key per flight; a panicking
+    /// builder wakes its waiters, one of which rebuilds.
+    pub fn get_or_build(
+        &self,
+        key: &ClassifyKey,
+        build: impl Fn() -> ClassifiedTrace,
+    ) -> Arc<ClassifiedTrace> {
+        loop {
+            if let Some(ct) = self.with_cache(|c| c.lookup(key)) {
+                return ct;
+            }
+            let (slot, is_builder) = {
+                let mut inflight = self.inflight.lock().expect("inflight map poisoned");
+                // Re-check the cache with the in-flight map held: a
+                // builder that finished between the lookup above and
+                // this lock has already removed its slot, and only
+                // the cache remembers its artifact.
+                if let Some(ct) = self.with_cache(|c| c.lookup(key)) {
+                    return ct;
+                }
+                match inflight.get(key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(BuildSlot {
+                            state: Mutex::new(SlotState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        inflight.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if is_builder {
+                let mut guard = BuildGuard {
+                    shared: self,
+                    key,
+                    slot: &slot,
+                    armed: true,
+                };
+                let built = Arc::new(build());
+                debug_assert_eq!(
+                    built.key(),
+                    key,
+                    "builder produced an artifact under a different key"
+                );
+                self.with_cache(|c| c.insert_built(Arc::clone(&built)));
+                self.inflight
+                    .lock()
+                    .expect("inflight map poisoned")
+                    .remove(key);
+                guard.armed = false;
+                slot.finish(SlotState::Ready(Arc::clone(&built)));
+                return built;
+            }
+            match slot.wait() {
+                Some(ct) => {
+                    // Served by another thread's build: a shared hit,
+                    // not a second miss.
+                    self.with_cache(|c| c.note_shared_hit());
+                    return ct;
+                }
+                // The builder panicked; loop and try to take over.
+                None => continue,
+            }
+        }
+    }
+}
+
+/// The process-wide [`SharedClassifyCache`] (created on first use
+/// with [`classify_cache_capacity_from_env`]). Sweep consumers share
+/// artifacts through this instance, so a figure sweep, the migration
+/// T-sweep, and concurrent advisor-service workers over the same
+/// trace all hit the same entries — and two workers missing on one
+/// key build it once.
+pub fn global_classify_cache() -> &'static SharedClassifyCache {
+    static CACHE: OnceLock<SharedClassifyCache> = OnceLock::new();
+    CACHE.get_or_init(|| SharedClassifyCache::new(classify_cache_capacity_from_env()))
+}
+
+/// Run `f` against the process-wide classify cache. Kept for stats
+/// snapshots, metrics export, and single-threaded `get_or_build`
+/// callers; concurrent build paths should use
+/// [`global_classify_cache`]`().get_or_build(..)` instead, which
+/// builds outside the lock.
 pub fn with_global_classify_cache<R>(f: impl FnOnce(&mut ClassifyCache) -> R) -> R {
-    static CACHE: OnceLock<Mutex<ClassifyCache>> = OnceLock::new();
-    let cache =
-        CACHE.get_or_init(|| Mutex::new(ClassifyCache::new(classify_cache_capacity_from_env())));
-    f(&mut cache.lock().expect("classify cache poisoned"))
+    global_classify_cache().with_cache(f)
 }
 
 #[cfg(test)]
@@ -584,6 +787,84 @@ mod tests {
         cache.get_or_build(&key, || tiny_artifact("big", 2, 8));
         assert_eq!(cache.stats().rejected, 1);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_build_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let shared = SharedClassifyCache::new(1 << 20);
+        let key = ClassifyKey::new("inflight:2x8", 2, real_sig());
+        let builds = AtomicUsize::new(0);
+        let callers = 4;
+        let barrier = Barrier::new(callers);
+        let artifacts: Vec<Arc<ClassifiedTrace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|_| {
+                    let (shared, key, builds, barrier) = (&shared, &key, &builds, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        shared.get_or_build(key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the in-flight window so the other
+                            // callers reliably arrive mid-build.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            tiny_artifact("inflight:2x8", 2, 8)
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "concurrent misses on one key must build exactly once"
+        );
+        for ct in &artifacts[1..] {
+            assert!(
+                Arc::ptr_eq(&artifacts[0], ct),
+                "every caller must share the one artifact"
+            );
+        }
+        let stats = shared.with_cache(|c| c.stats());
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(
+            stats.hits,
+            callers as u64 - 1,
+            "waiters count as shared hits"
+        );
+    }
+
+    #[test]
+    fn shared_cache_recovers_from_a_panicking_builder() {
+        let shared = SharedClassifyCache::new(1 << 20);
+        let key = ClassifyKey::new("panic:2x8", 2, real_sig());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.get_or_build(&key, || panic!("builder died"));
+        }));
+        assert!(panicked.is_err());
+        // The failed flight must not wedge the key: the next caller
+        // becomes the builder and succeeds.
+        let ct = shared.get_or_build(&key, || tiny_artifact("panic:2x8", 2, 8));
+        assert_eq!(ct.key(), &key);
+        assert_eq!(shared.with_cache(|c| c.stats()).misses, 1);
+    }
+
+    #[test]
+    fn shared_cache_distinct_keys_build_independently() {
+        let shared = SharedClassifyCache::new(1 << 20);
+        let a = shared.get_or_build(&ClassifyKey::new("sa", 2, real_sig()), || {
+            tiny_artifact("sa", 2, 8)
+        });
+        let b = shared.get_or_build(&ClassifyKey::new("sb", 2, real_sig()), || {
+            tiny_artifact("sb", 2, 8)
+        });
+        assert_ne!(a.key(), b.key());
+        let stats = shared.with_cache(|c| c.stats());
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

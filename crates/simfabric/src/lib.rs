@@ -14,6 +14,8 @@
 //!   Chrome `trace_event` export) in [`telemetry`],
 //! * warn-once parsing for tuning-knob environment variables in
 //!   [`env`],
+//! * a sharded, byte-bounded concurrent LRU ([`ShardedLru`]) in
+//!   [`cache`],
 //! * shared error types ([`SimError`]).
 //!
 //! # Determinism
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod env;
 pub mod error;
 pub mod event;
@@ -54,6 +57,7 @@ pub mod telemetry;
 pub mod time;
 pub mod units;
 
+pub use cache::{ShardedCacheStats, ShardedLru};
 pub use error::SimError;
 pub use event::{EventQueue, Simulator};
 pub use merge::LoserTree;

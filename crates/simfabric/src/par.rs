@@ -395,6 +395,56 @@ impl<J: Clone> Gang<J> {
     }
 }
 
+/// Ordered parallel map over `items` through a bounded worker pool
+/// pulling from a shared index queue. Unlike [`par_map`], which hands
+/// each worker one contiguous range, workers here claim items one at
+/// a time — the right shape when per-item cost varies wildly (a query
+/// engine's cache misses, say) and a contiguous split would leave
+/// most workers idle behind the slowest range. Results come back in
+/// item order regardless of which worker computed what.
+///
+/// `workers` is clamped to `[1, items.len()]`; a single worker (or a
+/// single item) runs inline on the calling thread. Worker threads are
+/// fresh, so thread-local state ([`with_threads`] overrides included)
+/// does not propagate into `f`.
+pub fn par_queued<T: Sync, U: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut labelled: Vec<(usize, U)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    labelled.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(labelled.len(), items.len());
+    labelled.into_iter().map(|(_, u)| u).collect()
+}
+
 /// Parallel sum of `f(i)` for `i in 0..len`.
 pub fn par_sum(len: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
     run_ranges(len, |r| r.map(&f).sum::<f64>())
@@ -668,6 +718,23 @@ mod tests {
             }
             gang.shutdown();
         });
+    }
+
+    #[test]
+    fn par_queued_preserves_order_and_covers_every_item() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let got = par_queued(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(
+                got,
+                (0..257).map(|x| x * x).collect::<Vec<_>>(),
+                "workers {workers}"
+            );
+        }
+        assert!(par_queued(&[] as &[u8], 4, |_, _| 0u8).is_empty());
     }
 
     #[test]

@@ -67,6 +67,24 @@ for _attempt in 1 2 3; do
 done
 [[ "$sweep_ok" == 1 ]]
 
+# Advisor-service gate: the batch query engine (canonicalize + dedup +
+# result cache + worker pool) must beat the naive loop-per-query path
+# by >= 5x on the bundled repeat-heavy smoke batch, and its
+# single-query plumbing (measured against a zero-capacity cache, so no
+# hit can mask it) must stay within 2 %. Both arms are asserted
+# pointwise bit-identical inside the verb, so this can only fail on
+# speed, never by timing a diverged engine. Same three-attempt
+# timer-noise policy as above; a genuine regression (dedup or caching
+# silently disabled) fails all three.
+advisor_ok=0
+for _attempt in 1 2 3; do
+    if "$REPRO" bench-advisor --smoke --iters 4 --min-speedup 5 --tol 0.02; then
+        advisor_ok=1
+        break
+    fi
+done
+[[ "$advisor_ok" == 1 ]]
+
 # Migration-off cost gate: carrying the (disabled) migration scheduler
 # hook in the replay hot path must cost nothing — a `Migrated` spec
 # with period 0 builds no scheduler and must replay bit-identically to

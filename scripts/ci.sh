@@ -54,6 +54,14 @@ target/release/repro profile stream_8x2000 \
 target/release/repro profile-check target/profile_smoke.jsonl \
     --metrics target/metrics_smoke.json
 
+# Advisor-service smoke: answer the bundled query batch twice through
+# one service — the verb asserts the rounds bit-identical and exits
+# nonzero if the warm round served no cache hits — and write the
+# advice documents (each validated against advisor_advice/v1) under
+# target/.
+target/release/repro advise-batch --bundled smoke --rounds 2 \
+    --out target/advise_smoke.jsonl
+
 cargo fmt --check
 
 echo "ci: ok"

@@ -18,18 +18,55 @@
 //!                        # path's throughput (default
 //!                        # stream_64x50000 at 5%); exit 1 on failure
 //! repro profile [config] [--out PATH] [--metrics PATH]
+//!               [--timeseries PATH]
 //!                        # streaming replay with telemetry on; write a
 //!                        # Chrome trace_event JSONL (about:tracing /
-//!                        # Perfetto) and optionally the metrics JSON.
+//!                        # Perfetto) and optionally the metrics JSON
+//!                        # and the in-replay timeseries/v1 JSONL.
 //!                        # config is a bench label, default
 //!                        # stream_64x50000
-//! repro profile-check <trace.jsonl> [--metrics PATH]
+//! repro profile-check <trace.jsonl> [--metrics PATH] [--timeseries PATH]
 //!                        # validate a profile: JSONL parses, spans are
 //!                        # monotonic and cover every replay phase, and
-//!                        # at least 5 device metric series are present
+//!                        # at least 5 device metric series are present;
+//!                        # --timeseries additionally validates a
+//!                        # timeseries/v1 document (rejects malformed
+//!                        # or empty window arrays)
+//! repro report <trace.jsonl> [--timeseries PATH]
+//!                        # text dashboard from a profile: per-phase
+//!                        # span table, top-k stalls, final counters,
+//!                        # and (with --timeseries) one sparkline
+//!                        # timeline per sampled series
+//! repro serve [--threads N] [--flush-every N] [--interval N]
+//!             [--timeseries PATH] [--full]
+//!                        # long-running advisor service: JSON-lines
+//!                        # queries on stdin, one response per query on
+//!                        # stdout with a causal id and a per-query
+//!                        # span, periodic cache flush events, and a
+//!                        # drain event at EOF; --timeseries writes the
+//!                        # deterministic per-query sampler's export
+//! repro serve-check <transcript.jsonl> [--queries N] [--timeseries PATH]
+//!                        # validate a serve transcript: causal ids,
+//!                        # one span per response, drain totals; and
+//!                        # optionally the timeseries export
+//! repro queries [--bundled smoke|full] [--out PATH]
+//!                        # emit the bundled advisor query batch as
+//!                        # JSON lines (the serve/advise-batch input
+//!                        # format)
+//! repro bench-history <report.json> [--append] [--check] [--tol F]
+//!                        # regression sentinel over the report's
+//!                        # history section: latest entry vs trailing
+//!                        # median per tracked metric, exit 1 on a
+//!                        # >F regression (default 10%); --append adds
+//!                        # an entry derived from the report's own
+//!                        # numbers and writes the file back
 //! repro bench-overhead [--config LABEL] [--iters N] [--tol F]
 //!                        # assert the telemetry-off vs -on streaming
 //!                        # wall-time ratio stays within tolerance
+//! repro sampling-overhead [--config LABEL] [--iters N] [--tol F]
+//!                        # assert the timeseries-sampling-off vs -on
+//!                        # streaming wall-time ratio stays within
+//!                        # tolerance (replay bit-identity asserted)
 //! repro migrate [--golden]
 //!                        # run the Cori-style migration T-sweep
 //!                        # (statics vs migrated, crossover verdict)
@@ -85,7 +122,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 /// Positional arguments after the subcommand; flags taking a value
 /// consume the following argument.
 fn positionals(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 16] = [
         "--out",
         "--metrics",
         "--config",
@@ -98,6 +135,10 @@ fn positionals(args: &[String]) -> Vec<&str> {
         "--period",
         "--rounds",
         "--bundled",
+        "--timeseries",
+        "--flush-every",
+        "--interval",
+        "--queries",
     ];
     let mut out = Vec::new();
     let mut iter = args.iter().skip(1);
@@ -205,6 +246,8 @@ fn main() {
             let trace =
                 hybridmem::check_chrome_trace(&run.chrome_jsonl).expect("fresh profile validates");
             hybridmem::check_metrics(&run.metrics).expect("fresh metrics dump validates");
+            let ts = hybridmem::check_timeseries(&run.timeseries_jsonl)
+                .expect("fresh timeseries validates");
             std::fs::write(&out, &run.chrome_jsonl).expect("write profile");
             println!(
                 "{label}: {} accesses in {:.3} s ({:.2} Macc/s with telemetry on)",
@@ -221,6 +264,15 @@ fn main() {
             if let Some(path) = flag_value(&args, "--metrics") {
                 std::fs::write(path, run.metrics.to_pretty()).expect("write metrics");
                 println!("wrote {path}");
+            }
+            if let Some(path) = flag_value(&args, "--timeseries") {
+                std::fs::write(path, &run.timeseries_jsonl).expect("write timeseries");
+                println!(
+                    "wrote {path} ({} series x {} windows, {} accesses/window)",
+                    ts.series.len(),
+                    ts.windows,
+                    ts.interval
+                );
             }
         }
         "profile-check" => {
@@ -273,6 +325,23 @@ fn main() {
                     ),
                     Err(e) => {
                         eprintln!("{mpath}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if let Some(tpath) = flag_value(&args, "--timeseries") {
+                let ttext = std::fs::read_to_string(tpath).expect("read timeseries");
+                match hybridmem::check_timeseries(&ttext) {
+                    Ok(s) => println!(
+                        "{tpath}: ok ({} series [{}], {} windows, {} ticks, {} dropped)",
+                        s.series.len(),
+                        s.series.join(", "),
+                        s.windows,
+                        s.ticks,
+                        s.dropped
+                    ),
+                    Err(e) => {
+                        eprintln!("{tpath}: {e}");
                         std::process::exit(1);
                     }
                 }
@@ -381,6 +450,18 @@ fn main() {
             };
             let report =
                 bench::advisor::bench_report_with_service(&configs, &sweep_cfg, &advisor_cfg, 3);
+            // Carry the previous report's history forward and append
+            // this run, so the file at --out remembers how fast it
+            // used to be (repro bench-history gates on it).
+            let prior = std::fs::read_to_string(out)
+                .ok()
+                .and_then(|t| hybridmem::json::parse(&t).ok());
+            let report = bench::history::with_appended_run(
+                &report,
+                prior.as_ref(),
+                bench::history::unix_now_s(),
+            )
+            .expect("fresh report yields a history entry");
             bench::replay::check_report(&report).expect("fresh bench report validates");
             std::fs::write(out, report.to_pretty()).expect("write bench report");
             if let Some(path) = flag_value(&args, "--metrics") {
@@ -413,6 +494,15 @@ fn main() {
                 advisor.num_field("queries").unwrap(),
                 advisor.num_field("distinct").unwrap(),
                 advisor.num_field("warm_hit_rate").unwrap()
+            );
+            println!(
+                "history: {} entr{}",
+                bench::history::entries(&report).len(),
+                if bench::history::entries(&report).len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
             );
             println!(
                 "wrote {out} ({} worker thread(s))",
@@ -865,6 +955,231 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "report" => {
+            // repro report <trace.jsonl> [--timeseries PATH]
+            let path = positionals(&args)
+                .first()
+                .copied()
+                .unwrap_or_else(|| {
+                    eprintln!("usage: repro report <trace.jsonl> [--timeseries PATH]");
+                    std::process::exit(2);
+                })
+                .to_string();
+            let trace_text = std::fs::read_to_string(&path).expect("read profile");
+            let ts_text = flag_value(&args, "--timeseries")
+                .map(|p| std::fs::read_to_string(p).expect("read timeseries"));
+            match hybridmem::render_report(&trace_text, ts_text.as_deref()) {
+                Ok(rendered) => print!("{rendered}"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "serve" => {
+            // repro serve [--threads N] [--flush-every N] [--interval N]
+            //             [--timeseries PATH] [--full]
+            let mut opts = bench::serve::ServeOptions::default();
+            if let Some(t) = flag_value(&args, "--threads").and_then(|a| a.parse().ok()) {
+                opts.workers = t;
+            }
+            if let Some(f) = flag_value(&args, "--flush-every").and_then(|a| a.parse().ok()) {
+                opts.flush_every = f;
+            }
+            if let Some(i) = flag_value(&args, "--interval").and_then(|a| a.parse().ok()) {
+                opts.ts_interval = i;
+            }
+            opts.full_advice = args.iter().any(|a| a == "--full");
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let summary = bench::serve::serve_loop(stdin.lock(), stdout.lock(), &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("serve: {e}");
+                    std::process::exit(1);
+                });
+            // The transcript owns stdout; the human-facing summary
+            // goes to stderr.
+            eprintln!(
+                "served {} queries ({} cache hits, {} computed, {} errors) with {} worker(s)",
+                summary.queries, summary.hits, summary.computed, summary.errors, opts.workers
+            );
+            if let Some(path) = flag_value(&args, "--timeseries") {
+                let ts = hybridmem::check_timeseries(&summary.timeseries_jsonl)
+                    .expect("fresh serve timeseries validates");
+                std::fs::write(path, &summary.timeseries_jsonl).expect("write timeseries");
+                eprintln!(
+                    "wrote {path} ({} series x {} windows, {} queries/window)",
+                    ts.series.len(),
+                    ts.windows,
+                    ts.interval
+                );
+            }
+        }
+        "serve-check" => {
+            // repro serve-check <transcript.jsonl> [--queries N] [--timeseries PATH]
+            let path = positionals(&args)
+                .first()
+                .copied()
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "usage: repro serve-check <transcript.jsonl> [--queries N] [--timeseries PATH]"
+                    );
+                    std::process::exit(2);
+                })
+                .to_string();
+            let text = std::fs::read_to_string(&path).expect("read transcript");
+            let expect = flag_value(&args, "--queries").and_then(|a| a.parse().ok());
+            match bench::serve::check_serve_output(&text, expect) {
+                Ok(c) => println!(
+                    "{path}: ok ({} responses, {} cache hits, {} errors, {} flush events)",
+                    c.responses, c.hits, c.errors, c.flushes
+                ),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Some(tpath) = flag_value(&args, "--timeseries") {
+                let ttext = std::fs::read_to_string(tpath).expect("read timeseries");
+                match hybridmem::check_timeseries(&ttext) {
+                    Ok(s) => println!(
+                        "{tpath}: ok ({} series, {} windows, {} ticks)",
+                        s.series.len(),
+                        s.windows,
+                        s.ticks
+                    ),
+                    Err(e) => {
+                        eprintln!("{tpath}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "queries" => {
+            // repro queries [--bundled smoke|full] [--out PATH]
+            let cfg = match flag_value(&args, "--bundled").unwrap_or("full") {
+                "smoke" => bench::advisor::smoke_advisor_config(),
+                "full" => bench::advisor::standard_advisor_config(),
+                other => {
+                    eprintln!("unknown bundled batch {other:?} (want smoke or full)");
+                    std::process::exit(2);
+                }
+            };
+            let lines: Vec<String> = cfg
+                .batch()
+                .iter()
+                .map(|q| q.to_json().to_compact())
+                .collect();
+            match flag_value(&args, "--out") {
+                Some(out) => {
+                    std::fs::write(out, lines.join("\n") + "\n").expect("write queries");
+                    println!("wrote {out} ({} queries)", lines.len());
+                }
+                None => {
+                    for line in &lines {
+                        println!("{line}");
+                    }
+                }
+            }
+        }
+        "bench-history" => {
+            // repro bench-history <report.json> [--append] [--check] [--tol F]
+            let path = positionals(&args)
+                .first()
+                .copied()
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "usage: repro bench-history <report.json> [--append] [--check] [--tol F]"
+                    );
+                    std::process::exit(2);
+                })
+                .to_string();
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(bench::history::DEFAULT_TOLERANCE);
+            let text = std::fs::read_to_string(&path).expect("read bench report");
+            let mut report = hybridmem::json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: invalid JSON: {e}");
+                std::process::exit(1);
+            });
+            if args.iter().any(|a| a == "--append") {
+                report = bench::history::with_appended_run(
+                    &report,
+                    Some(&report),
+                    bench::history::unix_now_s(),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                });
+                std::fs::write(&path, report.to_pretty()).expect("write bench report");
+                println!(
+                    "{path}: appended entry {} (host {}, rev {})",
+                    bench::history::entries(&report).len(),
+                    bench::history::host_fingerprint(),
+                    bench::history::git_rev()
+                );
+            }
+            let verdict = bench::history::sentinel(&report, tol).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+            print!("{}", verdict.render());
+            let regressions = verdict.regressions();
+            if !regressions.is_empty() {
+                for r in &regressions {
+                    eprintln!(
+                        "{}: latest {:.3} is {:.1}% below the trailing median {:.3} (tolerance {:.0}%)",
+                        r.metric,
+                        r.latest,
+                        (1.0 - r.latest / r.median) * 100.0,
+                        r.median,
+                        tol * 100.0
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        "sampling-overhead" => {
+            // repro sampling-overhead [--config LABEL] [--iters N] [--tol F]
+            let label = flag_value(&args, "--config").unwrap_or("stream_64x50000");
+            let cfg = bench::replay::ReplayConfig::parse_label(label).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3);
+            let tol: f64 = flag_value(&args, "--tol")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0.02);
+            let m = bench::replay::measure_sampling_overhead(&cfg, iters);
+            // Same two-estimator gate as bench-overhead: a genuine
+            // per-access sampling cost inflates both the median pair
+            // ratio and the best-times ratio; take the smaller.
+            let best_ratio = if m.off_secs > 0.0 {
+                m.on_secs / m.off_secs
+            } else {
+                1.0
+            };
+            let ratio = m.ratio().min(best_ratio);
+            println!(
+                "{label}: sampling off {:.4} s, on {:.4} s over {iters} pairs -> median pair ratio {:.4}, best ratio {:.4} (tolerance {:.2}%)",
+                m.off_secs,
+                m.on_secs,
+                m.ratio(),
+                best_ratio,
+                tol * 100.0
+            );
+            if ratio > 1.0 + tol {
+                eprintln!(
+                    "sampling overhead {:.2}% exceeds {:.2}%",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         "decompose" => {
             // repro decompose <GB> [sequential|random] [max_nodes]
             let gb: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(140.0);
@@ -890,7 +1205,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, sweep-reuse, bench-sweep, advise, advise-batch, bench-advisor, profile, profile-check, bench-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
+                    "unknown target {id:?}; try: all, validate, latency, trace, compare, sensitivity, export, diff, decompose, migrate, migrate-overhead, bench-replay, bench-check, bench-history, sweep-reuse, bench-sweep, advise, advise-batch, bench-advisor, serve, serve-check, queries, profile, profile-check, report, bench-overhead, sampling-overhead, table1, table2, fig2, fig3, fig4a-e, fig5, fig6a-d, ext-hybrid, ext-interleave, ext-energy, ext-migrate"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,518 @@
+//! Bench history and the regression sentinel behind
+//! `repro bench-history`.
+//!
+//! A `bench_trace_replay/v1` report records one run. This module
+//! grows it a `history` section — a bounded, append-only log of past
+//! runs, each entry carrying a host fingerprint, the git revision,
+//! the worker-thread count, and the tracked throughput metrics — so
+//! the report file itself remembers how fast it used to be. The
+//! **sentinel** compares the newest entry against the trailing median
+//! of the older ones and fails (CI-fatally) when any tracked metric
+//! regressed by more than the tolerance, while staying quiet on the
+//! noisy single-run jitter a mean-of-two would amplify.
+//!
+//! Tracked metrics: every config's streaming throughput
+//! (`{label}.streaming_macc_per_s` — the paper-facing replay rate),
+//! the sweep engine's classify-once speedup (`sweep_reuse.speedup`),
+//! and the advisor batch engine's speedup (`advisor.speedup`).
+
+use hybridmem::json::Json;
+use std::collections::BTreeMap;
+use std::process::Command;
+
+/// Entries the history section retains; the oldest fall off first.
+pub const HISTORY_CAP: usize = 50;
+
+/// Default regression tolerance: latest below `(1 - 0.10) ×` the
+/// trailing median fails the sentinel.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// `os-arch-Ncpu`, e.g. `linux-x86_64-64cpu` — coarse on purpose: it
+/// flags "this history mixes machines" without trying to fingerprint
+/// hardware the container hides anyway.
+pub fn host_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{}-{}-{}cpu",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cpus
+    )
+}
+
+/// The short git revision of the working tree, or `"unknown"` when
+/// git (or the repo) is unavailable — history stays appendable from
+/// an exported tarball.
+pub fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Pull the tracked metrics out of a `bench_trace_replay/v1` report:
+/// each config's streaming Macc/s plus the two engine speedups (the
+/// sweep/advisor sections are required by
+/// [`crate::replay::check_report`], so a report missing them is an
+/// error here too).
+pub fn tracked_metrics(report: &Json) -> Result<BTreeMap<String, f64>, String> {
+    let mut metrics = BTreeMap::new();
+    for cfg in report.arr_field("configs")? {
+        let label = cfg.str_field("label")?;
+        let streaming = cfg
+            .arr_field("paths")?
+            .iter()
+            .find(|p| p.get("path").and_then(Json::as_str) == Some("streaming"))
+            .ok_or_else(|| format!("{label}: no streaming path to track"))?
+            .num_field("macc_per_s")?;
+        metrics.insert(format!("{label}.streaming_macc_per_s"), streaming);
+    }
+    let sweep = report
+        .get("sweep_reuse")
+        .ok_or("missing sweep_reuse section")?;
+    metrics.insert(
+        "sweep_reuse.speedup".to_string(),
+        sweep.num_field("speedup_reuse_vs_regen")?,
+    );
+    let advisor = report
+        .get("advisor_service")
+        .ok_or("missing advisor_service section")?;
+    metrics.insert(
+        "advisor.speedup".to_string(),
+        advisor.num_field("speedup_engine_vs_naive")?,
+    );
+    Ok(metrics)
+}
+
+/// Build one history entry from a report's own numbers, stamped with
+/// the caller's clock (seconds since the Unix epoch).
+pub fn entry_from_report(report: &Json, timestamp_s: u64) -> Result<Json, String> {
+    let metrics = tracked_metrics(report)?;
+    Ok(Json::obj([
+        ("timestamp_s", Json::Num(timestamp_s as f64)),
+        ("host", Json::Str(host_fingerprint())),
+        ("git_rev", Json::Str(git_rev())),
+        (
+            "worker_threads",
+            Json::Num(report.num_field("worker_threads")?),
+        ),
+        (
+            "metrics",
+            Json::Obj(
+                metrics
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it, which
+/// only a broken container clock produces).
+pub fn unix_now_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Grow a freshly generated report a history section: carry forward
+/// the entries of `prior` (typically the previous report at the same
+/// output path), then append an entry derived from `report`'s own
+/// numbers. The cap applies after the append.
+pub fn with_appended_run(
+    report: &Json,
+    prior: Option<&Json>,
+    timestamp_s: u64,
+) -> Result<Json, String> {
+    let entry = entry_from_report(report, timestamp_s)?;
+    let mut base = report.clone();
+    if let Some(p) = prior {
+        let carried = entries(p);
+        if !carried.is_empty() {
+            if let Json::Obj(map) = &mut base {
+                map.insert(
+                    "history".to_string(),
+                    Json::obj([
+                        ("cap", Json::Num(HISTORY_CAP as f64)),
+                        ("entries", Json::Arr(carried)),
+                    ]),
+                );
+            }
+        }
+    }
+    Ok(append_entry(&base, entry))
+}
+
+/// The history entries carried by a report (empty when the section is
+/// absent — a pre-history report is a valid zero-entry history).
+pub fn entries(report: &Json) -> Vec<Json> {
+    report
+        .get("history")
+        .and_then(|h| h.get("entries"))
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default()
+}
+
+/// Append `entry` to `report`'s history section, carrying forward the
+/// existing entries and dropping the oldest past [`HISTORY_CAP`].
+/// Returns the report with the updated section.
+pub fn append_entry(report: &Json, entry: Json) -> Json {
+    let mut all = entries(report);
+    all.push(entry);
+    let drop = all.len().saturating_sub(HISTORY_CAP);
+    let kept: Vec<Json> = all.into_iter().skip(drop).collect();
+    let section = Json::obj([
+        ("cap", Json::Num(HISTORY_CAP as f64)),
+        ("entries", Json::Arr(kept)),
+    ]);
+    match report {
+        Json::Obj(map) => {
+            let mut map = map.clone();
+            map.insert("history".to_string(), section);
+            Json::Obj(map)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Validate a report's history section, if present: a bounded entry
+/// list, every entry carrying timestamp, host, git revision, worker
+/// count and a non-empty metrics object of positive finite numbers.
+/// Returns the entry count (0 when the section is absent).
+pub fn check_history_section(report: &Json) -> Result<usize, String> {
+    let Some(section) = report.get("history") else {
+        return Ok(0);
+    };
+    let list = section.arr_field("entries")?;
+    if list.len() > HISTORY_CAP {
+        return Err(format!(
+            "{} history entries exceed the cap of {HISTORY_CAP}",
+            list.len()
+        ));
+    }
+    for (i, entry) in list.iter().enumerate() {
+        let at = |e: String| format!("history entry {i}: {e}");
+        entry.num_field("timestamp_s").map_err(&at)?;
+        entry.str_field("host").map_err(&at)?;
+        entry.str_field("git_rev").map_err(&at)?;
+        entry.num_field("worker_threads").map_err(&at)?;
+        let metrics = entry
+            .get("metrics")
+            .ok_or_else(|| format!("history entry {i}: missing metrics object"))?;
+        let Json::Obj(map) = metrics else {
+            return Err(format!("history entry {i}: metrics is not an object"));
+        };
+        if map.is_empty() {
+            return Err(format!("history entry {i}: empty metrics object"));
+        }
+        for (name, v) in map {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("history entry {i}: non-numeric metric {name:?}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("history entry {i}: metric {name:?} is {v}"));
+            }
+        }
+    }
+    Ok(list.len())
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    let n = values.len();
+    if n.is_multiple_of(2) {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    } else {
+        values[n / 2]
+    }
+}
+
+/// One metric's sentinel comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelRow {
+    /// Metric name.
+    pub metric: String,
+    /// The newest entry's value.
+    pub latest: f64,
+    /// Trailing median over the older entries that carry the metric.
+    pub median: f64,
+    /// Whether `latest < median × (1 - tolerance)`.
+    pub regressed: bool,
+}
+
+/// What the sentinel concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelVerdict {
+    /// Entries inspected.
+    pub entries: usize,
+    /// Per-metric comparisons (empty below two entries).
+    pub rows: Vec<SentinelRow>,
+}
+
+impl SentinelVerdict {
+    /// Metrics that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&SentinelRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Human-readable table of the comparisons.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return format!(
+                "bench-history sentinel: {} entr{} — nothing to compare yet\n",
+                self.entries,
+                if self.entries == 1 { "y" } else { "ies" }
+            );
+        }
+        let mut out = format!(
+            "bench-history sentinel over {} entries (latest vs trailing median):\n",
+            self.entries
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<40} latest {:>10.3}  median {:>10.3}  {}\n",
+                r.metric,
+                r.latest,
+                r.median,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compare the newest history entry against the trailing median of
+/// the older ones, metric by metric. Below two entries there is
+/// nothing to compare and the verdict is trivially clean; a metric
+/// the older entries never recorded is skipped (histories may grow
+/// configs over time). `tolerance` is the allowed fractional drop.
+pub fn sentinel(report: &Json, tolerance: f64) -> Result<SentinelVerdict, String> {
+    check_history_section(report)?;
+    let all = entries(report);
+    let Some((latest, prior)) = all.split_last() else {
+        return Ok(SentinelVerdict {
+            entries: 0,
+            rows: Vec::new(),
+        });
+    };
+    if prior.is_empty() {
+        return Ok(SentinelVerdict {
+            entries: 1,
+            rows: Vec::new(),
+        });
+    }
+    let latest_metrics = latest
+        .get("metrics")
+        .ok_or("latest entry lost its metrics")?;
+    let Json::Obj(latest_map) = latest_metrics else {
+        return Err("latest entry's metrics is not an object".to_string());
+    };
+    let mut rows = Vec::new();
+    for (name, v) in latest_map {
+        let latest_v = v.as_f64().ok_or_else(|| format!("non-numeric {name:?}"))?;
+        let trailing: Vec<f64> = prior
+            .iter()
+            .filter_map(|e| e.get("metrics")?.get(name)?.as_f64())
+            .collect();
+        if trailing.is_empty() {
+            continue;
+        }
+        let med = median(trailing);
+        rows.push(SentinelRow {
+            metric: name.clone(),
+            latest: latest_v,
+            median: med,
+            regressed: latest_v < med * (1.0 - tolerance),
+        });
+    }
+    Ok(SentinelVerdict {
+        entries: all.len(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ts: u64, stream: f64, sweep: f64) -> Json {
+        Json::obj([
+            ("timestamp_s", Json::Num(ts as f64)),
+            ("host", Json::Str("test-host-8cpu".into())),
+            ("git_rev", Json::Str("abc1234".into())),
+            ("worker_threads", Json::Num(8.0)),
+            (
+                "metrics",
+                Json::obj([
+                    ("stream_8x2000.streaming_macc_per_s", Json::Num(stream)),
+                    ("sweep_reuse.speedup", Json::Num(sweep)),
+                ]),
+            ),
+        ])
+    }
+
+    fn report_with(entries: Vec<Json>) -> Json {
+        Json::obj([
+            ("schema", Json::Str("bench_trace_replay/v1".into())),
+            (
+                "history",
+                Json::obj([
+                    ("cap", Json::Num(HISTORY_CAP as f64)),
+                    ("entries", Json::Arr(entries)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn append_carries_forward_and_caps() {
+        let mut report = Json::obj([("schema", Json::Str("bench_trace_replay/v1".into()))]);
+        for i in 0..(HISTORY_CAP + 5) {
+            report = append_entry(&report, entry(i as u64, 10.0, 5.0));
+        }
+        let kept = entries(&report);
+        assert_eq!(kept.len(), HISTORY_CAP);
+        // The oldest five fell off; timestamps start at 5.
+        assert_eq!(kept[0].num_field("timestamp_s").unwrap(), 5.0);
+        assert_eq!(check_history_section(&report).unwrap(), HISTORY_CAP);
+    }
+
+    #[test]
+    fn sentinel_passes_below_two_entries_and_on_steady_metrics() {
+        let empty = Json::obj([("schema", Json::Str("bench_trace_replay/v1".into()))]);
+        assert!(sentinel(&empty, DEFAULT_TOLERANCE).unwrap().rows.is_empty());
+        let one = report_with(vec![entry(1, 10.0, 5.0)]);
+        assert!(sentinel(&one, DEFAULT_TOLERANCE).unwrap().rows.is_empty());
+        // Jitter within tolerance: median of {10, 11, 9} = 10; latest
+        // 9.2 > 10 × 0.9.
+        let steady = report_with(vec![
+            entry(1, 10.0, 5.0),
+            entry(2, 11.0, 5.2),
+            entry(3, 9.0, 4.9),
+            entry(4, 9.2, 5.1),
+        ]);
+        let verdict = sentinel(&steady, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(verdict.entries, 4);
+        assert!(verdict.regressions().is_empty(), "{}", verdict.render());
+    }
+
+    #[test]
+    fn sentinel_flags_a_real_regression() {
+        let regressed = report_with(vec![
+            entry(1, 10.0, 5.0),
+            entry(2, 10.4, 5.1),
+            entry(3, 9.8, 5.0),
+            entry(4, 8.0, 5.0), // 8.0 < 10.0 × 0.9
+        ]);
+        let verdict = sentinel(&regressed, DEFAULT_TOLERANCE).unwrap();
+        let bad = verdict.regressions();
+        assert_eq!(bad.len(), 1, "{}", verdict.render());
+        assert_eq!(bad[0].metric, "stream_8x2000.streaming_macc_per_s");
+        assert_eq!(bad[0].median, 10.0, "median of {{10.0, 10.4, 9.8}}");
+        // A looser tolerance clears it.
+        assert!(sentinel(&regressed, 0.25).unwrap().regressions().is_empty());
+    }
+
+    #[test]
+    fn sentinel_skips_metrics_the_history_never_saw() {
+        let mut newer = entry(2, 10.0, 5.0);
+        if let Json::Obj(map) = &mut newer {
+            if let Some(Json::Obj(metrics)) = map.get_mut("metrics") {
+                metrics.insert("brand_new.metric".into(), Json::Num(1.0));
+            }
+        }
+        let report = report_with(vec![entry(1, 10.0, 5.0), newer]);
+        let verdict = sentinel(&report, DEFAULT_TOLERANCE).unwrap();
+        assert!(verdict.rows.iter().all(|r| r.metric != "brand_new.metric"));
+        assert_eq!(verdict.rows.len(), 2);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_sections() {
+        let no_metrics = report_with(vec![Json::obj([
+            ("timestamp_s", Json::Num(1.0)),
+            ("host", Json::Str("h".into())),
+            ("git_rev", Json::Str("r".into())),
+            ("worker_threads", Json::Num(1.0)),
+        ])]);
+        assert!(check_history_section(&no_metrics)
+            .unwrap_err()
+            .contains("missing metrics"));
+        let bad_value = report_with(vec![entry(1, -3.0, 5.0)]);
+        assert!(check_history_section(&bad_value)
+            .unwrap_err()
+            .contains("-3"));
+        let over_cap = report_with(
+            (0..HISTORY_CAP + 1)
+                .map(|i| entry(i as u64, 1.0, 1.0))
+                .collect(),
+        );
+        assert!(check_history_section(&over_cap)
+            .unwrap_err()
+            .contains("cap"));
+    }
+
+    fn mini_report() -> Json {
+        Json::obj([
+            ("schema", Json::Str("bench_trace_replay/v1".into())),
+            ("worker_threads", Json::Num(2.0)),
+            (
+                "configs",
+                Json::Arr(vec![Json::obj([
+                    ("label", Json::Str("stream_8x2000".into())),
+                    (
+                        "paths",
+                        Json::Arr(vec![Json::obj([
+                            ("path", Json::Str("streaming".into())),
+                            ("macc_per_s", Json::Num(12.5)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+            (
+                "sweep_reuse",
+                Json::obj([("speedup_reuse_vs_regen", Json::Num(3.0))]),
+            ),
+            (
+                "advisor_service",
+                Json::obj([("speedup_engine_vs_naive", Json::Num(6.0))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn appended_run_tracks_the_reports_own_numbers() {
+        let fresh = with_appended_run(&mini_report(), None, 100).unwrap();
+        assert_eq!(check_history_section(&fresh).unwrap(), 1);
+        let metrics = tracked_metrics(&mini_report()).unwrap();
+        assert_eq!(metrics["stream_8x2000.streaming_macc_per_s"], 12.5);
+        assert_eq!(metrics["sweep_reuse.speedup"], 3.0);
+        assert_eq!(metrics["advisor.speedup"], 6.0);
+        // A regenerated report carries the prior file's entries
+        // forward before appending its own.
+        let second = with_appended_run(&mini_report(), Some(&fresh), 200).unwrap();
+        let kept = entries(&second);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].num_field("timestamp_s").unwrap(), 100.0);
+        assert_eq!(kept[1].num_field("timestamp_s").unwrap(), 200.0);
+        let verdict = sentinel(&second, DEFAULT_TOLERANCE).unwrap();
+        assert!(verdict.regressions().is_empty(), "{}", verdict.render());
+    }
+
+    #[test]
+    fn fingerprint_and_rev_are_nonempty() {
+        let host = host_fingerprint();
+        assert!(host.contains("cpu"), "{host}");
+        assert!(!git_rev().is_empty());
+    }
+}

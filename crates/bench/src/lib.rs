@@ -6,7 +6,9 @@
 
 pub mod advisor;
 pub mod harness;
+pub mod history;
 pub mod replay;
+pub mod serve;
 pub mod sweep;
 
 /// Define a bench group function that runs each target against a

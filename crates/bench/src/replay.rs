@@ -328,7 +328,11 @@ pub fn check_report(report: &Json) -> Result<(), String> {
     let advisor = report
         .get("advisor_service")
         .ok_or("missing advisor_service section (regenerate with repro bench-replay)")?;
-    crate::advisor::check_advisor_section(advisor)
+    crate::advisor::check_advisor_section(advisor)?;
+    // The history section is optional (fresh reports have none), but
+    // when present it must be well-formed.
+    crate::history::check_history_section(report)?;
+    Ok(())
 }
 
 /// Compare the parallel and streaming throughput of a measurement:
@@ -386,7 +390,21 @@ pub struct ProfileRun {
     pub chrome_jsonl: String,
     /// The registry as a `telemetry_metrics/v1` document.
     pub metrics: Json,
+    /// The in-replay sampler's `timeseries/v1` JSONL export.
+    pub timeseries_jsonl: String,
 }
+
+/// The sampling interval [`profile_config`] uses for `cfg`: about 64
+/// windows over the whole trace, floored so tiny smoke configs still
+/// sample. Derived from the config alone, so the export is
+/// reproducible from the label.
+pub fn profile_timeseries_interval(cfg: &ReplayConfig) -> u64 {
+    (cfg.cores as u64 * cfg.accesses_per_core / 64).max(1)
+}
+
+/// Windows the profile sampler retains (more than
+/// [`profile_timeseries_interval`] produces, so profiles never drop).
+pub const PROFILE_TIMESERIES_CAPACITY: usize = 128;
 
 /// Profile one configuration's streaming replay with telemetry on,
 /// producing both exporter outputs. Telemetry never changes replay
@@ -395,6 +413,10 @@ pub struct ProfileRun {
 pub fn profile_config(cfg: &ReplayConfig) -> ProfileRun {
     let mut sim = cfg.sim();
     sim.enable_telemetry();
+    sim.enable_timeseries(
+        profile_timeseries_interval(cfg),
+        PROFILE_TIMESERIES_CAPACITY,
+    );
     let mut source = cfg
         .kind
         .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
@@ -406,11 +428,13 @@ pub fn profile_config(cfg: &ReplayConfig) -> ProfileRun {
         sim.telemetry_spans().expect("telemetry enabled"),
         &registry,
     );
+    let timeseries_jsonl = sim.timeseries().expect("timeseries enabled").to_jsonl();
     ProfileRun {
         accesses: report.accesses,
         seconds,
         chrome_jsonl,
         metrics: hybridmem::metrics_to_json(&registry),
+        timeseries_jsonl,
     }
 }
 
@@ -567,6 +591,55 @@ pub fn measure_migration_overhead(cfg: &ReplayConfig, iters: usize) -> OverheadM
     }
 }
 
+/// Measure what the time-series sampler costs a streaming replay:
+/// `iters` back-to-back sampling-off/sampling-on pairs (order
+/// alternating, per-pair ratios, exactly the
+/// [`measure_overhead`] protocol), additionally asserting the two
+/// runs of every pair produce bit-identical replay reports — sampling
+/// is observation, never simulation.
+pub fn measure_sampling_overhead(cfg: &ReplayConfig, iters: usize) -> OverheadMeasurement {
+    let interval = profile_timeseries_interval(cfg);
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    for i in 0..iters.max(1) {
+        let mut pair = [0.0f64; 2];
+        let mut reports = [None, None];
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for sampling in order {
+            let mut sim = cfg.sim();
+            if sampling {
+                sim.enable_timeseries(interval, PROFILE_TIMESERIES_CAPACITY);
+            }
+            let mut source = cfg
+                .kind
+                .source(cfg.cores, cfg.accesses_per_core, BENCH_SEED);
+            let t0 = Instant::now();
+            let report = replay_streaming(&mut sim, source.as_mut());
+            pair[sampling as usize] = t0.elapsed().as_secs_f64();
+            reports[sampling as usize] = Some(report);
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "sampling must replay bit-identically to unsampled"
+        );
+        off = off.min(pair[0]);
+        on = on.min(pair[1]);
+        if pair[0] > 0.0 {
+            pair_ratios.push(pair[1] / pair[0]);
+        }
+    }
+    OverheadMeasurement {
+        off_secs: off,
+        on_secs: on,
+        pair_ratios,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +774,26 @@ mod tests {
         assert!(trace.counter_series >= 5, "{}", trace.counter_series);
         let metrics = hybridmem::check_metrics(&run.metrics).expect("valid metrics");
         assert!(metrics.total() >= 5);
+        let ts = hybridmem::check_timeseries(&run.timeseries_jsonl).expect("valid timeseries");
+        assert_eq!(ts.interval, profile_timeseries_interval(&cfg));
+        assert!(ts.windows > 1, "{} windows", ts.windows);
+        assert!(
+            ts.series.iter().any(|s| s == "dram.ddr.lines"),
+            "{:?}",
+            ts.series
+        );
+    }
+
+    #[test]
+    fn sampling_overhead_pairs_are_bit_identical() {
+        let cfg = ReplayConfig {
+            kind: TraceKind::Gups,
+            cores: 2,
+            accesses_per_core: 400,
+        };
+        let m = simfabric::par::with_threads(2, || measure_sampling_overhead(&cfg, 2));
+        assert_eq!(m.pair_ratios.len(), 2);
+        assert!(m.ratio().is_finite() && m.ratio() > 0.0);
     }
 
     #[test]

@@ -106,6 +106,13 @@ impl Mshr {
     /// completion times are still conservative placeholders — a
     /// placeholder (`u64::MAX`) counts as in flight, so the probe is an
     /// upper bound on what the retired file would hold.
+    ///
+    /// The time-series sampler also reads the in-flight gauge through
+    /// this probe, always at a merge-order boundary clock and with all
+    /// placeholders already flushed to real completions — lazily
+    /// retired entries have `done <= now` there and never count, so
+    /// the probed value is identical no matter which replay engine (or
+    /// worker count) reached the boundary.
     pub fn probe_occupancy(&self, now: SimTime) -> usize {
         self.inflight
             .iter()

@@ -40,7 +40,8 @@ pub use migration::{
 };
 pub use paper::{compare_with_model, paper_reference};
 pub use profile::{
-    check_chrome_trace, check_metrics, metrics_to_json, ChromeTraceSummary, MetricsSummary,
+    check_chrome_trace, check_metrics, check_timeseries, metrics_to_json, render_report,
+    ChromeTraceSummary, MetricsSummary, TimeSeriesSummary,
 };
 pub use report::{render_figure, render_trace_replays, series_csv};
 pub use sensitivity::{all_scans, scan_split_boundary_replayed, SensitivityScan};

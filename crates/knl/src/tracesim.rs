@@ -128,6 +128,7 @@ use simfabric::merge::LoserTree;
 use simfabric::par;
 use simfabric::par::Gang;
 use simfabric::stats::Histogram;
+use simfabric::telemetry::timeseries::{SeriesId, TimeSeriesRecorder};
 use simfabric::telemetry::{MetricsRegistry, SpanLog};
 use simfabric::{ByteSize, Duration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -910,6 +911,29 @@ pub struct TimingEngineStats {
     pub owner_peak_ops: Vec<u64>,
 }
 
+/// Time-resolved replay telemetry: one [`TimeSeriesRecorder`] ticked
+/// once per access consumed in merge order, plus the series handles
+/// and device lower-bound constants the hot-path hooks need. Boxed
+/// behind one `Option` so the disabled replay pays a single branch
+/// per access, like the migration scheduler and the span log.
+struct ReplayTimeSeries {
+    rec: TimeSeriesRecorder,
+    ddr_lines: SeriesId,
+    hbm_lines: SeriesId,
+    ddr_wait: SeriesId,
+    hbm_wait: SeriesId,
+    mshr_inflight: SeriesId,
+    mshr_stalls: SeriesId,
+    migrate_resident: SeriesId,
+    migrate_moves: SeriesId,
+    /// Minimum device service times, cached from the models: the
+    /// queue-wait series is `done - (arrive + min + resp_half)`, the
+    /// same lower bound the concurrent engine's deferred ops carry,
+    /// so both engines accumulate identical waits.
+    ddr_min: Duration,
+    hbm_min: Duration,
+}
+
 /// The trace-driven simulator.
 pub struct TraceSim {
     hierarchies: Vec<Hierarchy>,
@@ -973,6 +997,10 @@ pub struct TraceSim {
     /// recording. Device-level histograms are enabled alongside it by
     /// [`enable_telemetry`](Self::enable_telemetry).
     telemetry: Option<SpanLog>,
+    /// Sampled time-series over consumed accesses; `None` (the
+    /// default) keeps the per-access cost at one branch. See
+    /// [`enable_timeseries`](Self::enable_timeseries).
+    timeseries: Option<Box<ReplayTimeSeries>>,
 }
 
 impl TraceSim {
@@ -1029,6 +1057,7 @@ impl TraceSim {
             stream_lookahead_chunks: None,
             timing_stats: TimingEngineStats::default(),
             telemetry: None,
+            timeseries: None,
         }
     }
 
@@ -1114,6 +1143,153 @@ impl TraceSim {
     /// Whether [`enable_telemetry`](Self::enable_telemetry) was called.
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry.is_some()
+    }
+
+    /// Turn on time-resolved sampling for subsequent `run*` calls: a
+    /// [`TimeSeriesRecorder`] ticked once per access consumed in the
+    /// earliest-`(clock, core)` merge order and sampled every
+    /// `interval` accesses into a ring of `capacity` windows.
+    ///
+    /// Sampled series: per-device line fetches and queue-wait
+    /// overshoot (`dram.{ddr,hbm}.lines`, `dram.{ddr,hbm}.wait_ps`),
+    /// MSHR file state (`mshr.inflight`, `mshr.stalls`), and the
+    /// migration scheduler (`migrate.resident_pages`,
+    /// `migrate.moves`; zero when migration is off). Because the tick
+    /// is merge-order simulated progress, window boundaries and
+    /// sampled values are bit-identical across the sequential,
+    /// windowed-parallel, and streaming engines at any worker count —
+    /// under the concurrent timing engine a boundary forces a
+    /// telemetry flush first, so the sampled state is fully resolved.
+    /// Replay results are unchanged with sampling on or off; the
+    /// equivalence suite asserts both properties.
+    pub fn enable_timeseries(&mut self, interval: u64, capacity: usize) {
+        if self.timeseries.is_some() {
+            return;
+        }
+        let mut rec = TimeSeriesRecorder::new(interval, capacity);
+        let ddr_lines = rec.register_counter("dram.ddr.lines");
+        let hbm_lines = rec.register_counter("dram.hbm.lines");
+        let ddr_wait = rec.register_counter("dram.ddr.wait_ps");
+        let hbm_wait = rec.register_counter("dram.hbm.wait_ps");
+        let mshr_inflight = rec.register_gauge("mshr.inflight");
+        let mshr_stalls = rec.register_counter("mshr.stalls");
+        let migrate_resident = rec.register_gauge("migrate.resident_pages");
+        let migrate_moves = rec.register_counter("migrate.moves");
+        self.timeseries = Some(Box::new(ReplayTimeSeries {
+            rec,
+            ddr_lines,
+            hbm_lines,
+            ddr_wait,
+            hbm_wait,
+            mshr_inflight,
+            mshr_stalls,
+            migrate_resident,
+            migrate_moves,
+            ddr_min: self.ddr.min_service(),
+            hbm_min: self.hbm.min_service(),
+        }));
+    }
+
+    /// The sampled time-series, if
+    /// [`enable_timeseries`](Self::enable_timeseries) was called.
+    pub fn timeseries(&self) -> Option<&TimeSeriesRecorder> {
+        self.timeseries.as_deref().map(|ts| &ts.rec)
+    }
+
+    /// Whether time-series sampling is enabled.
+    pub fn timeseries_enabled(&self) -> bool {
+        self.timeseries.is_some()
+    }
+
+    /// Device-level time-series accounting shared by every engine at
+    /// the point an access is routed to memory: one line fetch per
+    /// device op the access issues (the cache-mode miss chain touches
+    /// MCDRAM twice and DDR once, mirroring the ops the concurrent
+    /// engine emits). Callers gate on `timeseries.is_some()`.
+    fn ts_note_lines(&mut self, level: LevelHit, is_hbm_target: bool) {
+        let msc = self.msc.is_some();
+        let ts = self.timeseries.as_mut().expect("caller gates on is_some");
+        match (msc, level) {
+            (true, LevelHit::McdramCache) => ts.rec.add(ts.hbm_lines, 1.0),
+            (true, _) => {
+                ts.rec.add(ts.hbm_lines, 2.0);
+                ts.rec.add(ts.ddr_lines, 1.0);
+            }
+            (false, _) if is_hbm_target => ts.rec.add(ts.hbm_lines, 1.0),
+            (false, _) => ts.rec.add(ts.ddr_lines, 1.0),
+        }
+    }
+
+    /// Inline-path queue-wait accounting: the serving device's
+    /// overshoot past the completion lower bound
+    /// `arrive + min_service + resp_half` — exactly `done - done_lb`
+    /// on the concurrent engine's deferred ops, so both paths
+    /// accumulate identical series. Callers gate on
+    /// `timeseries.is_some()`.
+    fn ts_note_wait_inline(
+        &mut self,
+        level: LevelHit,
+        is_hbm_target: bool,
+        arrive: SimTime,
+        done: SimTime,
+    ) {
+        let msc = self.msc.is_some();
+        let resp_half = if is_hbm_target {
+            self.resp_half_hbm
+        } else {
+            self.resp_half_ddr
+        };
+        let ts = self.timeseries.as_mut().expect("caller gates on is_some");
+        let (serves_ddr, m1, m2) = match (msc, level) {
+            (true, LevelHit::McdramCache) => (false, ts.hbm_min, Duration::ZERO),
+            (true, _) => (true, ts.hbm_min, ts.ddr_min),
+            (false, _) if is_hbm_target => (false, ts.hbm_min, Duration::ZERO),
+            (false, _) => (true, ts.ddr_min, Duration::ZERO),
+        };
+        let lb = arrive + m1 + m2 + resp_half;
+        let wait = done.since(lb).as_ps() as f64;
+        let id = if serves_ddr { ts.ddr_wait } else { ts.hbm_wait };
+        ts.rec.add(id, wait);
+    }
+
+    /// Advance the sampling clock by one consumed access; `true` when
+    /// the access lands on a window boundary (no-op when disabled).
+    #[inline]
+    fn ts_tick(&mut self) -> bool {
+        match &mut self.timeseries {
+            Some(ts) => ts.rec.tick(),
+            None => false,
+        }
+    }
+
+    /// Close a sampling window: refresh the pull-style series from
+    /// state every engine resolves identically at merge-order
+    /// boundaries (MSHR files probed at the boundary access's
+    /// pre-stall clock, migration scheduler totals), then snapshot.
+    /// The concurrent sequencer flushes deferred completions before
+    /// calling this, so the probed state is fully real.
+    #[cold]
+    fn ts_sample(&mut self, now: SimTime) {
+        let inflight: usize = self.mshrs.iter().map(|m| m.probe_occupancy(now)).sum();
+        let stalls: u64 = self.mshrs.iter().map(|m| m.stalls.get()).sum();
+        let (resident, moves) = match &self.migration {
+            Some(m) => {
+                let s = m.stats();
+                (
+                    m.resident_pages() as f64,
+                    (s.promoted_pages + s.demoted_pages) as f64,
+                )
+            }
+            None => (0.0, 0.0),
+        };
+        let Some(ts) = self.timeseries.as_deref_mut() else {
+            return;
+        };
+        ts.rec.set(ts.mshr_inflight, inflight as f64);
+        ts.rec.set(ts.mshr_stalls, stalls as f64);
+        ts.rec.set(ts.migrate_resident, resident);
+        ts.rec.set(ts.migrate_moves, moves);
+        ts.rec.close_window();
     }
 
     /// The recorded phase spans, if telemetry is enabled.
@@ -1391,7 +1567,13 @@ impl TraceSim {
         // Migration ticks on the pre-stall clock of the consuming
         // core — the value the windowed sequencer also has in hand at
         // its consumption sites, keeping rebalance offsets identical.
-        self.migrate_tick(addr, level == LevelHit::Memory, self.core_clock[core]);
+        let now0 = self.core_clock[core];
+        self.migrate_tick(addr, level == LevelHit::Memory, now0);
+        // The time-series tick shares the merge-order consumption
+        // site with `migrate_tick`, so window boundaries land on the
+        // same access in every engine. Sampling happens after this
+        // access fully completes (see the tail of this function).
+        let ts_due = self.ts_tick();
         let mut issue = self.core_clock[core];
         let mut done = issue + sram_lat;
         let mut merged = false;
@@ -1470,6 +1652,10 @@ impl TraceSim {
                     self.resp_half_ddr
                 };
             self.mshrs[core].complete_at(addr & !(self.line_bytes - 1), done);
+            if self.timeseries.is_some() {
+                self.ts_note_lines(level, is_hbm_target);
+                self.ts_note_wait_inline(level, is_hbm_target, arrive, done);
+            }
         }
         let latency = done.since(issue);
         // Dependent accesses serialize on completion; independent ones
@@ -1485,6 +1671,9 @@ impl TraceSim {
         let makespan_end = done.since(SimTime::ZERO);
         if makespan_end > totals.makespan {
             totals.makespan = makespan_end;
+        }
+        if ts_due {
+            self.ts_sample(now0);
         }
         latency
     }
@@ -1964,6 +2153,13 @@ impl TraceSim {
         };
         let cycle = Duration::from_cycles(1, crate::calib::CORE_GHZ);
         let tel_on = self.telemetry.is_some();
+        let ts_on = self.timeseries.is_some();
+        // A sampling boundary lands on some consumed access; its
+        // pre-stall clock is parked here and the sample taken at the
+        // top of the next iteration, after a telemetry flush resolves
+        // every deferred completion — so the probed MSHR files and
+        // accumulated waits match the sequential replay exactly.
+        let mut ts_due: Option<SimTime> = None;
         let mut t_merge = tel_on.then(Instant::now);
         let mut drained = 0u64;
         macro_rules! merge_span {
@@ -1978,6 +2174,14 @@ impl TraceSim {
             };
         }
         loop {
+            // Handle a pending sampling boundary before anything else
+            // (even bail-out), so no boundary is ever lost.
+            if let Some(now0) = ts_due.take() {
+                if !st.ops.is_empty() {
+                    self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Telemetry);
+                }
+                self.ts_sample(now0);
+            }
             // Degenerate-pattern bail-out: consistently tiny batches
             // mean the trace serializes and the gang is pure overhead.
             let ts = &self.timing_stats;
@@ -2021,6 +2225,9 @@ impl TraceSim {
                 // exact. Consumes the access, so the migration clock
                 // ticks here (never on a flush-retry path above).
                 self.migrate_tick(addr, false, issue);
+                if ts_on && self.ts_tick() {
+                    ts_due = Some(issue);
+                }
                 let done = issue + sram_lat;
                 self.note_access(w, sram_lat, done);
                 self.core_clock[w] = if dependent { done } else { issue + cycle };
@@ -2055,6 +2262,9 @@ impl TraceSim {
                 // Past the flush-retry check, the access is consumed.
                 let bound = primary.done_lb;
                 self.migrate_tick(addr, level == LevelHit::Memory, issue);
+                if ts_on && self.ts_tick() {
+                    ts_due = Some(issue);
+                }
                 match self.mshrs[w].register(line, issue) {
                     MshrOutcome::Merged { .. } => {}
                     other => unreachable!("pending line must merge, got {other:?}"),
@@ -2099,6 +2309,9 @@ impl TraceSim {
             // definitely consumed (merged or allocated), so tick —
             // with the pre-stall clock, matching `access_timed`.
             self.migrate_tick(addr, level == LevelHit::Memory, issue);
+            if ts_on && self.ts_tick() {
+                ts_due = Some(issue);
+            }
             let mut issue = issue;
             let mut merged_done = None;
             loop {
@@ -2200,6 +2413,11 @@ impl TraceSim {
                     }
                 }
             };
+            if ts_on {
+                // Lines are counted at emission (consumption order);
+                // the queue-wait overshoot is only known at flush time.
+                self.ts_note_lines(level, is_hbm_target);
+            }
             let ai = st.allocs.len() as u32;
             st.allocs.push(DefAlloc {
                 core: w as u32,
@@ -2229,6 +2447,12 @@ impl TraceSim {
             if st.ops.len() >= ENGINE_OPS_CAP {
                 self.engine_flush(&mut st, ctx, tree, shards, remaining, FlushCause::Capacity);
             }
+        }
+        // A boundary on the very last consumed access (or one pending
+        // at bail-out, whose flush already ran) still owes a sample.
+        if let Some(now0) = ts_due.take() {
+            debug_assert!(st.ops.is_empty());
+            self.ts_sample(now0);
         }
         debug_assert!(st.ops.is_empty() && st.blocked.is_empty());
         merge_span!();
@@ -2283,6 +2507,18 @@ impl TraceSim {
             debug_assert!(done >= a.done_lb, "completion below its lower bound");
             done_of[i] = done;
             self.mshrs[a.core as usize].complete_at(a.line, done);
+            if let Some(ts) = self.timeseries.as_deref_mut() {
+                // Queue-wait overshoot past the deferred lower bound,
+                // attributed to the device that served the critical
+                // op — the same `done - (arrive + min + resp_half)`
+                // the inline engines accumulate.
+                let id = if plan.ops[a.op as usize].dev == DEV_DDR {
+                    ts.ddr_wait
+                } else {
+                    ts.hbm_wait
+                };
+                ts.rec.add(id, done.since(a.done_lb).as_ps() as f64);
+            }
             let totals = &mut self.core_totals[a.core as usize];
             totals.total_latency += done.since(a.issue);
             let end = done.since(SimTime::ZERO);
@@ -2532,6 +2768,15 @@ impl TraceSim {
     /// counters, so mesh statistics are exact after every `run*` call.
     pub fn finish(&mut self) -> TraceSimReport {
         self.flush_mesh_tally();
+        if self.timeseries.is_some() {
+            // Close the trailing partial window. The far-future probe
+            // time sees every MSHR entry as retired (`ready <= now`
+            // fails for none of them), so the final in-flight gauge is
+            // zero in every engine; `close_window` is a no-op when the
+            // run ended exactly on a boundary, keeping `finish`
+            // idempotent.
+            self.ts_sample(SimTime::from_ps(u64::MAX));
+        }
         let t_finish = self.telemetry.is_some().then(Instant::now);
         let report = self.totals().into_report(self.line_bytes);
         if let (Some(log), Some(t0)) = (&mut self.telemetry, t_finish) {

@@ -11,7 +11,8 @@
 //! * measurement primitives (counters, log-scale histograms, bandwidth
 //!   meters, online mean/variance) in [`stats`],
 //! * an opt-in telemetry layer (named-metric registry, phase spans,
-//!   Chrome `trace_event` export) in [`telemetry`],
+//!   sampled time-series over simulated ticks, Chrome `trace_event`
+//!   export) in [`telemetry`],
 //! * warn-once parsing for tuning-knob environment variables in
 //!   [`env`],
 //! * a sharded, byte-bounded concurrent LRU ([`ShardedLru`]) in
@@ -64,6 +65,7 @@ pub use merge::LoserTree;
 pub use prng::Rng;
 pub use rng::RngPool;
 pub use stats::{BandwidthMeter, Counter, Histogram, OnlineStats};
+pub use telemetry::timeseries::{SeriesId, SeriesKind, TimeSeriesRecorder, TimeSeriesWindow};
 pub use telemetry::{MetricValue, MetricsRegistry, SpanLog, SpanRecord};
 pub use time::{Duration, SimTime};
 pub use units::{ByteSize, GIB, KIB, MIB};

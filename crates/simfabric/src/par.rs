@@ -412,15 +412,36 @@ pub fn par_queued<T: Sync, U: Send>(
     workers: usize,
     f: impl Fn(usize, &T) -> U + Sync,
 ) -> Vec<U> {
+    par_queued_tagged(items, workers, f)
+        .into_iter()
+        .map(|(_, u)| u)
+        .collect()
+}
+
+/// [`par_queued`], but each result is tagged with the index of the
+/// pool worker that computed it (`0..workers`): `(worker, result)` in
+/// item order. The tag gives callers per-worker provenance — a
+/// metrics dump can namespace each worker's contribution (e.g. a
+/// `worker{i}.` prefix) without any shared mutable state inside `f`.
+/// The inline single-worker path tags everything with worker 0.
+pub fn par_queued_tagged<T: Sync, U: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<(usize, U)> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let workers = workers.clamp(1, items.len().max(1));
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (0, f(i, t)))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let mut labelled: Vec<(usize, U)> = thread::scope(|s| {
+    let mut labelled: Vec<(usize, (usize, U))> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|me| {
                 let (next, f) = (&next, &f);
                 s.spawn(move || {
                     let mut out = Vec::new();
@@ -429,7 +450,7 @@ pub fn par_queued<T: Sync, U: Send>(
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, (me, f(i, &items[i]))));
                     }
                     out
                 })

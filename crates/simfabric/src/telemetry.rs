@@ -40,6 +40,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod timeseries;
+
 /// One named metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -338,7 +340,7 @@ pub fn chrome_trace_jsonl(spans: &SpanLog, metrics: &MetricsRegistry) -> String 
 
 /// Minimal JSON string writer (metric and span names are plain
 /// identifiers, but escape fully anyway).
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -359,7 +361,7 @@ fn write_json_str(out: &mut String, s: &str) {
 /// JSON number writer: integral values print as integers, everything
 /// else as the shortest f64 round-trip; non-finite values (which JSON
 /// cannot carry) print as 0.
-fn write_json_num(out: &mut String, n: f64) {
+pub(crate) fn write_json_num(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push('0');
     } else if n == n.trunc() && n.abs() < 1e15 {

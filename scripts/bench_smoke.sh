@@ -98,3 +98,18 @@ for _attempt in 1 2 3; do
     fi
 done
 [[ "$migrate_ok" == 1 ]]
+
+# Time-series sampling cost gate: the disabled sampler must cost the
+# replay hot paths nothing (one Option branch per access), and the
+# verb asserts every off/on pair replays bit-identically — sampling is
+# observation, never simulation. The acceptance bound is <= 2 % on
+# stream_64x50000; CI gates the same bound on the quicker
+# stream_16x12500 with the usual two-estimator, three-attempt policy.
+sampling_ok=0
+for _attempt in 1 2 3; do
+    if "$REPRO" sampling-overhead --config stream_16x12500 --iters 40 --tol 0.02; then
+        sampling_ok=1
+        break
+    fi
+done
+[[ "$sampling_ok" == 1 ]]

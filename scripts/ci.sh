@@ -46,13 +46,21 @@ timeout 900 target/release/repro migrate
 scripts/bench_smoke.sh
 
 # Telemetry profile smoke: produce a Chrome-trace profile + metrics
-# dump from a tiny streaming replay and re-validate both files the
-# bench-check way (spans for every replay phase, >= 5 metric series,
-# monotonic timestamps, schema-tagged metrics JSON).
+# dump + in-replay time-series export from a tiny streaming replay and
+# re-validate all three files the bench-check way (spans for every
+# replay phase, >= 5 metric series, monotonic timestamps,
+# schema-tagged metrics JSON, timeseries/v1 window chain), then render
+# the text dashboard from them (repro report exits nonzero on a
+# malformed input).
 target/release/repro profile stream_8x2000 \
-    --out target/profile_smoke.jsonl --metrics target/metrics_smoke.json
+    --out target/profile_smoke.jsonl --metrics target/metrics_smoke.json \
+    --timeseries target/timeseries_smoke.jsonl
 target/release/repro profile-check target/profile_smoke.jsonl \
-    --metrics target/metrics_smoke.json
+    --metrics target/metrics_smoke.json \
+    --timeseries target/timeseries_smoke.jsonl
+target/release/repro report target/profile_smoke.jsonl \
+    --timeseries target/timeseries_smoke.jsonl > target/report_smoke.txt
+grep -q "== timeseries" target/report_smoke.txt
 
 # Advisor-service smoke: answer the bundled query batch twice through
 # one service — the verb asserts the rounds bit-identical and exits
@@ -61,6 +69,34 @@ target/release/repro profile-check target/profile_smoke.jsonl \
 # target/.
 target/release/repro advise-batch --bundled smoke --rounds 2 \
     --out target/advise_smoke.jsonl
+
+# Serve-loop smoke: drive the long-running advisor service with the
+# bundled 200-query batch under a watchdog (a deadlocked worker pool
+# or a loop that never drains presents as a hang, and the timeout
+# turns that into a failure). The transcript is validated for causal
+# ids, one span per response, and matching drain totals; the run
+# repeats at 1 and 8 workers and the two time-series exports must be
+# byte-identical — the sampler ticks on query order, never on thread
+# schedule.
+target/release/repro queries --bundled full --out target/serve_queries.jsonl
+timeout 900 target/release/repro serve --threads 1 \
+    --timeseries target/serve_ts_w1.jsonl \
+    < target/serve_queries.jsonl > target/serve_out_w1.jsonl
+timeout 900 target/release/repro serve --threads 8 \
+    --timeseries target/serve_ts_w8.jsonl \
+    < target/serve_queries.jsonl > target/serve_out_w8.jsonl
+target/release/repro serve-check target/serve_out_w1.jsonl \
+    --queries 200 --timeseries target/serve_ts_w1.jsonl
+target/release/repro serve-check target/serve_out_w8.jsonl \
+    --queries 200 --timeseries target/serve_ts_w8.jsonl
+cmp target/serve_ts_w1.jsonl target/serve_ts_w8.jsonl
+
+# Bench-history regression sentinel over the committed report: the
+# history section must validate, and the newest entry must not sit
+# more than 10 % below the trailing median on any tracked metric
+# (streaming Macc/s per config, sweep-reuse and advisor speedups).
+# Deterministic — it reads the committed file, it never re-times.
+target/release/repro bench-history BENCH_trace_replay.json --check
 
 cargo fmt --check
 

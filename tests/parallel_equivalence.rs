@@ -500,6 +500,146 @@ fn migration_hot_cold_parallel_equals_sequential() {
     check_migration("HotCold", &trace, mk);
 }
 
+/// Tentpole contract for in-replay time-series sampling: enabling the
+/// sampler must leave replay results bit-identical, and the sampled
+/// windows themselves must be bit-identical across the sequential,
+/// sharded (both forced timing modes), and streaming engines at every
+/// worker count — the sampling clock is merge-order simulated
+/// progress, not wall time, so the exported JSONL matches byte for
+/// byte. Covers all five paper generators.
+#[test]
+fn timeseries_sampling_invisible_and_identical_across_engines() {
+    // Co-prime with the generators' burst lengths so boundaries land
+    // on every access class, not just burst edges.
+    const INTERVAL: u64 = 257;
+    const CAPACITY: usize = 64;
+    let setup = MemSetup::CacheMode;
+    for kind in TraceKind::ALL {
+        let trace = kind.generate(CORES, PER_CORE, SEED);
+        let mut plain = fresh(setup);
+        let expect = plain.run(&trace);
+
+        let mut seq = fresh(setup);
+        seq.enable_timeseries(INTERVAL, CAPACITY);
+        assert_eq!(seq.run(&trace), expect, "sampling changed {kind:?} results");
+        let rec = seq.timeseries().expect("sampling enabled");
+        assert!(
+            rec.windows().count() > 1,
+            "{kind:?}: trace too short to close multiple windows"
+        );
+        let expect_jsonl = rec.to_jsonl();
+
+        for workers in WORKERS {
+            for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+                let mut sim = fresh(setup);
+                sim.enable_timeseries(INTERVAL, CAPACITY);
+                sim.set_timing_mode(Some(mode));
+                sim.set_replay_window(512);
+                let got = par::with_threads(workers, || sim.run_parallel(&trace));
+                let ctx = format!("{kind:?} workers={workers} mode={mode:?}");
+                assert_eq!(got, expect, "sampled report diverged: {ctx}");
+                assert_eq!(
+                    sim.timeseries().expect("sampling enabled").to_jsonl(),
+                    expect_jsonl,
+                    "sampled windows diverged: {ctx}"
+                );
+            }
+
+            let mut stream_sim = fresh(setup);
+            stream_sim.enable_timeseries(INTERVAL, CAPACITY);
+            let got = par::with_threads(workers, || {
+                let mut source = kind.source(CORES, PER_CORE, SEED);
+                replay_streaming(&mut stream_sim, source.as_mut())
+            });
+            let ctx = format!("streaming {kind:?} workers={workers}");
+            assert_eq!(got, expect, "sampled report diverged: {ctx}");
+            assert_eq!(
+                stream_sim
+                    .timeseries()
+                    .expect("sampling enabled")
+                    .to_jsonl(),
+                expect_jsonl,
+                "sampled windows diverged: {ctx}"
+            );
+        }
+    }
+}
+
+/// The migration series under a deliberately tiny ring: the resident
+/// and move counts sampled mid-wave, plus the ring-drop count, must be
+/// identical on every engine — and the hot/cold workload guarantees
+/// the series actually moves (promotion and demotion waves).
+#[test]
+fn timeseries_migration_series_identical_across_engines() {
+    const INTERVAL: u64 = 131;
+    const CAPACITY: usize = 4; // force ring eviction
+    let (phases, per_core) = (3, 160);
+    let (hot, cold) = (64 << 10, 4 << 20);
+    let mk_src = || -> Box<dyn TraceSource + Send> {
+        Box::new(HotColdSource::new(CORES, phases, per_core, hot, cold, SEED))
+    };
+    let trace = {
+        let mut src = mk_src();
+        let mut out = Vec::new();
+        while let Some(a) = src.next_access() {
+            out.push(a);
+        }
+        out
+    };
+    let mut plain = fresh_migrated();
+    let expect = plain.run(&trace);
+
+    let mut seq = fresh_migrated();
+    seq.enable_timeseries(INTERVAL, CAPACITY);
+    assert_eq!(seq.run(&trace), expect, "sampling changed migrated results");
+    let rec = seq.timeseries().expect("sampling enabled");
+    assert!(rec.dropped() > 0, "ring must overflow at capacity 4");
+    let resident = rec
+        .series_names()
+        .iter()
+        .position(|&n| n == "migrate.resident_pages")
+        .expect("resident series registered");
+    assert!(
+        rec.windows().any(|w| w.values[resident] > 0.0),
+        "resident-page series never moved"
+    );
+    let expect_jsonl = rec.to_jsonl();
+
+    for workers in WORKERS {
+        for mode in [TimingMode::Sequential, TimingMode::Concurrent] {
+            let mut sim = fresh_migrated();
+            sim.enable_timeseries(INTERVAL, CAPACITY);
+            sim.set_timing_mode(Some(mode));
+            sim.set_replay_window(512);
+            let got = par::with_threads(workers, || sim.run_parallel(&trace));
+            let ctx = format!("migrated sampling workers={workers} mode={mode:?}");
+            assert_eq!(got, expect, "report diverged: {ctx}");
+            assert_eq!(
+                sim.timeseries().expect("sampling enabled").to_jsonl(),
+                expect_jsonl,
+                "sampled windows diverged: {ctx}"
+            );
+        }
+
+        let mut stream_sim = fresh_migrated();
+        stream_sim.enable_timeseries(INTERVAL, CAPACITY);
+        let got = par::with_threads(workers, || {
+            let mut src = mk_src();
+            replay_streaming(&mut stream_sim, src.as_mut())
+        });
+        let ctx = format!("migrated streaming sampling workers={workers}");
+        assert_eq!(got, expect, "report diverged: {ctx}");
+        assert_eq!(
+            stream_sim
+                .timeseries()
+                .expect("sampling enabled")
+                .to_jsonl(),
+            expect_jsonl,
+            "sampled windows diverged: {ctx}"
+        );
+    }
+}
+
 #[test]
 fn figure_sweep_json_identical_across_worker_counts() {
     // The figure pipeline (`repro export`) must serialize byte-identical

@@ -13,7 +13,7 @@
 use knl::tracesim::{TracePlacement, TraceSim};
 use knl::{MachineConfig, MemSetup};
 use simfabric::telemetry::{chrome_trace_jsonl, MetricsRegistry, SpanLog, SpanRecord};
-use simfabric::{par, ByteSize};
+use simfabric::{par, ByteSize, TimeSeriesRecorder};
 use workloads::tracegen::{replay_streaming, TraceKind};
 
 /// Compare `got` against the golden file at `tests/golden/<name>`,
@@ -93,6 +93,66 @@ fn metrics_dump_matches_golden() {
     let doc = hybridmem::metrics_to_json(&reg);
     hybridmem::check_metrics(&doc).expect("golden dump validates");
     assert_golden("metrics.json", &doc.to_pretty());
+}
+
+/// A hand-built time-series recorder covering every exporter feature:
+/// a counter and a gauge, full windows, a partial trailing window,
+/// and a ring eviction (capacity 3 over 4 windows → dropped = 1).
+fn sample_timeseries() -> TimeSeriesRecorder {
+    let mut rec = TimeSeriesRecorder::new(4, 3);
+    let lines = rec.register_counter("dev.lines");
+    let inflight = rec.register_gauge("mshr.inflight");
+    for i in 0..14u64 {
+        rec.add(lines, 3.0);
+        rec.set(inflight, (i % 5) as f64);
+        if rec.tick() {
+            rec.close_window();
+        }
+    }
+    rec.finish();
+    rec
+}
+
+#[test]
+fn timeseries_jsonl_exporter_matches_golden() {
+    let rec = sample_timeseries();
+    let text = rec.to_jsonl();
+    let summary = hybridmem::check_timeseries(&text).expect("golden document validates");
+    assert_eq!(summary.windows, 3, "ring keeps the newest 3 windows");
+    assert_eq!(summary.dropped, 1);
+    assert_golden("timeseries.jsonl", &text);
+}
+
+#[test]
+fn timeseries_chrome_counter_exporter_matches_golden() {
+    assert_golden(
+        "timeseries_chrome.jsonl",
+        &sample_timeseries().chrome_counter_trace(),
+    );
+}
+
+/// End-to-end golden: the full in-replay sampling pipeline on a tiny
+/// cache-mode trace, pinned byte-for-byte. Any engine change that
+/// moves a sampled value re-blesses this file *visibly* — the
+/// equivalence suites already prove all engines and worker counts
+/// agree, so one golden pins them all.
+#[test]
+fn replay_timeseries_export_matches_golden() {
+    let mut sim = TraceSim::new(
+        &MachineConfig::knl7210(MemSetup::CacheMode, 64),
+        4,
+        TracePlacement::AllDdr,
+        ByteSize::mib(4),
+    );
+    sim.enable_timeseries(250, 16);
+    let report = par::with_threads(2, || {
+        let mut source = TraceKind::Stream.source(4, 500, 0xD1FF);
+        replay_streaming(&mut sim, source.as_mut())
+    });
+    assert!(report.accesses > 0);
+    let text = sim.timeseries().expect("timeseries on").to_jsonl();
+    hybridmem::check_timeseries(&text).expect("replay export validates");
+    assert_golden("timeseries_replay.jsonl", &text);
 }
 
 /// End-to-end: a real (tiny) streaming profile passes both structural
